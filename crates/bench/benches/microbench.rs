@@ -1,0 +1,320 @@
+//! Criterion microbenchmarks (experiment M1 in DESIGN.md): throughput of
+//! the substrates and the scheduler hot paths, plus a scheduler-vs-
+//! scheduler end-to-end emulation cost comparison.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pstm_core::gtm::{Gtm, GtmConfig};
+use pstm_core::reconcile::reconcile;
+use pstm_lock::{LockManager, LockMode};
+use pstm_sim::{GtmBackend, Runner, RunnerConfig, TwoPlBackend};
+use pstm_storage::btree::BTreeIndex;
+use pstm_storage::{Database, HeapFile, Page, Row, RowId, Wal, LogRecord};
+use pstm_twopl::{TwoPlConfig, TwoPlManager};
+use pstm_types::{
+    Duration, ObjectId, OpClass, ResourceId, ScalarOp, Timestamp, TxnId, Value,
+};
+use pstm_workload::{counter_world, PaperWorkload};
+
+fn bench_storage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("storage");
+
+    g.bench_function("page_insert_100b", |b| {
+        let rec = [7u8; 100];
+        b.iter_batched(
+            Page::new,
+            |mut page| {
+                while page.insert(&rec).is_some() {}
+                page
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("heap_insert_row", |b| {
+        let row = Row::new(vec![Value::Int(1), Value::Int(100), Value::Text("flight".into())]);
+        b.iter_batched(
+            HeapFile::new,
+            |mut heap| {
+                for _ in 0..256 {
+                    heap.insert(&row).unwrap();
+                }
+                heap
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("heap_get_hot_row", |b| {
+        let mut heap = HeapFile::new();
+        let row = Row::new(vec![Value::Int(1), Value::Int(100)]);
+        let mut last = RowId::new(0, 0);
+        for _ in 0..1_000 {
+            last = heap.insert(&row).unwrap();
+        }
+        b.iter(|| heap.get(std::hint::black_box(last)).unwrap());
+    });
+
+    g.bench_function("btree_insert_1k", |b| {
+        b.iter_batched(
+            BTreeIndex::new,
+            |mut t| {
+                for i in 0..1_000i64 {
+                    t.insert(Value::Int(i), RowId::from_raw(i as u64));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("btree_point_lookup", |b| {
+        let mut t = BTreeIndex::new();
+        for i in 0..10_000i64 {
+            t.insert(Value::Int(i), RowId::from_raw(i as u64));
+        }
+        let key = Value::Int(7_777);
+        b.iter(|| t.get(std::hint::black_box(&key)));
+    });
+
+    g.bench_function("btree_range_100_of_10k", |b| {
+        let mut t = BTreeIndex::new();
+        for i in 0..10_000i64 {
+            t.insert(Value::Int(i), RowId::from_raw(i as u64));
+        }
+        let (lo, hi) = (Value::Int(5_000), Value::Int(5_099));
+        b.iter(|| {
+            t.range(
+                std::ops::Bound::Included(std::hint::black_box(&lo)),
+                std::ops::Bound::Included(std::hint::black_box(&hi)),
+            )
+        });
+    });
+
+    g.bench_function("recovery_replay_1k_updates", |b| {
+        use pstm_storage::{ColumnDef, Row, TableSchema};
+        use pstm_types::ValueKind;
+        b.iter_batched(
+            || {
+                let db = Database::new();
+                let schema = TableSchema::new(
+                    "T",
+                    vec![ColumnDef::new("id", ValueKind::Int), ColumnDef::new("v", ValueKind::Int)],
+                )
+                .unwrap();
+                let t = db.create_table(schema, vec![]).unwrap();
+                let boot = TxnId(1);
+                db.begin(boot).unwrap();
+                let row = db.insert(boot, t, Row::new(vec![Value::Int(0), Value::Int(0)])).unwrap();
+                db.commit(boot).unwrap();
+                db.checkpoint().unwrap();
+                for i in 0..1_000u64 {
+                    let txn = TxnId(10 + i);
+                    db.begin(txn).unwrap();
+                    db.update(txn, t, row, 1, Value::Int(i as i64)).unwrap();
+                    db.commit(txn).unwrap();
+                }
+                db
+            },
+            |db| {
+                db.simulate_crash_and_recover().unwrap();
+                db
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("wal_append_update", |b| {
+        let rec = LogRecord::Update {
+            txn: TxnId(1),
+            table: pstm_storage::TableId(0),
+            row_id: RowId::new(0, 0),
+            column: 1,
+            before: Value::Int(100),
+            after: Value::Int(99),
+        };
+        b.iter_batched(
+            Wal::new,
+            |mut wal| {
+                for _ in 0..256 {
+                    wal.append(&rec).unwrap();
+                }
+                wal
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("engine_update_roundtrip", |b| {
+        let world = counter_world(1, 1_000_000).unwrap();
+        let bind = world.bindings.resolve(world.resources[0]).unwrap();
+        let db: &Database = &world.db;
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let txn = TxnId(1_000 + i);
+            db.begin(txn).unwrap();
+            db.update(txn, bind.table, bind.row, bind.column, Value::Int(i as i64)).unwrap();
+            db.commit(txn).unwrap();
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_lock_manager(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock");
+    let r = ResourceId::atomic(ObjectId(0));
+
+    g.bench_function("grant_release_uncontended", |b| {
+        let mut lm = LockManager::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let t = TxnId(i);
+            lm.request(t, r, LockMode::Exclusive, Timestamp::ZERO).unwrap();
+            lm.release_all(t);
+        });
+    });
+
+    g.bench_function("contended_queue_drain_32", |b| {
+        b.iter_batched(
+            || {
+                let mut lm = LockManager::new();
+                for i in 1..=32u64 {
+                    lm.request(TxnId(i), r, LockMode::Exclusive, Timestamp::ZERO).unwrap();
+                }
+                lm
+            },
+            |mut lm| {
+                for i in 1..=32u64 {
+                    lm.release_all(TxnId(i));
+                }
+                lm
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("deadlock_detection_no_cycle_64_waiters", |b| {
+        let mut lm = LockManager::new();
+        for obj in 0..8u32 {
+            let res = ResourceId::atomic(ObjectId(obj));
+            lm.request(TxnId(1_000 + obj as u64), res, LockMode::Exclusive, Timestamp::ZERO)
+                .unwrap();
+            for w in 0..8u64 {
+                lm.request(TxnId(2_000 + obj as u64 * 8 + w), res, LockMode::Exclusive, Timestamp::ZERO)
+                    .unwrap();
+            }
+        }
+        b.iter(|| lm.detect_deadlock());
+    });
+
+    g.finish();
+}
+
+fn bench_gtm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gtm");
+
+    g.bench_function("reconcile_addsub", |b| {
+        let (temp, read, perm) = (Value::Int(104), Value::Int(100), Value::Int(250));
+        b.iter(|| reconcile(OpClass::UpdateAddSub, &temp, &read, &perm).unwrap());
+    });
+
+    g.bench_function("invoke_commit_cycle", |b| {
+        let world = counter_world(1, i64::MAX / 2).unwrap();
+        let r = world.resources[0];
+        let mut gtm = Gtm::new(world.db.clone(), world.bindings.clone(), GtmConfig::default());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let t = TxnId(i);
+            gtm.begin(t, Timestamp::ZERO).unwrap();
+            gtm.execute(t, r, ScalarOp::Sub(Value::Int(1)), Timestamp::ZERO).unwrap();
+            gtm.commit(t, Timestamp(i)).unwrap();
+        });
+    });
+
+    g.bench_function("shared_grant_32_holders", |b| {
+        b.iter_batched(
+            || {
+                let world = counter_world(1, 1_000_000).unwrap();
+                let r = world.resources[0];
+                let gtm = Gtm::new(world.db.clone(), world.bindings.clone(), GtmConfig::default());
+                (gtm, r)
+            },
+            |(mut gtm, r)| {
+                for i in 1..=32u64 {
+                    gtm.begin(TxnId(i), Timestamp::ZERO).unwrap();
+                    gtm.execute(TxnId(i), r, ScalarOp::Sub(Value::Int(1)), Timestamp::ZERO)
+                        .unwrap();
+                }
+                for i in 1..=32u64 {
+                    gtm.commit(TxnId(i), Timestamp(i)).unwrap();
+                }
+                gtm
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emulation");
+    g.sample_size(10);
+
+    let workload = PaperWorkload {
+        n_txns: 100,
+        alpha: 0.7,
+        beta: 0.05,
+        interarrival: Duration::from_secs_f64(0.2),
+        ..PaperWorkload::default()
+    };
+
+    g.bench_function("gtm_100txn", |b| {
+        b.iter(|| {
+            let world = counter_world(5, 100_000).unwrap();
+            let scripts = workload.scripts(&world.resources);
+            let gtm = Gtm::new(world.db.clone(), world.bindings, GtmConfig::default());
+            Runner::new(GtmBackend(gtm), scripts, RunnerConfig::default()).run().unwrap()
+        });
+    });
+
+    g.bench_function("twopl_100txn", |b| {
+        b.iter(|| {
+            let world = counter_world(5, 100_000).unwrap();
+            let scripts = workload.scripts(&world.resources);
+            let config = TwoPlConfig {
+                sleep_timeout: Some(Duration::from_secs_f64(5.0)),
+                ..TwoPlConfig::default()
+            };
+            let tp = TwoPlManager::new(world.db.clone(), world.bindings, config);
+            Runner::new(TwoPlBackend(tp), scripts, RunnerConfig::default()).run().unwrap()
+        });
+    });
+
+    g.finish();
+}
+
+fn bench_occ(c: &mut Criterion) {
+    use pstm_occ::OccManager;
+    let mut g = c.benchmark_group("occ");
+    g.bench_function("begin_execute_commit_cycle", |b| {
+        let world = counter_world(1, i64::MAX / 2).unwrap();
+        let r = world.resources[0];
+        let mut occ = OccManager::new(world.db.clone(), world.bindings.clone());
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let t = TxnId(i);
+            occ.begin(t, Timestamp::ZERO).unwrap();
+            occ.execute(t, r, ScalarOp::Sub(Value::Int(1)), Timestamp::ZERO).unwrap();
+            occ.commit(t, Timestamp::ZERO).unwrap().unwrap();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_storage, bench_lock_manager, bench_gtm, bench_occ, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Three-way baseline comparison — GTM vs strict 2PL vs backward-
+//! validation OCC on the §VI.B workload.
+//!
+//! The paper's introduction motivates the hybrid design in both
+//! directions: pessimistic 2PL blocks/aborts around long transactions,
+//! while purely optimistic schemes "cause the management of a high number
+//! of rollback operations … when a high rate of transaction conflicts
+//! occurs". This binary quantifies both claims on the same workload.
+
+use pstm_bench::{run_emulation, Scheduler};
+use pstm_core::gtm::GtmConfig;
+use pstm_occ::{OccBackend, OccManager};
+use pstm_sim::{Runner, RunnerConfig};
+use pstm_types::Duration;
+use pstm_workload::{counter_world, PaperWorkload};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    alpha: f64,
+    scheduler: String,
+    committed: usize,
+    aborted: usize,
+    abort_pct: f64,
+    mean_exec_s: f64,
+}
+
+fn run_occ(workload: &PaperWorkload) -> pstm_sim::RunReport {
+    let world = counter_world(pstm_bench::FIG3_OBJECTS, pstm_bench::FIG3_INITIAL).expect("world");
+    let scripts = workload.scripts(&world.resources);
+    let occ = OccManager::new(world.db.clone(), world.bindings);
+    Runner::new(OccBackend(occ), scripts, RunnerConfig::default()).run().expect("run")
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n_txns = if quick { 200 } else { 1000 };
+    let base = PaperWorkload {
+        n_txns,
+        beta: 0.05,
+        interarrival: Duration::from_secs_f64(0.5),
+        ..PaperWorkload::default()
+    };
+
+    pstm_bench::print_header(
+        &format!("Baseline comparison — abort % and exec time vs alpha (beta = 0.05, n = {n_txns})"),
+        &[
+            "alpha",
+            "GTM abort%",
+            "2PL abort%",
+            "OCC abort%",
+            "GTM exec(s)",
+            "2PL exec(s)",
+            "OCC exec(s)",
+        ],
+    );
+    let mut rows = Vec::new();
+    for step in [2u32, 4, 6, 8, 10] {
+        let alpha = f64::from(step) / 10.0;
+        let workload = PaperWorkload { alpha, ..base };
+        let g = run_emulation(Scheduler::Gtm, &workload, GtmConfig::default()).expect("gtm");
+        let t = run_emulation(Scheduler::TwoPl, &workload, GtmConfig::default()).expect("2pl");
+        let o = run_occ(&workload);
+        println!(
+            "{alpha:.1}\t{:.2}\t{:.2}\t{:.2}\t{:.3}\t{:.3}\t{:.3}",
+            g.abort_pct,
+            t.abort_pct,
+            o.abort_pct,
+            g.mean_exec_committed_s,
+            t.mean_exec_committed_s,
+            o.mean_exec_committed_s
+        );
+        for (name, r) in [("gtm", &g), ("2pl", &t), ("occ", &o)] {
+            rows.push(Row {
+                alpha,
+                scheduler: name.to_owned(),
+                committed: r.committed,
+                aborted: r.aborted,
+                abort_pct: r.abort_pct,
+                mean_exec_s: r.mean_exec_committed_s,
+            });
+        }
+    }
+    println!("\nexpected shape: OCC never waits (lowest exec time for survivors) but");
+    println!("rolls back heavily as contention grows — the intro's argument; the GTM");
+    println!("keeps OCC-like latency at near-zero abort rates for compatible work.");
+    match pstm_bench::write_results("baseline_occ", &rows) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,133 @@
+//! `pstm-bench` — the experiment harness.
+//!
+//! One binary per paper artifact (see DESIGN.md §4):
+//!
+//! | binary                | artifact |
+//! |-----------------------|----------|
+//! | `fig1`                | Fig. 1 — analytical execution time |
+//! | `fig2`                | Fig. 2 — analytical abort percentage |
+//! | `fig3`                | Fig. 3 — emulated GTM vs 2PL (α and β sweeps) |
+//! | `table2`              | Table II — the reconciliation trace |
+//! | `ablation_starvation` | §VII extension 1 on/off |
+//! | `ablation_admission`  | §VII extension 2 on/off |
+//!
+//! Each binary prints a human-readable table and writes machine-readable
+//! JSON under `results/`. Criterion microbenchmarks live in `benches/`.
+
+use pstm_core::gtm::{Gtm, GtmConfig};
+use pstm_sim::{GtmBackend, RunReport, Runner, RunnerConfig, TwoPlBackend, TxnScript};
+use pstm_twopl::{TwoPlConfig, TwoPlManager};
+use pstm_types::{Duration, PstmResult};
+use pstm_workload::{counter_world, PaperWorkload};
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// Which scheduler to drive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduler {
+    /// The paper's GTM.
+    Gtm,
+    /// The strict 2PL baseline.
+    TwoPl,
+}
+
+/// Defaults used by the Fig. 3 emulation (paper §VI.B: 1000 transactions,
+/// 5 objects, inter-arrival 0.5 s).
+pub const FIG3_OBJECTS: usize = 5;
+/// Initial counter value: large enough that the `>= 0` CHECK never binds
+/// in the baseline comparison (the admission ablation stresses it
+/// separately).
+pub const FIG3_INITIAL: i64 = 100_000;
+
+/// 2PL sleep timeout for the emulation: shorter than typical
+/// disconnections, so disconnected transactions abort — the classical
+/// policy the paper charges 2PL with.
+#[must_use]
+pub fn twopl_config_for_emulation() -> TwoPlConfig {
+    TwoPlConfig {
+        sleep_timeout: Some(Duration::from_secs_f64(5.0)),
+        lock_timeout: None,
+        deadlock_detection: true,
+    }
+}
+
+/// Runs one emulation point: the §VI.B workload under the chosen
+/// scheduler.
+pub fn run_emulation(
+    scheduler: Scheduler,
+    workload: &PaperWorkload,
+    gtm_config: GtmConfig,
+) -> PstmResult<RunReport> {
+    let world = counter_world(FIG3_OBJECTS, FIG3_INITIAL)?;
+    let scripts: Vec<TxnScript> = workload.scripts(&world.resources);
+    let runner_config = RunnerConfig::default();
+    match scheduler {
+        Scheduler::Gtm => {
+            let gtm = Gtm::new(world.db.clone(), world.bindings, gtm_config);
+            Runner::new(GtmBackend(gtm), scripts, runner_config).run()
+        }
+        Scheduler::TwoPl => {
+            let tp = TwoPlManager::new(
+                world.db.clone(),
+                world.bindings,
+                twopl_config_for_emulation(),
+            );
+            Runner::new(TwoPlBackend(tp), scripts, runner_config).run()
+        }
+    }
+}
+
+/// Writes `rows` as JSON under `results/<name>.json` (created on demand),
+/// returning the path.
+pub fn write_results<T: Serialize>(name: &str, rows: &T) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_vec_pretty(rows)?)?;
+    Ok(path)
+}
+
+/// Prints a separator-framed table header.
+pub fn print_header(title: &str, columns: &[&str]) {
+    println!("\n== {title} ==");
+    println!("{}", columns.join("\t"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emulation_point_runs_under_both_schedulers() {
+        let workload = PaperWorkload { n_txns: 40, ..PaperWorkload::default() };
+        let g = run_emulation(Scheduler::Gtm, &workload, GtmConfig::default()).unwrap();
+        let t = run_emulation(Scheduler::TwoPl, &workload, GtmConfig::default()).unwrap();
+        assert_eq!(g.total, 40);
+        assert_eq!(t.total, 40);
+        assert_eq!(g.unfinished, 0);
+        assert_eq!(t.unfinished, 0);
+        assert!(g.committed + g.aborted == 40);
+    }
+
+    #[test]
+    fn gtm_dominates_on_contended_mix() {
+        // High α (compatible subtractions dominate): the GTM should both
+        // commit at least as many transactions and finish them no slower.
+        let workload = PaperWorkload {
+            n_txns: 120,
+            alpha: 0.9,
+            beta: 0.1,
+            interarrival: Duration::from_secs_f64(0.1),
+            ..PaperWorkload::default()
+        };
+        let g = run_emulation(Scheduler::Gtm, &workload, GtmConfig::default()).unwrap();
+        let t = run_emulation(Scheduler::TwoPl, &workload, GtmConfig::default()).unwrap();
+        assert!(g.abort_pct <= t.abort_pct, "gtm {} vs 2pl {}", g.abort_pct, t.abort_pct);
+        assert!(
+            g.mean_exec_committed_s <= t.mean_exec_committed_s * 1.05,
+            "gtm {} vs 2pl {}",
+            g.mean_exec_committed_s,
+            t.mean_exec_committed_s
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Logical dependence among object data members.
+//!
+//! The paper's §IV relaxation reads: "only transaction operations on
+//! logically dependent items (e.g. quantity and price of a given product)
+//! can generate a conflict, while operations on not-logical dependent
+//! data members are compatible."
+//!
+//! The GTM's default is full independence — distinct members never
+//! conflict. A [`DependenceMap`] declares groups of members that *are*
+//! logically dependent: conflict checks (invocation, promotion, awakening,
+//! deadlock edges) then span the whole group, i.e. an assignment to a
+//! product's `price` conflicts with an additive update of the same
+//! product's `quantity` exactly as if they touched one member.
+
+use pstm_types::{PstmError, PstmResult, ResourceId};
+use std::collections::BTreeMap;
+
+/// Declared dependence groups over resources.
+#[derive(Clone, Debug, Default)]
+pub struct DependenceMap {
+    group_of: BTreeMap<ResourceId, usize>,
+    members: Vec<Vec<ResourceId>>,
+}
+
+impl DependenceMap {
+    /// The empty map — every member independent (the paper's relaxation
+    /// at full strength).
+    #[must_use]
+    pub fn new() -> Self {
+        DependenceMap::default()
+    }
+
+    /// Declares `members` mutually logically dependent. Returns the group
+    /// id. A resource may belong to at most one group; groups of fewer
+    /// than two members are pointless and rejected.
+    pub fn declare_dependent(&mut self, members: &[ResourceId]) -> PstmResult<usize> {
+        if members.len() < 2 {
+            return Err(PstmError::internal(
+                "a dependence group needs at least two members",
+            ));
+        }
+        for m in members {
+            if self.group_of.contains_key(m) {
+                return Err(PstmError::AlreadyExists(format!(
+                    "{m} already belongs to a dependence group"
+                )));
+            }
+        }
+        let mut sorted: Vec<ResourceId> = members.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() < 2 {
+            return Err(PstmError::internal("dependence group members must be distinct"));
+        }
+        let id = self.members.len();
+        for m in &sorted {
+            self.group_of.insert(*m, id);
+        }
+        self.members.push(sorted);
+        Ok(id)
+    }
+
+    /// Every member logically dependent on `resource`, including
+    /// `resource` itself. Returns a one-element slice-equivalent for
+    /// independent members.
+    pub fn related(&self, resource: ResourceId) -> impl Iterator<Item = ResourceId> + '_ {
+        match self.group_of.get(&resource) {
+            Some(&g) => RelatedIter::Group(self.members[g].iter().copied()),
+            None => RelatedIter::Single(std::iter::once(resource)),
+        }
+    }
+
+    /// Whether two resources are logically dependent (same member counts).
+    #[must_use]
+    pub fn dependent(&self, a: ResourceId, b: ResourceId) -> bool {
+        if a == b {
+            return true;
+        }
+        match (self.group_of.get(&a), self.group_of.get(&b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Number of declared groups.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.members.len()
+    }
+}
+
+enum RelatedIter<I: Iterator<Item = ResourceId>> {
+    Single(std::iter::Once<ResourceId>),
+    Group(I),
+}
+
+impl<I: Iterator<Item = ResourceId>> Iterator for RelatedIter<I> {
+    type Item = ResourceId;
+    fn next(&mut self) -> Option<ResourceId> {
+        match self {
+            RelatedIter::Single(i) => i.next(),
+            RelatedIter::Group(i) => i.next(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstm_types::{MemberId, ObjectId};
+
+    fn r(o: u32, m: u16) -> ResourceId {
+        ResourceId::new(ObjectId(o), MemberId(m))
+    }
+
+    #[test]
+    fn independent_by_default() {
+        let d = DependenceMap::new();
+        assert!(!d.dependent(r(0, 0), r(0, 1)));
+        assert!(d.dependent(r(0, 0), r(0, 0)));
+        assert_eq!(d.related(r(0, 0)).collect::<Vec<_>>(), vec![r(0, 0)]);
+        assert_eq!(d.group_count(), 0);
+    }
+
+    #[test]
+    fn declared_groups_relate_members() {
+        let mut d = DependenceMap::new();
+        let g = d.declare_dependent(&[r(0, 0), r(0, 1)]).unwrap();
+        assert_eq!(g, 0);
+        assert!(d.dependent(r(0, 0), r(0, 1)));
+        assert!(!d.dependent(r(0, 0), r(1, 0)));
+        let rel: Vec<_> = d.related(r(0, 1)).collect();
+        assert_eq!(rel, vec![r(0, 0), r(0, 1)]);
+    }
+
+    #[test]
+    fn separate_groups_do_not_relate() {
+        let mut d = DependenceMap::new();
+        d.declare_dependent(&[r(0, 0), r(0, 1)]).unwrap();
+        d.declare_dependent(&[r(1, 0), r(1, 1)]).unwrap();
+        assert!(!d.dependent(r(0, 0), r(1, 0)));
+        assert_eq!(d.group_count(), 2);
+    }
+
+    #[test]
+    fn overlapping_and_degenerate_groups_rejected() {
+        let mut d = DependenceMap::new();
+        d.declare_dependent(&[r(0, 0), r(0, 1)]).unwrap();
+        assert!(d.declare_dependent(&[r(0, 1), r(0, 2)]).is_err(), "overlap");
+        assert!(d.declare_dependent(&[r(5, 0)]).is_err(), "singleton");
+        assert!(d.declare_dependent(&[r(6, 0), r(6, 0)]).is_err(), "duplicate member");
+    }
+}

@@ -1,0 +1,203 @@
+//! History recording and serializability checking.
+//!
+//! §V of the paper argues the GTM's schedules are serializable because
+//! compatible operations work on virtual data, the SST is a classical
+//! short transaction, and compatible operations' reconciled results are
+//! order-independent. This module makes the claim *testable*: the GTM
+//! records every committed transaction's logical operations and the
+//! commit order; [`HistoryRecorder::verify_final_state`] replays the
+//! committed transactions **serially, in commit order**, from the initial
+//! values and demands the database's final state match — final-state
+//! equivalence to a serial schedule.
+
+use pstm_types::{PstmResult, ResourceId, ScalarOp, TxnId, Value};
+use std::collections::BTreeMap;
+
+/// One committed transaction's logical footprint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommittedTxn {
+    /// The transaction.
+    pub txn: TxnId,
+    /// Its operations, in issue order.
+    pub ops: Vec<(ResourceId, ScalarOp)>,
+}
+
+/// Records initial values, committed transactions and commit order.
+#[derive(Clone, Debug, Default)]
+pub struct HistoryRecorder {
+    initial: BTreeMap<ResourceId, Value>,
+    committed: Vec<CommittedTxn>,
+}
+
+impl HistoryRecorder {
+    /// An empty history.
+    #[must_use]
+    pub fn new() -> Self {
+        HistoryRecorder::default()
+    }
+
+    /// Captures the value of `resource` the first time any transaction is
+    /// granted it. Because a grant necessarily precedes any commit on the
+    /// resource, the first observation is the true initial value.
+    pub fn observe_initial(&mut self, resource: ResourceId, value: &Value) {
+        self.initial.entry(resource).or_insert_with(|| value.clone());
+    }
+
+    /// Appends a committed transaction (called at SST success, in commit
+    /// order).
+    pub fn record_commit(&mut self, txn: TxnId, ops: Vec<(ResourceId, ScalarOp)>) {
+        self.committed.push(CommittedTxn { txn, ops });
+    }
+
+    /// Number of committed transactions.
+    #[must_use]
+    pub fn committed_count(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// The commit order.
+    #[must_use]
+    pub fn commit_order(&self) -> Vec<TxnId> {
+        self.committed.iter().map(|c| c.txn).collect()
+    }
+
+    /// Every resource any committed transaction (or initial observation)
+    /// touched.
+    #[must_use]
+    pub fn touched_resources(&self) -> Vec<ResourceId> {
+        self.initial.keys().copied().collect()
+    }
+
+    /// Replays the committed transactions serially in commit order from
+    /// the initial values.
+    pub fn replay_serial(&self) -> PstmResult<BTreeMap<ResourceId, Value>> {
+        let mut state = self.initial.clone();
+        for c in &self.committed {
+            for (resource, op) in &c.ops {
+                let cur = state.get(resource).cloned().ok_or_else(|| {
+                    pstm_types::PstmError::internal(format!(
+                        "replay touches {resource} with no initial value"
+                    ))
+                })?;
+                let new = op.apply(&cur)?;
+                if op.is_mutation() {
+                    state.insert(*resource, new);
+                }
+            }
+        }
+        Ok(state)
+    }
+
+    /// Final-state serializability check: the serial replay must equal
+    /// the observed final values for every touched resource. Float
+    /// comparisons use a relative epsilon (reconciliation reassociates
+    /// float arithmetic).
+    pub fn verify_final_state(
+        &self,
+        finals: &BTreeMap<ResourceId, Value>,
+    ) -> Result<(), String> {
+        let replayed = self.replay_serial().map_err(|e| e.to_string())?;
+        for (resource, expected) in &replayed {
+            let Some(actual) = finals.get(resource) else {
+                return Err(format!("no final value observed for {resource}"));
+            };
+            let equal = match (expected, actual) {
+                (Value::Float(a), Value::Float(b)) => {
+                    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+                }
+                (a, b) if a.is_numeric() && b.is_numeric() => {
+                    let (a, b) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
+                }
+                (a, b) => a == b,
+            };
+            if !equal {
+                return Err(format!(
+                    "{resource}: serial replay gives {expected}, database holds {actual} \
+                     (commit order {:?})",
+                    self.commit_order()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstm_types::{ObjectId, ResourceId};
+
+    fn r(i: u32) -> ResourceId {
+        ResourceId::atomic(ObjectId(i))
+    }
+
+    fn t(i: u64) -> TxnId {
+        TxnId(i)
+    }
+
+    #[test]
+    fn replay_applies_ops_in_commit_order() {
+        let mut h = HistoryRecorder::new();
+        h.observe_initial(r(1), &Value::Int(100));
+        h.record_commit(t(1), vec![(r(1), ScalarOp::Add(Value::Int(1))), (r(1), ScalarOp::Add(Value::Int(3)))]);
+        h.record_commit(t(2), vec![(r(1), ScalarOp::Add(Value::Int(2)))]);
+        let state = h.replay_serial().unwrap();
+        assert_eq!(state[&r(1)], Value::Int(106));
+        assert_eq!(h.commit_order(), vec![t(1), t(2)]);
+        assert_eq!(h.committed_count(), 2);
+    }
+
+    #[test]
+    fn first_observation_wins() {
+        let mut h = HistoryRecorder::new();
+        h.observe_initial(r(1), &Value::Int(100));
+        h.observe_initial(r(1), &Value::Int(999)); // later grant; ignored
+        assert_eq!(h.replay_serial().unwrap()[&r(1)], Value::Int(100));
+    }
+
+    #[test]
+    fn verify_accepts_matching_finals() {
+        let mut h = HistoryRecorder::new();
+        h.observe_initial(r(1), &Value::Int(10));
+        h.record_commit(t(1), vec![(r(1), ScalarOp::Sub(Value::Int(4)))]);
+        let finals = BTreeMap::from([(r(1), Value::Int(6))]);
+        h.verify_final_state(&finals).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_divergent_finals() {
+        let mut h = HistoryRecorder::new();
+        h.observe_initial(r(1), &Value::Int(10));
+        h.record_commit(t(1), vec![(r(1), ScalarOp::Sub(Value::Int(4)))]);
+        let finals = BTreeMap::from([(r(1), Value::Int(7))]);
+        let err = h.verify_final_state(&finals).unwrap_err();
+        assert!(err.contains("serial replay gives 6"));
+    }
+
+    #[test]
+    fn verify_rejects_missing_finals() {
+        let mut h = HistoryRecorder::new();
+        h.observe_initial(r(1), &Value::Int(10));
+        assert!(h.verify_final_state(&BTreeMap::new()).is_err());
+    }
+
+    #[test]
+    fn float_tolerance_absorbs_reassociation() {
+        let mut h = HistoryRecorder::new();
+        h.observe_initial(r(1), &Value::Float(100.0));
+        h.record_commit(t(1), vec![(r(1), ScalarOp::Mul(Value::Float(1.1)))]);
+        // 100 * 1.1 with a wobble in the last ulp.
+        let finals = BTreeMap::from([(r(1), Value::Float(100.0f64 * 1.1))]);
+        h.verify_final_state(&finals).unwrap();
+    }
+
+    #[test]
+    fn reads_do_not_mutate_replay_state() {
+        let mut h = HistoryRecorder::new();
+        h.observe_initial(r(1), &Value::Int(5));
+        h.record_commit(t(1), vec![(r(1), ScalarOp::Read)]);
+        let finals = BTreeMap::from([(r(1), Value::Int(5))]);
+        h.verify_final_state(&finals).unwrap();
+    }
+}

@@ -1,0 +1,134 @@
+//! The §VII extensions, implemented as pluggable policies.
+//!
+//! The paper's conclusions identify two open problems and sketch their
+//! fixes; both are implemented here and benchmarked by the ablation
+//! harness:
+//!
+//! 1. **Starvation** of incompatible transactions behind an endless stream
+//!    of mutually-compatible holders → [`StarvationPolicy`]: deny further
+//!    compatible grants on a resource once its wait queue holds at least
+//!    `threshold` incompatible waiters (the paper's "lock-deny").
+//! 2. **High reconciliation-abort rate** from integrity constraints →
+//!    [`AdmissionPolicy`]: bound the number of concurrent compatible
+//!    mutators "in function of the current value X of the resource" — with
+//!    a per-transaction worst-case decrement `unit`, at most
+//!    `floor(X / unit)` subtractors may hold the resource at once, which
+//!    makes `X ≥ 0` violations at SST time impossible for conforming
+//!    transactions.
+
+use pstm_types::{OpClass, Value};
+
+/// Lock-deny starvation control.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StarvationPolicy {
+    /// Deny new compatible grants once this many incompatible waiters are
+    /// queued (and awake) on the resource.
+    pub deny_threshold: usize,
+}
+
+impl StarvationPolicy {
+    /// Should a new, otherwise-grantable invocation be denied (queued)
+    /// because `incompatible_waiters` are already waiting?
+    #[must_use]
+    pub fn deny(&self, incompatible_waiters: usize) -> bool {
+        incompatible_waiters >= self.deny_threshold
+    }
+}
+
+/// Value-aware admission control for reconcilable mutators.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Worst-case magnitude a single admitted transaction may subtract
+    /// (the paper's booking scenario: 1 ticket per transaction).
+    pub unit: i64,
+    /// Hard cap regardless of the value (protects huge counters from
+    /// unbounded holder sets). `usize::MAX` disables the cap.
+    pub max_holders: usize,
+}
+
+impl AdmissionPolicy {
+    /// Policy for unit-decrement bookings.
+    #[must_use]
+    pub fn per_unit() -> Self {
+        AdmissionPolicy { unit: 1, max_holders: usize::MAX }
+    }
+
+    /// How many concurrent additive mutators the current value admits.
+    /// Non-numeric or negative values admit none.
+    #[must_use]
+    pub fn allowed_holders(&self, current: &Value) -> usize {
+        let v = match current {
+            Value::Int(i) => *i,
+            Value::Float(f) => f.floor() as i64,
+            _ => 0,
+        };
+        if v <= 0 || self.unit <= 0 {
+            return 0;
+        }
+        usize::try_from(v / self.unit).unwrap_or(usize::MAX).min(self.max_holders)
+    }
+
+    /// Should an invocation of `class` be denied given `current_holders`
+    /// already admitted and the resource's current value? Only additive
+    /// updates are value-bounded — they are the class that consumes
+    /// constrained resources; reads and (solo, exclusive) assignments are
+    /// bounded by compatibility alone.
+    #[must_use]
+    pub fn deny(&self, class: OpClass, current_holders: usize, current: &Value) -> bool {
+        class == OpClass::UpdateAddSub && current_holders >= self.allowed_holders(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starvation_threshold() {
+        let p = StarvationPolicy { deny_threshold: 3 };
+        assert!(!p.deny(0));
+        assert!(!p.deny(2));
+        assert!(p.deny(3));
+        assert!(p.deny(10));
+    }
+
+    #[test]
+    fn admission_scales_with_value() {
+        let p = AdmissionPolicy::per_unit();
+        assert_eq!(p.allowed_holders(&Value::Int(5)), 5);
+        assert_eq!(p.allowed_holders(&Value::Int(0)), 0);
+        assert_eq!(p.allowed_holders(&Value::Int(-2)), 0);
+        assert_eq!(p.allowed_holders(&Value::Float(3.9)), 3);
+        assert_eq!(p.allowed_holders(&Value::Text("x".into())), 0);
+    }
+
+    #[test]
+    fn admission_unit_divides() {
+        let p = AdmissionPolicy { unit: 10, max_holders: usize::MAX };
+        assert_eq!(p.allowed_holders(&Value::Int(35)), 3);
+        assert_eq!(p.allowed_holders(&Value::Int(9)), 0);
+    }
+
+    #[test]
+    fn admission_cap_applies() {
+        let p = AdmissionPolicy { unit: 1, max_holders: 4 };
+        assert_eq!(p.allowed_holders(&Value::Int(1_000_000)), 4);
+    }
+
+    #[test]
+    fn only_additive_class_is_value_bounded() {
+        let p = AdmissionPolicy::per_unit();
+        let v = Value::Int(2);
+        assert!(p.deny(OpClass::UpdateAddSub, 2, &v));
+        assert!(!p.deny(OpClass::UpdateAddSub, 1, &v));
+        assert!(!p.deny(OpClass::Read, 99, &v));
+        assert!(!p.deny(OpClass::UpdateAssign, 99, &v));
+        assert!(!p.deny(OpClass::UpdateMulDiv, 99, &v));
+    }
+
+    #[test]
+    fn degenerate_units_admit_none() {
+        let p = AdmissionPolicy { unit: 0, max_holders: usize::MAX };
+        assert_eq!(p.allowed_holders(&Value::Int(100)), 0);
+    }
+}

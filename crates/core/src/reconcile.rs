@@ -1,0 +1,216 @@
+//! Reconciliation algorithms — Definition 1's condition 3 and the paper's
+//! equations (1) and (2).
+//!
+//! When compatible transactions share a data member, each mutates only its
+//! virtual copy `A_temp` (seeded from the snapshot `X_read`). At local
+//! commit the middleware must fold the transaction's *delta* into the
+//! *current* permanent value, which concurrent compatible committers may
+//! have moved since the snapshot:
+//!
+//! * additive class (eq. 1): `X_new = A_temp + X_permanent − X_read`
+//! * multiplicative class (eq. 2): `X_new = (A_temp / X_read) · X_permanent`
+//! * assignment: no concurrent mutator can exist (Table I), so
+//!   `X_new = A_temp` verbatim;
+//! * read: nothing to write.
+
+use pstm_types::{OpClass, PstmError, PstmResult, Value};
+
+/// Computes `X_new` for a transaction of class `class` with virtual copy
+/// `temp`, snapshot `read`, against the current `permanent` value.
+///
+/// # Example — the paper's Table II
+///
+/// ```
+/// use pstm_core::reconcile::reconcile;
+/// use pstm_types::{OpClass, Value};
+///
+/// // A accumulated +4 on a snapshot of 100; B already committed 104.
+/// let x_new = reconcile(
+///     OpClass::UpdateAddSub,
+///     &Value::Int(102),   // B_temp
+///     &Value::Int(100),   // X_read^B
+///     &Value::Int(104),   // X_permanent after A's commit
+/// ).unwrap();
+/// assert_eq!(x_new, Some(Value::Int(106)));
+/// ```
+///
+/// Returns `Ok(None)` for `Read` (nothing to write back). `Insert` and
+/// `Delete` have no scalar reconciliation and are rejected here — the GTM
+/// handles them structurally.
+pub fn reconcile(
+    class: OpClass,
+    temp: &Value,
+    read: &Value,
+    permanent: &Value,
+) -> PstmResult<Option<Value>> {
+    match class {
+        OpClass::Read => Ok(None),
+        OpClass::UpdateAssign => Ok(Some(temp.clone())),
+        OpClass::UpdateAddSub => {
+            // eq. (1): temp + permanent - read
+            let v = temp.checked_add(permanent)?.checked_sub(read)?;
+            Ok(Some(v))
+        }
+        OpClass::UpdateMulDiv => {
+            // eq. (2): temp / read * permanent. Guard the zero snapshot:
+            // a mul/div transaction whose snapshot was 0 cannot express
+            // its factor (0·c = 0) — the paper implicitly assumes a
+            // nonzero base; we surface it as an arithmetic error.
+            let ratio = temp.checked_div(read)?;
+            let v = ratio.checked_mul(permanent)?;
+            Ok(Some(v))
+        }
+        OpClass::Insert | OpClass::Delete => Err(PstmError::internal(format!(
+            "no scalar reconciliation for {class}"
+        ))),
+    }
+}
+
+/// True when the reconciled result of two concurrent same-class
+/// transactions is independent of their commit order — the property that
+/// makes the GTM's schedules serializable. Exposed for property tests.
+pub fn commutes(class: OpClass) -> bool {
+    matches!(class, OpClass::UpdateAddSub | OpClass::UpdateMulDiv | OpClass::Read)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table_two_trace() {
+        // Paper Table II: X starts at 100. A does +1 then +3 (temp 104);
+        // B does +2 (temp 102). A commits first: X_new^A = 104 + 100 - 100
+        // = 104. Then B: X_new^B = 102 + 104 - 100 = 106.
+        let x0 = Value::Int(100);
+        let a_temp = Value::Int(104);
+        let b_temp = Value::Int(102);
+
+        let a_new = reconcile(OpClass::UpdateAddSub, &a_temp, &x0, &x0).unwrap().unwrap();
+        assert_eq!(a_new, Value::Int(104));
+        let b_new = reconcile(OpClass::UpdateAddSub, &b_temp, &x0, &a_new).unwrap().unwrap();
+        assert_eq!(b_new, Value::Int(106));
+    }
+
+    #[test]
+    fn additive_order_independence() {
+        // Reversing the commit order gives the same final value.
+        let x0 = Value::Int(100);
+        let a_temp = Value::Int(104);
+        let b_temp = Value::Int(102);
+        let b_new = reconcile(OpClass::UpdateAddSub, &b_temp, &x0, &x0).unwrap().unwrap();
+        let a_new = reconcile(OpClass::UpdateAddSub, &a_temp, &x0, &b_new).unwrap().unwrap();
+        assert_eq!(a_new, Value::Int(106));
+    }
+
+    #[test]
+    fn multiplicative_reconciliation() {
+        // A multiplies by 3 (temp 300 from snapshot 100); meanwhile the
+        // permanent value moved to 200 (a compatible ×2 committed).
+        // eq. 2: 300/100 · 200 = 600.
+        let new = reconcile(
+            OpClass::UpdateMulDiv,
+            &Value::Int(300),
+            &Value::Int(100),
+            &Value::Int(200),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(new, Value::Int(600));
+    }
+
+    #[test]
+    fn assignment_writes_temp_verbatim() {
+        let new = reconcile(
+            OpClass::UpdateAssign,
+            &Value::Int(42),
+            &Value::Int(100),
+            &Value::Int(100),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(new, Value::Int(42));
+    }
+
+    #[test]
+    fn read_reconciles_to_nothing() {
+        assert_eq!(
+            reconcile(OpClass::Read, &Value::Int(1), &Value::Int(1), &Value::Int(9)).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn insert_delete_rejected() {
+        for c in [OpClass::Insert, OpClass::Delete] {
+            assert!(reconcile(c, &Value::Int(1), &Value::Int(1), &Value::Int(1)).is_err());
+        }
+    }
+
+    #[test]
+    fn zero_snapshot_muldiv_is_an_error() {
+        assert!(reconcile(
+            OpClass::UpdateMulDiv,
+            &Value::Int(0),
+            &Value::Int(0),
+            &Value::Int(5)
+        )
+        .is_err());
+    }
+
+    proptest! {
+        /// eq. (1): for any pair of additive transactions, reconciled
+        /// commit order does not matter and equals the serial result.
+        #[test]
+        fn prop_additive_equals_serial(
+            x0 in -1_000i64..1_000,
+            da in -100i64..100,
+            db in -100i64..100,
+        ) {
+            let x0v = Value::Int(x0);
+            let a_temp = Value::Int(x0 + da);
+            let b_temp = Value::Int(x0 + db);
+            // A then B.
+            let a_new = reconcile(OpClass::UpdateAddSub, &a_temp, &x0v, &x0v).unwrap().unwrap();
+            let ab = reconcile(OpClass::UpdateAddSub, &b_temp, &x0v, &a_new).unwrap().unwrap();
+            // B then A.
+            let b_new = reconcile(OpClass::UpdateAddSub, &b_temp, &x0v, &x0v).unwrap().unwrap();
+            let ba = reconcile(OpClass::UpdateAddSub, &a_temp, &x0v, &b_new).unwrap().unwrap();
+            prop_assert_eq!(ab.clone(), ba);
+            prop_assert_eq!(ab, Value::Int(x0 + da + db));
+        }
+
+        /// eq. (2): multiplicative transactions likewise commute
+        /// (checked in floats to avoid integer-exactness artifacts).
+        #[test]
+        fn prop_multiplicative_commutes(
+            x0 in prop::sample::select(vec![1.0f64, 2.0, 10.0, 100.0, -3.0]),
+            fa in prop::sample::select(vec![0.5f64, 2.0, 3.0, 0.25, 1.5]),
+            fb in prop::sample::select(vec![0.5f64, 2.0, 4.0, 0.75, 1.25]),
+        ) {
+            let x0v = Value::Float(x0);
+            let a_temp = Value::Float(x0 * fa);
+            let b_temp = Value::Float(x0 * fb);
+            let a_new = reconcile(OpClass::UpdateMulDiv, &a_temp, &x0v, &x0v).unwrap().unwrap();
+            let ab = reconcile(OpClass::UpdateMulDiv, &b_temp, &x0v, &a_new).unwrap().unwrap();
+            let b_new = reconcile(OpClass::UpdateMulDiv, &b_temp, &x0v, &x0v).unwrap().unwrap();
+            let ba = reconcile(OpClass::UpdateMulDiv, &a_temp, &x0v, &b_new).unwrap().unwrap();
+            let (ab, ba) = (ab.as_f64().unwrap(), ba.as_f64().unwrap());
+            prop_assert!((ab - ba).abs() <= 1e-9 * ab.abs().max(1.0));
+            let serial = x0 * fa * fb;
+            prop_assert!((ab - serial).abs() <= 1e-9 * serial.abs().max(1.0));
+        }
+
+        /// Every class Table I marks self-compatible commutes under
+        /// reconciliation.
+        #[test]
+        fn prop_self_compatible_classes_commute(class in prop::sample::select(
+            pstm_types::OpClass::ALL.to_vec()
+        )) {
+            if class.compatible_with(class) {
+                prop_assert!(commutes(class));
+            }
+        }
+    }
+}

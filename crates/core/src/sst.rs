@@ -1,0 +1,145 @@
+//! Secure System Transactions.
+//!
+//! At global commit the GTM owns, for every resource the transaction
+//! mutated, a reconciled value `X_new`. The SST is the short classical
+//! transaction that writes those values to the LDBS; the paper delegates
+//! consistency and durability to it. If the LDBS rejects the SST (a CHECK
+//! constraint such as `FreeTickets ≥ 0` fails after reconciliation — the
+//! §VII "high rate of aborts" problem), the whole global commit fails and
+//! the GTM aborts the transaction.
+
+use pstm_storage::{BindingRegistry, Database, WriteOp, WriteSet};
+use pstm_types::{PstmResult, ResourceId, TxnId, Value};
+
+/// A prepared Secure System Transaction.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sst {
+    /// The middleware transaction this SST commits.
+    pub origin: TxnId,
+    /// The reconciled values to flush, in resource order.
+    pub writes: Vec<(ResourceId, Value)>,
+}
+
+/// Offset added to the origin transaction id to form the engine-level SST
+/// transaction id (keeps middleware and SST ids disjoint in the WAL).
+/// [`crate::gtm::Gtm::begin`] rejects middleware ids at or above this
+/// base, so the addition below cannot overflow or collide.
+pub(crate) const SST_ID_BASE: u64 = 1 << 48;
+
+impl Sst {
+    /// Builds an SST from reconciled `(resource, X_new)` pairs. Pairs are
+    /// sorted by resource for deterministic WAL content.
+    #[must_use]
+    pub fn new(origin: TxnId, mut writes: Vec<(ResourceId, Value)>) -> Self {
+        writes.sort_by_key(|(r, _)| *r);
+        Sst { origin, writes }
+    }
+
+    /// The engine transaction id this SST runs under.
+    #[must_use]
+    pub fn engine_txn(&self) -> TxnId {
+        TxnId(SST_ID_BASE + self.origin.0)
+    }
+
+    /// Whether there is anything to write (read-only transactions produce
+    /// empty SSTs that are skipped).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Executes the SST against the LDBS as one atomic write set. CHECK
+    /// constraints are enforced inside; on violation nothing is applied
+    /// and the error is returned for the GTM to convert into a global
+    /// abort.
+    pub fn execute(&self, db: &Database, bindings: &BindingRegistry) -> PstmResult<()> {
+        if self.is_empty() {
+            return Ok(());
+        }
+        let mut ws = WriteSet::new();
+        for (resource, value) in &self.writes {
+            let b = bindings.resolve(*resource)?;
+            ws = ws.with(WriteOp::Update {
+                table: b.table,
+                row_id: b.row,
+                column: b.column,
+                value: value.clone(),
+            });
+        }
+        db.apply_write_set(self.engine_txn(), &ws)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstm_storage::{ColumnDef, Constraint, Row, TableSchema};
+    use pstm_types::{MemberId, PstmError, ValueKind};
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Database>, BindingRegistry, Vec<ResourceId>) {
+        let db = Arc::new(Database::new());
+        let schema = TableSchema::new(
+            "Car",
+            vec![ColumnDef::new("id", ValueKind::Int), ColumnDef::new("free", ValueKind::Int)],
+        )
+        .unwrap();
+        let table = db.create_table(schema, vec![Constraint::non_negative("free>=0", 1)]).unwrap();
+        let boot = TxnId(999);
+        db.begin(boot).unwrap();
+        let mut bindings = BindingRegistry::new();
+        let mut rs = Vec::new();
+        for i in 0..2 {
+            let row = db.insert(boot, table, Row::new(vec![Value::Int(i), Value::Int(10)])).unwrap();
+            let o = bindings.bind_object(table, row, &[(MemberId::ATOMIC, 1)]).unwrap();
+            rs.push(ResourceId::atomic(o));
+        }
+        db.commit(boot).unwrap();
+        (db, bindings, rs)
+    }
+
+    #[test]
+    fn sst_flushes_reconciled_values() {
+        let (db, bindings, rs) = setup();
+        let sst = Sst::new(TxnId(1), vec![(rs[0], Value::Int(9)), (rs[1], Value::Int(8))]);
+        sst.execute(&db, &bindings).unwrap();
+        let b0 = bindings.resolve(rs[0]).unwrap();
+        let b1 = bindings.resolve(rs[1]).unwrap();
+        assert_eq!(db.get_col(b0.table, b0.row, b0.column).unwrap(), Value::Int(9));
+        assert_eq!(db.get_col(b1.table, b1.row, b1.column).unwrap(), Value::Int(8));
+    }
+
+    #[test]
+    fn constraint_violation_applies_nothing() {
+        let (db, bindings, rs) = setup();
+        let sst = Sst::new(TxnId(1), vec![(rs[0], Value::Int(5)), (rs[1], Value::Int(-1))]);
+        let err = sst.execute(&db, &bindings).unwrap_err();
+        assert!(matches!(err, PstmError::ConstraintViolation { .. }));
+        let b0 = bindings.resolve(rs[0]).unwrap();
+        assert_eq!(db.get_col(b0.table, b0.row, b0.column).unwrap(), Value::Int(10), "atomic");
+    }
+
+    #[test]
+    fn empty_sst_is_a_noop() {
+        let (db, bindings, _) = setup();
+        let sst = Sst::new(TxnId(7), vec![]);
+        assert!(sst.is_empty());
+        sst.execute(&db, &bindings).unwrap();
+        assert_eq!(db.stats().commits, 1, "only the bootstrap commit");
+    }
+
+    #[test]
+    fn engine_ids_are_disjoint_from_middleware_ids() {
+        let sst = Sst::new(TxnId(42), vec![]);
+        assert_ne!(sst.engine_txn(), TxnId(42));
+        assert!(sst.engine_txn().0 > (1 << 48));
+    }
+
+    #[test]
+    fn writes_are_sorted_for_determinism() {
+        let (_, _, rs) = setup();
+        let sst = Sst::new(TxnId(1), vec![(rs[1], Value::Int(1)), (rs[0], Value::Int(2))]);
+        assert!(sst.writes[0].0 < sst.writes[1].0);
+    }
+}

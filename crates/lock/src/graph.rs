@@ -1,0 +1,293 @@
+//! The waits-for graph.
+//!
+//! Nodes are transactions; an edge `A → B` means "A waits for a lock B
+//! holds". A cycle is a deadlock. The graph is shared machinery: the
+//! [`crate::manager::LockManager`] rebuilds it from its queues, and the
+//! GTM maintains one incrementally for its own waiting sets.
+
+use pstm_types::TxnId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A directed waits-for graph over transactions.
+///
+/// Backed by `BTreeMap`/`BTreeSet` so iteration order — and therefore
+/// victim selection — is deterministic across runs.
+#[derive(Clone, Debug, Default)]
+pub struct WaitsForGraph {
+    edges: BTreeMap<TxnId, BTreeSet<TxnId>>,
+}
+
+impl WaitsForGraph {
+    /// An empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        WaitsForGraph::default()
+    }
+
+    /// Adds the edge `waiter → holder`. Self-edges are ignored (a
+    /// transaction never waits for itself — upgrades are handled by the
+    /// lock queues, not the graph).
+    pub fn add_edge(&mut self, waiter: TxnId, holder: TxnId) {
+        if waiter != holder {
+            self.edges.entry(waiter).or_default().insert(holder);
+        }
+    }
+
+    /// Removes a specific edge.
+    pub fn remove_edge(&mut self, waiter: TxnId, holder: TxnId) {
+        if let Some(out) = self.edges.get_mut(&waiter) {
+            out.remove(&holder);
+            if out.is_empty() {
+                self.edges.remove(&waiter);
+            }
+        }
+    }
+
+    /// Removes a transaction and every edge touching it.
+    pub fn remove_txn(&mut self, txn: TxnId) {
+        self.edges.remove(&txn);
+        self.edges.retain(|_, out| {
+            out.remove(&txn);
+            !out.is_empty()
+        });
+    }
+
+    /// Discards all edges.
+    pub fn clear(&mut self) {
+        self.edges.clear();
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(BTreeSet::len).sum()
+    }
+
+    /// Whether `waiter → holder` exists.
+    #[must_use]
+    pub fn has_edge(&self, waiter: TxnId, holder: TxnId) -> bool {
+        self.edges.get(&waiter).is_some_and(|out| out.contains(&holder))
+    }
+
+    /// Finds one cycle, if any, returned in waits-for order (each element
+    /// waits for the next; the last waits for the first). Deterministic:
+    /// the search explores nodes in `TxnId` order.
+    #[must_use]
+    pub fn find_cycle(&self) -> Option<Vec<TxnId>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: BTreeMap<TxnId, Color> = self.edges.keys().map(|t| (*t, Color::White)).collect();
+        for out in self.edges.values() {
+            for t in out {
+                color.entry(*t).or_insert(Color::White);
+            }
+        }
+
+        // Iterative DFS carrying the path. Each frame owns its successor
+        // snapshot, collected once on first visit (not per step).
+        let nodes: Vec<TxnId> = color.keys().copied().collect();
+        for start in nodes {
+            if color[&start] != Color::White {
+                continue;
+            }
+            let succ_of = |node: TxnId| -> Vec<TxnId> {
+                self.edges.get(&node).map(|s| s.iter().copied().collect()).unwrap_or_default()
+            };
+            let mut stack: Vec<(TxnId, Vec<TxnId>, usize)> = vec![(start, succ_of(start), 0)];
+            color.insert(start, Color::Gray);
+            let mut path: Vec<TxnId> = vec![start];
+            while let Some((node, succ, idx)) = stack.pop() {
+                if idx < succ.len() {
+                    let next = succ[idx];
+                    stack.push((node, succ, idx + 1));
+                    match color[&next] {
+                        Color::Gray => {
+                            // Found a back-edge: the cycle is the path
+                            // suffix starting at `next`.
+                            let pos = path.iter().position(|t| *t == next).expect("gray on path");
+                            return Some(path[pos..].to_vec());
+                        }
+                        Color::White => {
+                            color.insert(next, Color::Gray);
+                            path.push(next);
+                            stack.push((next, succ_of(next), 0));
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color.insert(node, Color::Black);
+                    path.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Finds a cycle reachable from `start` (a cycle created by a new
+    /// wait must pass through the new waiter, so searching from it is
+    /// sufficient — and far cheaper than a full-graph scan).
+    #[must_use]
+    pub fn find_cycle_from(&self, start: TxnId) -> Option<Vec<TxnId>> {
+        let sub = self.reachable_subgraph(start);
+        sub.find_cycle()
+    }
+
+    fn reachable_subgraph(&self, start: TxnId) -> WaitsForGraph {
+        let mut sub = WaitsForGraph::new();
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![start];
+        while let Some(node) = stack.pop() {
+            if !seen.insert(node) {
+                continue;
+            }
+            if let Some(out) = self.edges.get(&node) {
+                for next in out {
+                    sub.add_edge(node, *next);
+                    stack.push(*next);
+                }
+            }
+        }
+        sub
+    }
+
+    /// Detects a deadlock and picks the *youngest* member of the cycle
+    /// (highest [`TxnId`] — ids are allocated in arrival order) as victim.
+    #[must_use]
+    pub fn pick_victim(&self) -> Option<(TxnId, Vec<TxnId>)> {
+        let cycle = self.find_cycle()?;
+        let victim = *cycle.iter().max().expect("cycles are non-empty");
+        Some((victim, cycle))
+    }
+
+    /// [`WaitsForGraph::pick_victim`] restricted to cycles reachable from
+    /// `start` — the fast path after a single new wait.
+    #[must_use]
+    pub fn pick_victim_from(&self, start: TxnId) -> Option<(TxnId, Vec<TxnId>)> {
+        let cycle = self.find_cycle_from(start)?;
+        let victim = *cycle.iter().max().expect("cycles are non-empty");
+        Some((victim, cycle))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(i: u64) -> TxnId {
+        TxnId(i)
+    }
+
+    #[test]
+    fn no_cycle_in_dag() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(3));
+        g.add_edge(t(1), t(3));
+        assert!(g.find_cycle().is_none());
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(1));
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.len(), 2);
+        let (victim, _) = g.pick_victim().unwrap();
+        assert_eq!(victim, t(2), "youngest is the victim");
+    }
+
+    #[test]
+    fn long_cycle_detected_in_order() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(3));
+        g.add_edge(t(3), t(4));
+        g.add_edge(t(4), t(1));
+        let cycle = g.find_cycle().unwrap();
+        assert_eq!(cycle.len(), 4);
+        // Each member waits for the next (cyclically).
+        for i in 0..cycle.len() {
+            assert!(g.has_edge(cycle[i], cycle[(i + 1) % cycle.len()]));
+        }
+    }
+
+    #[test]
+    fn self_edges_ignored() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(t(1), t(1));
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.find_cycle().is_none());
+    }
+
+    #[test]
+    fn remove_txn_breaks_cycle() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(3));
+        g.add_edge(t(3), t(1));
+        assert!(g.find_cycle().is_some());
+        g.remove_txn(t(2));
+        assert!(g.find_cycle().is_none());
+        assert_eq!(g.edge_count(), 1); // only 3 → 1 remains
+    }
+
+    #[test]
+    fn remove_edge_and_clear() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(t(1), t(2));
+        g.add_edge(t(2), t(1));
+        g.remove_edge(t(2), t(1));
+        assert!(g.find_cycle().is_none());
+        g.add_edge(t(2), t(1));
+        g.clear();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn disjoint_components_searched() {
+        let mut g = WaitsForGraph::new();
+        g.add_edge(t(1), t(2)); // acyclic component
+        g.add_edge(t(10), t(11));
+        g.add_edge(t(11), t(10)); // cyclic component
+        let cycle = g.find_cycle().unwrap();
+        assert!(cycle.contains(&t(10)) && cycle.contains(&t(11)));
+    }
+
+    proptest! {
+        /// A graph built as a strict "smaller waits for larger" order can
+        /// never contain a cycle.
+        #[test]
+        fn prop_ordered_edges_acyclic(edges in prop::collection::vec((0u64..50, 0u64..50), 0..200)) {
+            let mut g = WaitsForGraph::new();
+            for (a, b) in edges {
+                let (lo, hi) = (a.min(b), a.max(b));
+                if lo != hi {
+                    g.add_edge(t(lo), t(hi));
+                }
+            }
+            prop_assert!(g.find_cycle().is_none());
+        }
+
+        /// Any reported cycle really is one: every hop is an edge.
+        #[test]
+        fn prop_reported_cycles_are_real(edges in prop::collection::vec((0u64..12, 0u64..12), 0..60)) {
+            let mut g = WaitsForGraph::new();
+            for (a, b) in edges {
+                g.add_edge(t(a), t(b));
+            }
+            if let Some(cycle) = g.find_cycle() {
+                prop_assert!(!cycle.is_empty());
+                for i in 0..cycle.len() {
+                    prop_assert!(g.has_edge(cycle[i], cycle[(i + 1) % cycle.len()]));
+                }
+            }
+        }
+    }
+}

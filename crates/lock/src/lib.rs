@@ -1,0 +1,30 @@
+//! `pstm-lock` — a classical lock manager.
+//!
+//! Provides the locking substrate for the 2PL baseline and the shared
+//! deadlock machinery the paper points at in §VII ("classical approaches
+//! as timeout or wait-for-graph techniques can be used to detect the
+//! deadlock presence"):
+//!
+//! * [`mode::LockMode`] — shared/exclusive modes with upgrade support;
+//! * [`graph::WaitsForGraph`] — an explicit waits-for graph with cycle
+//!   detection (used by both the lock manager and the GTM);
+//! * [`manager::LockManager`] — FIFO lock queues per [`ResourceId`] with
+//!   upgrade priority, deadlock detection with youngest-victim selection,
+//!   and timeout scanning.
+//!
+//! The manager is synchronous: `request` never blocks, it answers
+//! `Granted` or `Waiting`, and releases return the transactions whose
+//! queued requests became grantable — exactly the shape a discrete-event
+//! simulator needs.
+//!
+//! [`ResourceId`]: pstm_types::ResourceId
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod manager;
+pub mod mode;
+
+pub use graph::WaitsForGraph;
+pub use manager::{LockManager, LockOutcome};
+pub use mode::LockMode;

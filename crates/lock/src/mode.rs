@@ -1,0 +1,72 @@
+//! Classical shared/exclusive lock modes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Lock mode for the 2PL baseline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LockMode {
+    /// Shared (read) lock — compatible with other shared locks.
+    Shared,
+    /// Exclusive (write) lock — compatible with nothing.
+    Exclusive,
+}
+
+impl LockMode {
+    /// Classical S/X compatibility.
+    #[must_use]
+    pub fn compatible_with(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+
+    /// Whether moving from `self` to `to` is an upgrade (S → X).
+    #[must_use]
+    pub fn upgrades_to(self, to: LockMode) -> bool {
+        self == LockMode::Shared && to == LockMode::Exclusive
+    }
+
+    /// The stronger of two modes.
+    #[must_use]
+    pub fn max(self, other: LockMode) -> LockMode {
+        if self == LockMode::Exclusive || other == LockMode::Exclusive {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        }
+    }
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LockMode::Shared => "S",
+            LockMode::Exclusive => "X",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatibility_matrix() {
+        assert!(LockMode::Shared.compatible_with(LockMode::Shared));
+        assert!(!LockMode::Shared.compatible_with(LockMode::Exclusive));
+        assert!(!LockMode::Exclusive.compatible_with(LockMode::Shared));
+        assert!(!LockMode::Exclusive.compatible_with(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn upgrade_direction() {
+        assert!(LockMode::Shared.upgrades_to(LockMode::Exclusive));
+        assert!(!LockMode::Exclusive.upgrades_to(LockMode::Shared));
+        assert!(!LockMode::Shared.upgrades_to(LockMode::Shared));
+    }
+
+    #[test]
+    fn max_prefers_exclusive() {
+        assert_eq!(LockMode::Shared.max(LockMode::Exclusive), LockMode::Exclusive);
+        assert_eq!(LockMode::Shared.max(LockMode::Shared), LockMode::Shared);
+    }
+}

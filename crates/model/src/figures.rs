@@ -1,0 +1,132 @@
+//! Series generators for the paper's Fig. 1 and Fig. 2.
+
+use crate::prob::{abort_pct_pstm, abort_pct_twopl, exec_time_pstm, exec_time_twopl};
+use serde::Serialize;
+
+/// One point of Fig. 1: average transaction execution time (τe = 1)
+/// against the conflict percentage, for a given incompatibility
+/// percentage.
+#[derive(Clone, Copy, Debug, Serialize, PartialEq)]
+pub struct Fig1Row {
+    /// Conflict percentage `c` (0–100).
+    pub conflict_pct: u64,
+    /// Incompatibility percentage `i` (0–100).
+    pub incompatible_pct: u64,
+    /// 2PL execution time, eq. (3) — independent of `i`.
+    pub twopl: f64,
+    /// Middleware execution time, eq. (5).
+    pub pstm: f64,
+}
+
+/// Renders Fig. 1: conflict percentage 0..=100 (step 10) × the given
+/// incompatibility levels, with `n` transactions and τe = `tau_e`.
+#[must_use]
+pub fn fig1_rows(n: u64, tau_e: f64, incompatible_levels: &[u64]) -> Vec<Fig1Row> {
+    let mut rows = Vec::new();
+    for &i_pct in incompatible_levels {
+        for c_pct in (0..=100u64).step_by(10) {
+            let c = n * c_pct / 100;
+            let i = n * i_pct / 100;
+            rows.push(Fig1Row {
+                conflict_pct: c_pct,
+                incompatible_pct: i_pct,
+                twopl: exec_time_twopl(n, c, tau_e),
+                pstm: exec_time_pstm(n, c, i, tau_e),
+            });
+        }
+    }
+    rows
+}
+
+/// One point of Fig. 2: abort percentage of disconnected/sleeping
+/// transactions.
+#[derive(Clone, Copy, Debug, Serialize, PartialEq)]
+pub struct Fig2Row {
+    /// Conflict percentage (0–100).
+    pub conflict_pct: u64,
+    /// Disconnection percentage (0–100).
+    pub disconnected_pct: u64,
+    /// Incompatibility percentage (0–100).
+    pub incompatible_pct: u64,
+    /// 2PL abort percentage (timeout kills every sleeper).
+    pub twopl: f64,
+    /// Middleware abort percentage, `P(d)·P(c)·P(i)`.
+    pub pstm: f64,
+}
+
+/// Renders Fig. 2: sweeps conflict and disconnection percentages for each
+/// incompatibility level.
+#[must_use]
+pub fn fig2_rows(incompatible_levels: &[u64]) -> Vec<Fig2Row> {
+    let mut rows = Vec::new();
+    for &i_pct in incompatible_levels {
+        for d_pct in (0..=100u64).step_by(10) {
+            for c_pct in (0..=100u64).step_by(10) {
+                let (d, c, i) = (d_pct as f64 / 100.0, c_pct as f64 / 100.0, i_pct as f64 / 100.0);
+                rows.push(Fig2Row {
+                    conflict_pct: c_pct,
+                    disconnected_pct: d_pct,
+                    incompatible_pct: i_pct,
+                    twopl: abort_pct_twopl(d),
+                    pstm: abort_pct_pstm(d, c, i),
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_has_expected_grid() {
+        let rows = fig1_rows(100, 1.0, &[0, 50, 100]);
+        assert_eq!(rows.len(), 3 * 11);
+        // 2PL line is the same across incompatibility levels.
+        let at = |i: u64, c: u64| {
+            rows.iter().find(|r| r.incompatible_pct == i && r.conflict_pct == c).unwrap()
+        };
+        assert_eq!(at(0, 50).twopl, at(100, 50).twopl);
+        // i = 0 keeps pstm flat at τe.
+        for c in (0..=100).step_by(10) {
+            assert!((at(0, c).pstm - 1.0).abs() < 1e-9);
+        }
+        // i = 100 collapses onto 2PL.
+        for c in (0..=100).step_by(10) {
+            assert!((at(100, c).pstm - at(100, c).twopl).abs() < 1e-9);
+        }
+        // Intermediate i sits strictly between (at c > 0).
+        let mid = at(50, 100);
+        assert!(mid.pstm > 1.0 && mid.pstm < mid.twopl);
+    }
+
+    #[test]
+    fn fig2_shapes() {
+        let rows = fig2_rows(&[20, 60]);
+        assert_eq!(rows.len(), 2 * 11 * 11);
+        for r in &rows {
+            assert!(r.pstm <= r.twopl + 1e-12, "middleware never aborts more sleepers");
+            assert!(r.pstm >= 0.0 && r.twopl <= 100.0);
+        }
+        // 2PL depends only on the disconnection percentage.
+        let d50: Vec<&Fig2Row> = rows.iter().filter(|r| r.disconnected_pct == 50).collect();
+        assert!(d50.iter().all(|r| (r.twopl - 50.0).abs() < 1e-12));
+        // Higher incompatibility → more aborts, all else equal.
+        let pick = |i: u64| {
+            rows.iter()
+                .find(|r| r.incompatible_pct == i && r.disconnected_pct == 50 && r.conflict_pct == 50)
+                .unwrap()
+                .pstm
+        };
+        assert!(pick(60) > pick(20));
+    }
+
+    #[test]
+    fn rows_serialize() {
+        let rows = fig1_rows(10, 1.0, &[0]);
+        let json = serde_json::to_string(&rows).unwrap();
+        assert!(json.contains("conflict_pct"));
+    }
+}

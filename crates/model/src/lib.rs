@@ -1,0 +1,30 @@
+//! `pstm-model` — the paper's closed-form model (§VI.A).
+//!
+//! Implements, verbatim:
+//!
+//! * **eq. (3)** — 2PL mean execution time under `c` conflicts among `n`
+//!   transactions, assuming a conflicting arrival lands at half the
+//!   predecessor's execution time:
+//!   `τ_2PL(c) = ((n−c)·τe + c·(τe + τe/2)) / n`;
+//! * **eq. (4)** — the probability of `k` *incompatible* conflicts when
+//!   `c` of `n` transactions conflict and `i` of them are incompatible:
+//!   the hypergeometric `P(k) = C(i,k)·C(n−i,c−k)/C(n,c)`;
+//! * **eq. (5)** — the pre-serialization middleware's expected execution
+//!   time `τ_our(c,i) = Σ_k P(k)·τ_2PL(k)` (only incompatible conflicts
+//!   cost waiting; compatible conflicts proceed on virtual copies);
+//! * the **abort model** — under 2PL every transaction sleeping past the
+//!   timeout aborts, so the abort share of disconnected transactions is
+//!   `P(d)`; under the middleware it is the product
+//!   `P(abort) = P(d)·P(c)·P(i)`.
+//!
+//! [`figures`] renders the exact series of the paper's Fig. 1 and Fig. 2.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod prob;
+
+pub use figures::{fig1_rows, fig2_rows, Fig1Row, Fig2Row};
+pub use prob::{
+    abort_pct_pstm, abort_pct_twopl, exec_time_pstm, exec_time_twopl, hypergeom_pmf, ln_binom,
+};

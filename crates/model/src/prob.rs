@@ -1,0 +1,224 @@
+//! The closed-form quantities: equations (3)–(5) and the abort product.
+
+/// Natural log of `n!` via the log-gamma identity, exact enough for
+/// binomials with `n` in the thousands.
+fn ln_factorial(n: u64) -> f64 {
+    // Stirling series with correction terms; exact table for small n.
+    #[allow(clippy::approx_constant)] // ln(2!) genuinely equals ln 2
+    const TABLE: [f64; 21] = [
+        0.0,
+        0.0,
+        0.693_147_180_559_945_3,
+        1.791_759_469_228_055,
+        3.178_053_830_347_945_8,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_25,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+        17.502_307_845_873_887,
+        19.987_214_495_661_885,
+        22.552_163_853_123_42,
+        25.191_221_182_738_68,
+        27.899_271_383_840_89,
+        30.671_860_106_080_672,
+        33.505_073_450_136_89,
+        36.395_445_208_033_05,
+        39.339_884_187_199_495,
+        42.335_616_460_753_485,
+    ];
+    if n < TABLE.len() as u64 {
+        return TABLE[n as usize];
+    }
+    let n = n as f64;
+    n * n.ln() - n + 0.5 * (2.0 * std::f64::consts::PI * n).ln() + 1.0 / (12.0 * n)
+        - 1.0 / (360.0 * n.powi(3))
+}
+
+/// `ln C(n, k)`; `-inf` when the binomial is zero (`k > n`).
+#[must_use]
+pub fn ln_binom(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// eq. (4): the hypergeometric pmf — probability that exactly `k` of the
+/// `c` conflicting transactions fall among the `i` incompatible ones,
+/// out of `n` total.
+#[must_use]
+pub fn hypergeom_pmf(n: u64, i: u64, c: u64, k: u64) -> f64 {
+    if k > i || k > c || c > n || c - k > n - i {
+        return 0.0;
+    }
+    (ln_binom(i, k) + ln_binom(n - i, c - k) - ln_binom(n, c)).exp()
+}
+
+/// eq. (3): 2PL mean execution time with `c` conflicts among `n`
+/// transactions, base execution time `tau_e`. A conflicting transaction
+/// pays half a predecessor execution extra ("the arrival time of a
+/// conflicting transaction occurs in half of execution time of the
+/// previous one"; no multiple conflicts).
+#[must_use]
+pub fn exec_time_twopl(n: u64, c: u64, tau_e: f64) -> f64 {
+    assert!(c <= n && n > 0, "conflicts {c} must not exceed transactions {n}");
+    ((n - c) as f64 * tau_e + c as f64 * (tau_e + tau_e / 2.0)) / n as f64
+}
+
+/// eq. (5): the middleware's expected execution time with `c` conflicts
+/// of which a transaction population contains `i` incompatible members —
+/// the hypergeometric expectation of eq. (3) over the number of
+/// *incompatible* conflicts `k` (compatible conflicts are free: they
+/// share the resource on virtual copies).
+#[must_use]
+pub fn exec_time_pstm(n: u64, c: u64, i: u64, tau_e: f64) -> f64 {
+    assert!(c <= n && i <= n && n > 0);
+    let kmax = i.min(c);
+    let mut t = 0.0;
+    for k in 0..=kmax {
+        let p = hypergeom_pmf(n, i, c, k);
+        t += p * exec_time_twopl(n, k, tau_e);
+    }
+    t
+}
+
+/// 2PL abort share of disconnected transactions: with a sleep timeout
+/// shorter than the disconnection, every disconnected transaction
+/// aborts — the abort percentage *is* the disconnection percentage.
+#[must_use]
+pub fn abort_pct_twopl(p_disconnect: f64) -> f64 {
+    100.0 * p_disconnect.clamp(0.0, 1.0)
+}
+
+/// The middleware's abort share: `P(abort) = P(d)·P(c)·P(i)` — a
+/// disconnected transaction dies only if it also conflicts and the
+/// conflict is incompatible.
+#[must_use]
+pub fn abort_pct_pstm(p_disconnect: f64, p_conflict: f64, p_incompatible: f64) -> f64 {
+    100.0
+        * p_disconnect.clamp(0.0, 1.0)
+        * p_conflict.clamp(0.0, 1.0)
+        * p_incompatible.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ln_binom_small_values_exact() {
+        assert_eq!(ln_binom(5, 0), 0.0);
+        assert!((ln_binom(5, 2) - (10.0f64).ln()).abs() < 1e-12);
+        assert!((ln_binom(10, 5) - (252.0f64).ln()).abs() < 1e-12);
+        assert_eq!(ln_binom(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ln_binom_large_values_close() {
+        // C(1000, 500) via Stirling vs the known magnitude ~ 2.7e299.
+        let ln = ln_binom(1000, 500);
+        assert!((ln - 299.434 * std::f64::consts::LN_10).abs() / ln < 1e-3);
+    }
+
+    #[test]
+    fn hypergeom_sums_to_one() {
+        for (n, i, c) in [(100, 30, 10), (1000, 500, 100), (50, 0, 10), (50, 50, 10), (20, 5, 20)] {
+            let total: f64 = (0..=c.min(i)).map(|k| hypergeom_pmf(n, i, c, k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "n={n} i={i} c={c}: sum {total}");
+        }
+    }
+
+    #[test]
+    fn hypergeom_mean_matches_formula() {
+        let (n, i, c) = (1000u64, 300u64, 100u64);
+        let mean: f64 = (0..=c.min(i)).map(|k| k as f64 * hypergeom_pmf(n, i, c, k)).sum();
+        let expected = c as f64 * i as f64 / n as f64;
+        assert!((mean - expected).abs() < 1e-6, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn twopl_time_is_linear_in_conflicts() {
+        let n = 100;
+        assert_eq!(exec_time_twopl(n, 0, 1.0), 1.0);
+        assert_eq!(exec_time_twopl(n, n, 1.0), 1.5);
+        assert_eq!(exec_time_twopl(n, 50, 1.0), 1.25);
+        assert_eq!(exec_time_twopl(n, 50, 2.0), 2.5);
+    }
+
+    #[test]
+    fn pstm_best_case_is_50pct_of_the_2pl_overhead() {
+        // c = 100%, i = 0: the paper's headline — our τ stays at τe while
+        // 2PL pays 1.5·τe.
+        let n = 100;
+        let ours = exec_time_pstm(n, n, 0, 1.0);
+        let theirs = exec_time_twopl(n, n, 1.0);
+        assert!((ours - 1.0).abs() < 1e-12);
+        assert!((theirs - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pstm_equals_twopl_when_everything_is_incompatible() {
+        // i = n: every conflict is incompatible; the middleware buys
+        // nothing.
+        let n = 100;
+        for c in [0, 10, 50, 100] {
+            let ours = exec_time_pstm(n, c, n, 1.0);
+            let theirs = exec_time_twopl(n, c, 1.0);
+            assert!((ours - theirs).abs() < 1e-9, "c={c}: {ours} vs {theirs}");
+        }
+    }
+
+    #[test]
+    fn pstm_never_exceeds_twopl() {
+        let n = 200;
+        for c in (0..=n).step_by(20) {
+            for i in (0..=n).step_by(20) {
+                let ours = exec_time_pstm(n, c, i, 1.0);
+                let theirs = exec_time_twopl(n, c, 1.0);
+                assert!(ours <= theirs + 1e-9, "c={c} i={i}: {ours} > {theirs}");
+            }
+        }
+    }
+
+    #[test]
+    fn abort_models_match_the_paper() {
+        assert_eq!(abort_pct_twopl(0.05), 5.0);
+        assert_eq!(abort_pct_twopl(2.0), 100.0, "clamped");
+        assert_eq!(abort_pct_pstm(0.5, 0.5, 0.5), 12.5);
+        assert_eq!(abort_pct_pstm(0.0, 1.0, 1.0), 0.0);
+        assert!(abort_pct_pstm(0.3, 0.4, 0.2) < abort_pct_twopl(0.3));
+    }
+
+    proptest! {
+        /// Middleware execution time grows in both c and i.
+        #[test]
+        fn prop_monotone_in_c_and_i(c in 0u64..100, i in 0u64..100) {
+            let n = 100;
+            let t = exec_time_pstm(n, c, i, 1.0);
+            prop_assert!(exec_time_pstm(n, c + (c < 100) as u64, i, 1.0) + 1e-12 >= t);
+            prop_assert!(exec_time_pstm(n, c, i + (i < 100) as u64, 1.0) + 1e-12 >= t);
+        }
+
+        /// The abort product is bounded by each of its factors.
+        #[test]
+        fn prop_abort_product_bounded(d in 0.0f64..1.0, c in 0.0f64..1.0, i in 0.0f64..1.0) {
+            let a = abort_pct_pstm(d, c, i);
+            prop_assert!(a <= abort_pct_twopl(d) + 1e-12);
+            prop_assert!(a <= 100.0 * c + 1e-12);
+            prop_assert!(a <= 100.0 * i + 1e-12);
+            prop_assert!(a >= 0.0);
+        }
+
+        /// Hypergeometric pmf values are valid probabilities.
+        #[test]
+        fn prop_pmf_in_unit_interval(n in 1u64..500, i_frac in 0.0f64..1.0, c_frac in 0.0f64..1.0, k in 0u64..500) {
+            let i = (n as f64 * i_frac) as u64;
+            let c = (n as f64 * c_frac) as u64;
+            let p = hypergeom_pmf(n, i, c, k);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the optimistic comparator: conservation under
+//! random workloads and abort-rate dominance under rising contention.
+
+use pstm_occ::OccManager;
+use pstm_types::{ExecOutcome, ResourceId, ScalarOp, Timestamp, TxnId, Value};
+use pstm_workload::counter_world;
+use proptest::prelude::*;
+
+const INITIAL: i64 = 100_000;
+
+fn world(objects: usize) -> (OccManager, Vec<ResourceId>) {
+    let w = counter_world(objects, INITIAL).unwrap();
+    (OccManager::new(w.db.clone(), w.bindings.clone()), w.resources)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever interleaving of unit subtractions runs, the final counter
+    /// equals INITIAL − (committed subtractions on it): validation-failed
+    /// transactions leave no trace.
+    #[test]
+    fn prop_conservation_under_random_interleaving(
+        plan in prop::collection::vec((0usize..3, any::<bool>()), 1..60),
+    ) {
+        let (mut occ, rs) = world(3);
+        let mut open: Vec<(TxnId, usize)> = Vec::new();
+        let mut committed_subs = [0i64; 3];
+        let mut next_id = 1u64;
+        let t0 = Timestamp::ZERO;
+        for (obj, start_new) in plan {
+            if start_new || open.is_empty() {
+                let txn = TxnId(next_id);
+                next_id += 1;
+                occ.begin(txn, t0).unwrap();
+                let out = occ.execute(txn, rs[obj], ScalarOp::Sub(Value::Int(1)), t0).unwrap();
+                prop_assert!(matches!(out, ExecOutcome::Completed(_)), "OCC never waits");
+                open.push((txn, obj));
+            } else {
+                let (txn, obj) = open.remove(0);
+                if occ.commit(txn, t0).unwrap().is_ok() {
+                    committed_subs[obj] += 1;
+                }
+            }
+        }
+        for (txn, obj) in open {
+            if occ.commit(txn, t0).unwrap().is_ok() {
+                committed_subs[obj] += 1;
+            }
+        }
+        // Read each final value through a throwaway read-only probe
+        // transaction (fresh snapshot = current committed state).
+        for (i, r) in rs.iter().enumerate() {
+            let rd = TxnId(900_000 + i as u64);
+            occ.begin(rd, t0).unwrap();
+            let out = occ.execute(rd, *r, ScalarOp::Read, t0).unwrap();
+            let val = match out {
+                ExecOutcome::Completed(Value::Int(v)) => v,
+                other => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+            };
+            occ.abort(rd, t0).unwrap();
+            prop_assert_eq!(val, INITIAL - committed_subs[i]);
+        }
+    }
+}
+
+/// Contention monotonicity: with everything on one object, OCC aborts at
+/// least as much as with load spread over many objects.
+#[test]
+fn contention_increases_validation_failures() {
+    let run = |objects: usize| -> u64 {
+        let (mut occ, rs) = world(objects);
+        let t0 = Timestamp::ZERO;
+        // 40 overlapping transactions round-robin over the objects, all
+        // open simultaneously, then committed in order.
+        for i in 0..40u64 {
+            occ.begin(TxnId(i + 1), t0).unwrap();
+            occ.execute(TxnId(i + 1), rs[(i as usize) % objects], ScalarOp::Sub(Value::Int(1)), t0)
+                .unwrap();
+        }
+        for i in 0..40u64 {
+            let _ = occ.commit(TxnId(i + 1), t0).unwrap();
+        }
+        occ.stats().aborted_validation
+    };
+    let contended = run(1);
+    let spread = run(8);
+    assert!(contended > spread, "one object: {contended} aborts vs eight: {spread}");
+    assert_eq!(contended, 39, "all but the first committer fail validation");
+}

@@ -1,0 +1,105 @@
+//! The simulation event queue.
+//!
+//! A binary heap ordered by `(time, sequence)`: events at the same
+//! virtual instant pop in insertion order, which keeps runs bit-for-bit
+//! reproducible.
+
+use pstm_types::Timestamp;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered queue of simulation events.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Timestamp, u64)>>,
+    payloads: std::collections::HashMap<u64, E>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), payloads: Default::default(), seq: 0 }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `at`.
+    pub fn push(&mut self, at: Timestamp, event: E) {
+        let id = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, id)));
+        self.payloads.insert(id, event);
+    }
+
+    /// Pops the earliest event (FIFO among equal timestamps).
+    pub fn pop(&mut self) -> Option<(Timestamp, E)> {
+        let Reverse((at, id)) = self.heap.pop()?;
+        let event = self.payloads.remove(&id).expect("payload exists for queued id");
+        Some((at, event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|Reverse((at, _))| *at)
+    }
+
+    /// Number of queued events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Timestamp::from_millis(30), "c");
+        q.push(Timestamp::from_millis(10), "a");
+        q.push(Timestamp::from_millis(20), "b");
+        assert_eq!(q.peek_time(), Some(Timestamp::from_millis(10)));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = Timestamp::from_millis(5);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(Timestamp::from_millis(10), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert!(q.is_empty());
+        q.push(Timestamp::from_millis(5), 2);
+        q.push(Timestamp::from_millis(1), 3);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert!(q.pop().is_none());
+    }
+}

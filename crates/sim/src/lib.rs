@@ -1,0 +1,33 @@
+//! `pstm-sim` — a deterministic discrete-event simulator for mobile
+//! transaction workloads.
+//!
+//! The paper evaluates its middleware by *emulation*: 1000 transactions,
+//! fixed inter-arrival time, probabilistic disconnections. This crate
+//! reproduces that methodology on a virtual clock:
+//!
+//! * [`events::EventQueue`] — a time-ordered event queue with FIFO
+//!   tie-breaking (deterministic given a seed);
+//! * [`script::TxnScript`] — each client is a script of think times,
+//!   operations, disconnections and a final commit;
+//! * [`backend::Backend`] — the scheduler-agnostic surface; adapters wrap
+//!   the GTM ([`backend::GtmBackend`]) and the 2PL baseline
+//!   ([`backend::TwoPlBackend`]) so experiments swap schedulers without
+//!   touching the driver;
+//! * [`runner::Runner`] — drives scripts through a backend, handles
+//!   resume/abort side effects, fires periodic maintenance ticks, and
+//!   produces a [`runner::RunReport`] with the metrics the paper plots
+//!   (mean execution time, abort percentages, breakdowns by reason).
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod events;
+pub mod link;
+pub mod runner;
+pub mod script;
+
+pub use backend::{AwakeOutcome, Backend, CommitOutcome, GtmBackend, TwoPlBackend};
+pub use events::EventQueue;
+pub use link::{LinkModel, LinkTrace};
+pub use runner::{RunReport, Runner, RunnerConfig};
+pub use script::{Step, TxnScript};

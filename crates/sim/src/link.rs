@@ -1,0 +1,262 @@
+//! A two-state Markov (Gilbert-style) mobile link model.
+//!
+//! The paper's emulation draws disconnections with a flat probability β;
+//! a wireless link is better described by alternating connected /
+//! disconnected sojourns with exponential durations. The model samples a
+//! per-client [`LinkTrace`] — the workload generator then places
+//! `Disconnect` steps wherever a client's operation falls into a down
+//! window, so the *same* middleware mechanics are exercised with
+//! realistically bursty disconnection patterns.
+//!
+//! Long-run fraction of time disconnected:
+//! `mean_down / (mean_up + mean_down)` — the knob that corresponds to
+//! the paper's β.
+
+use pstm_types::{Duration, Timestamp};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Parameters of the alternating-renewal link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkModel {
+    /// Mean length of a connected sojourn.
+    pub mean_up: Duration,
+    /// Mean length of a disconnected sojourn.
+    pub mean_down: Duration,
+}
+
+impl LinkModel {
+    /// The long-run fraction of time the link is down.
+    #[must_use]
+    pub fn down_fraction(&self) -> f64 {
+        let (u, d) = (self.mean_up.as_secs_f64(), self.mean_down.as_secs_f64());
+        if u + d == 0.0 {
+            0.0
+        } else {
+            d / (u + d)
+        }
+    }
+
+    /// Samples a trace covering `[0, horizon]`, starting connected.
+    /// Sojourns are exponential (inverse-transform over the given RNG) so
+    /// traces are memoryless within a state and deterministic per seed.
+    #[must_use]
+    pub fn sample_trace(&self, horizon: Timestamp, rng: &mut StdRng) -> LinkTrace {
+        self.sample(horizon, rng, false)
+    }
+
+    /// Samples a trace whose initial state is drawn from the stationary
+    /// distribution — at time 0 the link is down with probability
+    /// [`LinkModel::down_fraction`]. Because sojourns are exponential
+    /// (memoryless), conditioning on the state alone gives the exact
+    /// stationary process; use this when time 0 is an arbitrary instant
+    /// of an ambient link rather than a connection establishment.
+    #[must_use]
+    pub fn sample_trace_stationary(&self, horizon: Timestamp, rng: &mut StdRng) -> LinkTrace {
+        let start_down = rng.gen_bool(self.down_fraction().clamp(0.0, 1.0));
+        self.sample(horizon, rng, start_down)
+    }
+
+    fn sample(&self, horizon: Timestamp, rng: &mut StdRng, start_down: bool) -> LinkTrace {
+        let mut down = Vec::new();
+        let mut t = Timestamp::ZERO;
+        let exp = |mean: Duration, rng: &mut StdRng| -> Duration {
+            let m = mean.as_secs_f64();
+            if m <= 0.0 {
+                return Duration::ZERO;
+            }
+            // Inverse transform; clamp the uniform away from 0 so ln is
+            // finite.
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            Duration::from_secs_f64(-m * u.ln())
+        };
+        if start_down {
+            let d = exp(self.mean_down, rng);
+            if d > Duration::ZERO {
+                down.push((t, t + d));
+            }
+            t += d;
+        }
+        while t < horizon {
+            t += exp(self.mean_up, rng); // connected sojourn
+            if t >= horizon {
+                break;
+            }
+            let d = exp(self.mean_down, rng);
+            if d > Duration::ZERO {
+                down.push((t, t + d));
+            }
+            t += d;
+        }
+        LinkTrace { down }
+    }
+}
+
+/// A sampled link trace: the down windows, in time order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LinkTrace {
+    down: Vec<(Timestamp, Timestamp)>,
+}
+
+impl LinkTrace {
+    /// A trace that is always connected.
+    #[must_use]
+    pub fn always_up() -> Self {
+        LinkTrace::default()
+    }
+
+    /// Whether the link is down at `t` (down windows are half-open
+    /// `[start, end)`).
+    #[must_use]
+    pub fn is_down(&self, t: Timestamp) -> bool {
+        self.window_at(t).is_some()
+    }
+
+    /// The down window containing `t`, if any.
+    #[must_use]
+    pub fn window_at(&self, t: Timestamp) -> Option<(Timestamp, Timestamp)> {
+        // Windows are sorted and disjoint: binary search by start.
+        let idx = self.down.partition_point(|(s, _)| *s <= t);
+        if idx == 0 {
+            return None;
+        }
+        let (s, e) = self.down[idx - 1];
+        (t >= s && t < e).then_some((s, e))
+    }
+
+    /// When the link next comes (back) up, seen from `t`.
+    #[must_use]
+    pub fn next_up(&self, t: Timestamp) -> Timestamp {
+        self.window_at(t).map_or(t, |(_, e)| e)
+    }
+
+    /// Number of down windows.
+    #[must_use]
+    pub fn outage_count(&self) -> usize {
+        self.down.len()
+    }
+
+    /// Total downtime within `[0, horizon]`.
+    #[must_use]
+    pub fn downtime_until(&self, horizon: Timestamp) -> Duration {
+        let mut total = Duration::ZERO;
+        for (s, e) in &self.down {
+            if *s >= horizon {
+                break;
+            }
+            let end = (*e).min(horizon);
+            total += end.since(*s);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(up: f64, down: f64) -> LinkModel {
+        LinkModel {
+            mean_up: Duration::from_secs_f64(up),
+            mean_down: Duration::from_secs_f64(down),
+        }
+    }
+
+    #[test]
+    fn down_fraction_formula() {
+        assert!((model(9.0, 1.0).down_fraction() - 0.1).abs() < 1e-12);
+        assert_eq!(model(0.0, 0.0).down_fraction(), 0.0);
+        assert_eq!(model(0.0, 5.0).down_fraction(), 1.0);
+    }
+
+    #[test]
+    fn trace_windows_are_sorted_and_disjoint() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let trace = model(5.0, 2.0).sample_trace(Timestamp::from_secs_f64(1_000.0), &mut rng);
+        assert!(trace.outage_count() > 10, "1000 s at ~7 s cycle must produce many outages");
+        let mut prev_end = Timestamp::ZERO;
+        for (s, e) in &trace.down {
+            assert!(*s >= prev_end, "windows must not overlap");
+            assert!(e > s);
+            prev_end = *e;
+        }
+    }
+
+    #[test]
+    fn queries_agree_with_windows() {
+        let trace = LinkTrace {
+            down: vec![
+                (Timestamp::from_secs_f64(10.0), Timestamp::from_secs_f64(12.0)),
+                (Timestamp::from_secs_f64(20.0), Timestamp::from_secs_f64(25.0)),
+            ],
+        };
+        assert!(!trace.is_down(Timestamp::from_secs_f64(9.9)));
+        assert!(trace.is_down(Timestamp::from_secs_f64(10.0)));
+        assert!(trace.is_down(Timestamp::from_secs_f64(11.9)));
+        assert!(!trace.is_down(Timestamp::from_secs_f64(12.0)), "half-open window");
+        assert_eq!(
+            trace.next_up(Timestamp::from_secs_f64(21.0)),
+            Timestamp::from_secs_f64(25.0)
+        );
+        assert_eq!(trace.next_up(Timestamp::from_secs_f64(5.0)), Timestamp::from_secs_f64(5.0));
+        assert_eq!(
+            trace.downtime_until(Timestamp::from_secs_f64(22.0)),
+            Duration::from_secs_f64(4.0)
+        );
+    }
+
+    #[test]
+    fn long_run_downtime_matches_down_fraction() {
+        let m = model(8.0, 2.0); // 20% down
+        let horizon = Timestamp::from_secs_f64(200_000.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let trace = m.sample_trace(horizon, &mut rng);
+        let frac = trace.downtime_until(horizon).as_secs_f64() / horizon.as_secs_f64();
+        assert!(
+            (frac - 0.2).abs() < 0.02,
+            "sampled down fraction {frac} should approximate 0.2"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = model(5.0, 1.0);
+        let h = Timestamp::from_secs_f64(500.0);
+        let a = m.sample_trace(h, &mut StdRng::seed_from_u64(3));
+        let b = m.sample_trace(h, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+        let c = m.sample_trace(h, &mut StdRng::seed_from_u64(4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn always_up_never_down() {
+        let t = LinkTrace::always_up();
+        assert!(!t.is_down(Timestamp::from_secs_f64(42.0)));
+        assert_eq!(t.outage_count(), 0);
+        assert_eq!(t.downtime_until(Timestamp::from_secs_f64(1e6)), Duration::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod stationary_tests {
+    use super::*;
+
+    #[test]
+    fn stationary_start_state_matches_down_fraction() {
+        let m = LinkModel {
+            mean_up: Duration::from_secs_f64(6.0),
+            mean_down: Duration::from_secs_f64(4.0), // 40% down
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples = 4_000;
+        let down_at_zero = (0..samples)
+            .filter(|_| {
+                m.sample_trace_stationary(Timestamp::from_secs_f64(1.0), &mut rng)
+                    .is_down(Timestamp::ZERO)
+            })
+            .count();
+        let frac = down_at_zero as f64 / samples as f64;
+        assert!((frac - 0.4).abs() < 0.03, "stationary start: {frac} ≈ 0.4");
+    }
+}

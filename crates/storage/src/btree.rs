@@ -1,0 +1,679 @@
+//! An in-memory B-tree secondary index mapping [`Value`] keys to posting
+//! lists of [`RowId`]s.
+//!
+//! A genuine B-tree (CLRS flavour: preemptive splits on the way down for
+//! insertion, sibling borrow/merge on the way down for deletion), not a
+//! wrapper over `std::collections::BTreeMap` — `Value` has no `Ord` and
+//! the index must support non-unique keys with posting lists. Invariants
+//! (checked by [`BTreeIndex::check_invariants`] in tests):
+//!
+//! 1. keys within a node strictly increase;
+//! 2. every leaf sits at the same depth;
+//! 3. every non-root node holds at least `MIN_KEYS` keys;
+//! 4. internal nodes have `keys.len() + 1` children;
+//! 5. all keys in `children[i]` sort below `keys[i]` and above
+//!    `keys[i-1]`.
+
+use crate::row::RowId;
+use pstm_types::Value;
+use std::cmp::Ordering;
+use std::ops::Bound;
+
+/// Minimum degree `t`. Nodes hold between `t-1` and `2t-1` keys.
+const T: usize = 8;
+const MIN_KEYS: usize = T - 1;
+const MAX_KEYS: usize = 2 * T - 1;
+
+type Posting = Vec<RowId>;
+
+#[derive(Debug, Default)]
+struct Node {
+    keys: Vec<Value>,
+    postings: Vec<Posting>,
+    /// Empty for leaves.
+    children: Vec<Node>,
+}
+
+impl Node {
+    fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    fn is_full(&self) -> bool {
+        self.keys.len() == MAX_KEYS
+    }
+
+    /// Binary search by the total key order.
+    fn search(&self, key: &Value) -> Result<usize, usize> {
+        self.keys.binary_search_by(|k| k.key_cmp(key))
+    }
+}
+
+/// A non-unique secondary index.
+#[derive(Debug, Default)]
+pub struct BTreeIndex {
+    root: Node,
+    distinct: usize,
+    entries: usize,
+}
+
+impl BTreeIndex {
+    /// An empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct keys.
+    #[must_use]
+    pub fn distinct_keys(&self) -> usize {
+        self.distinct
+    }
+
+    /// Total number of `(key, rowid)` entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the index holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Adds `rid` to the posting list of `key`. Returns `false` if the
+    /// exact `(key, rid)` pair was already present.
+    pub fn insert(&mut self, key: Value, rid: RowId) -> bool {
+        if self.root.is_full() {
+            let mut new_root = Node::default();
+            new_root.children.push(std::mem::take(&mut self.root));
+            split_child(&mut new_root, 0);
+            self.root = new_root;
+        }
+        let inserted = insert_nonfull(&mut self.root, key, rid, &mut self.distinct);
+        if inserted {
+            self.entries += 1;
+        }
+        inserted
+    }
+
+    /// Removes `rid` from the posting list of `key`; drops the key when
+    /// its posting list empties. Returns `false` if the pair was absent.
+    pub fn remove(&mut self, key: &Value, rid: RowId) -> bool {
+        // First trim the posting list; only a now-empty list triggers
+        // structural deletion.
+        match prune_posting(&mut self.root, key, rid) {
+            PruneResult::Absent => false,
+            PruneResult::Removed => {
+                self.entries -= 1;
+                true
+            }
+            PruneResult::KeyEmpty => {
+                self.entries -= 1;
+                self.distinct -= 1;
+                delete_key(&mut self.root, key);
+                if self.root.keys.is_empty() && !self.root.is_leaf() {
+                    self.root = self.root.children.remove(0);
+                }
+                true
+            }
+        }
+    }
+
+    /// The posting list for `key` (empty slice if absent).
+    #[must_use]
+    pub fn get(&self, key: &Value) -> &[RowId] {
+        let mut node = &self.root;
+        loop {
+            match node.search(key) {
+                Ok(i) => return &node.postings[i],
+                Err(i) => {
+                    if node.is_leaf() {
+                        return &[];
+                    }
+                    node = &node.children[i];
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    #[must_use]
+    pub fn contains_key(&self, key: &Value) -> bool {
+        !self.get(key).is_empty()
+    }
+
+    /// In-order `(key, rid)` pairs with keys in `[lo, hi]` per the given
+    /// bounds.
+    #[must_use]
+    pub fn range(&self, lo: Bound<&Value>, hi: Bound<&Value>) -> Vec<(Value, RowId)> {
+        let mut out = Vec::new();
+        collect_range(&self.root, lo, hi, &mut out);
+        out
+    }
+
+    /// All entries in key order.
+    #[must_use]
+    pub fn iter_all(&self) -> Vec<(Value, RowId)> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Verifies the structural invariants; returns a description of the
+    /// first violation. Test-oriented but cheap enough to keep available.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut leaf_depth = None;
+        check_node(&self.root, true, 0, &mut leaf_depth, None, None)?;
+        let counted: usize = count_entries(&self.root);
+        if counted != self.entries {
+            return Err(format!("entry count {counted} != tracked {}", self.entries));
+        }
+        let distinct: usize = count_keys(&self.root);
+        if distinct != self.distinct {
+            return Err(format!("distinct count {distinct} != tracked {}", self.distinct));
+        }
+        Ok(())
+    }
+}
+
+fn count_entries(n: &Node) -> usize {
+    n.postings.iter().map(Vec::len).sum::<usize>()
+        + n.children.iter().map(count_entries).sum::<usize>()
+}
+
+fn count_keys(n: &Node) -> usize {
+    n.keys.len() + n.children.iter().map(count_keys).sum::<usize>()
+}
+
+fn check_node(
+    n: &Node,
+    is_root: bool,
+    depth: usize,
+    leaf_depth: &mut Option<usize>,
+    lo: Option<&Value>,
+    hi: Option<&Value>,
+) -> Result<(), String> {
+    if !is_root && n.keys.len() < MIN_KEYS {
+        return Err(format!("underfull node at depth {depth}: {} keys", n.keys.len()));
+    }
+    if n.keys.len() > MAX_KEYS {
+        return Err(format!("overfull node at depth {depth}"));
+    }
+    if n.keys.len() != n.postings.len() {
+        return Err("keys/postings length mismatch".into());
+    }
+    for w in n.keys.windows(2) {
+        if w[0].key_cmp(&w[1]) != Ordering::Less {
+            return Err(format!("keys out of order: {} !< {}", w[0], w[1]));
+        }
+    }
+    for k in &n.keys {
+        if let Some(lo) = lo {
+            if k.key_cmp(lo) != Ordering::Greater {
+                return Err(format!("key {k} violates lower separator {lo}"));
+            }
+        }
+        if let Some(hi) = hi {
+            if k.key_cmp(hi) != Ordering::Less {
+                return Err(format!("key {k} violates upper separator {hi}"));
+            }
+        }
+    }
+    for p in &n.postings {
+        if p.is_empty() {
+            return Err("empty posting list".into());
+        }
+    }
+    if n.is_leaf() {
+        match leaf_depth {
+            None => *leaf_depth = Some(depth),
+            Some(d) if *d != depth => return Err(format!("leaf depth {depth} != {d}")),
+            _ => {}
+        }
+        Ok(())
+    } else {
+        if n.children.len() != n.keys.len() + 1 {
+            return Err(format!(
+                "internal node has {} children for {} keys",
+                n.children.len(),
+                n.keys.len()
+            ));
+        }
+        for (i, c) in n.children.iter().enumerate() {
+            let clo = if i == 0 { lo } else { Some(&n.keys[i - 1]) };
+            let chi = if i == n.keys.len() { hi } else { Some(&n.keys[i]) };
+            check_node(c, false, depth + 1, leaf_depth, clo, chi)?;
+        }
+        Ok(())
+    }
+}
+
+/// Splits the full child `i` of `parent`, lifting the median.
+fn split_child(parent: &mut Node, i: usize) {
+    let child = &mut parent.children[i];
+    debug_assert!(child.is_full());
+    let mid = T - 1;
+    let right_keys = child.keys.split_off(mid + 1);
+    let right_postings = child.postings.split_off(mid + 1);
+    let median_key = child.keys.pop().expect("mid key");
+    let median_posting = child.postings.pop().expect("mid posting");
+    let right_children =
+        if child.is_leaf() { Vec::new() } else { child.children.split_off(mid + 1) };
+    let right = Node { keys: right_keys, postings: right_postings, children: right_children };
+    parent.keys.insert(i, median_key);
+    parent.postings.insert(i, median_posting);
+    parent.children.insert(i + 1, right);
+}
+
+fn insert_nonfull(node: &mut Node, key: Value, rid: RowId, distinct: &mut usize) -> bool {
+    match node.search(&key) {
+        Ok(i) => {
+            let posting = &mut node.postings[i];
+            if posting.contains(&rid) {
+                false
+            } else {
+                posting.push(rid);
+                posting.sort_unstable();
+                true
+            }
+        }
+        Err(i) => {
+            if node.is_leaf() {
+                node.keys.insert(i, key);
+                node.postings.insert(i, vec![rid]);
+                *distinct += 1;
+                true
+            } else {
+                let mut i = i;
+                if node.children[i].is_full() {
+                    split_child(node, i);
+                    match key.key_cmp(&node.keys[i]) {
+                        Ordering::Equal => {
+                            let posting = &mut node.postings[i];
+                            if posting.contains(&rid) {
+                                return false;
+                            }
+                            posting.push(rid);
+                            posting.sort_unstable();
+                            return true;
+                        }
+                        Ordering::Greater => i += 1,
+                        Ordering::Less => {}
+                    }
+                }
+                insert_nonfull(&mut node.children[i], key, rid, distinct)
+            }
+        }
+    }
+}
+
+enum PruneResult {
+    Absent,
+    Removed,
+    KeyEmpty,
+}
+
+/// Removes `rid` from the posting of `key` wherever it lives, without
+/// restructuring. Reports whether the posting list emptied.
+fn prune_posting(node: &mut Node, key: &Value, rid: RowId) -> PruneResult {
+    match node.search(key) {
+        Ok(i) => {
+            let posting = &mut node.postings[i];
+            match posting.iter().position(|r| *r == rid) {
+                None => PruneResult::Absent,
+                Some(p) => {
+                    posting.remove(p);
+                    if posting.is_empty() {
+                        PruneResult::KeyEmpty
+                    } else {
+                        PruneResult::Removed
+                    }
+                }
+            }
+        }
+        Err(i) => {
+            if node.is_leaf() {
+                PruneResult::Absent
+            } else {
+                prune_posting(&mut node.children[i], key, rid)
+            }
+        }
+    }
+}
+
+/// CLRS B-tree deletion of a key whose posting list has emptied. The key
+/// is guaranteed present (prune_posting found it); its posting list may be
+/// empty, which is fine — we delete key and posting together.
+fn delete_key(node: &mut Node, key: &Value) {
+    match node.search(key) {
+        Ok(i) => {
+            if node.is_leaf() {
+                node.keys.remove(i);
+                node.postings.remove(i);
+            } else if node.children[i].keys.len() > MIN_KEYS {
+                // Replace with predecessor.
+                let (pk, pp) = take_max(&mut node.children[i]);
+                node.keys[i] = pk;
+                node.postings[i] = pp;
+            } else if node.children[i + 1].keys.len() > MIN_KEYS {
+                // Replace with successor.
+                let (sk, sp) = take_min(&mut node.children[i + 1]);
+                node.keys[i] = sk;
+                node.postings[i] = sp;
+            } else {
+                // Merge children around the key, then delete from the
+                // merged child.
+                merge_children(node, i);
+                delete_key(&mut node.children[i], key);
+            }
+        }
+        Err(i) => {
+            debug_assert!(!node.is_leaf(), "key vanished before structural delete");
+            let i = ensure_child_can_lose(node, i);
+            delete_key(&mut node.children[i], key);
+        }
+    }
+}
+
+/// Guarantees `children[i]` has more than MIN_KEYS keys before recursing,
+/// borrowing from a sibling or merging. Returns the (possibly shifted)
+/// child index to descend into.
+fn ensure_child_can_lose(node: &mut Node, i: usize) -> usize {
+    if node.children[i].keys.len() > MIN_KEYS {
+        return i;
+    }
+    if i > 0 && node.children[i - 1].keys.len() > MIN_KEYS {
+        // Rotate right: parent separator moves down, left sibling's max
+        // moves up.
+        let (k, p, child_opt) = {
+            let left = &mut node.children[i - 1];
+            let k = left.keys.pop().expect("non-empty left");
+            let p = left.postings.pop().expect("non-empty left");
+            let c = if left.is_leaf() { None } else { Some(left.children.pop().expect("child")) };
+            (k, p, c)
+        };
+        let sep_k = std::mem::replace(&mut node.keys[i - 1], k);
+        let sep_p = std::mem::replace(&mut node.postings[i - 1], p);
+        let child = &mut node.children[i];
+        child.keys.insert(0, sep_k);
+        child.postings.insert(0, sep_p);
+        if let Some(c) = child_opt {
+            child.children.insert(0, c);
+        }
+        i
+    } else if i < node.children.len() - 1 && node.children[i + 1].keys.len() > MIN_KEYS {
+        // Rotate left.
+        let (k, p, child_opt) = {
+            let right = &mut node.children[i + 1];
+            let k = right.keys.remove(0);
+            let p = right.postings.remove(0);
+            let c = if right.is_leaf() { None } else { Some(right.children.remove(0)) };
+            (k, p, c)
+        };
+        let sep_k = std::mem::replace(&mut node.keys[i], k);
+        let sep_p = std::mem::replace(&mut node.postings[i], p);
+        let child = &mut node.children[i];
+        child.keys.push(sep_k);
+        child.postings.push(sep_p);
+        if let Some(c) = child_opt {
+            child.children.push(c);
+        }
+        i
+    } else if i > 0 {
+        merge_children(node, i - 1);
+        i - 1
+    } else {
+        merge_children(node, i);
+        i
+    }
+}
+
+/// Merges `children[i]`, separator `keys[i]`, and `children[i+1]` into
+/// `children[i]`.
+fn merge_children(node: &mut Node, i: usize) {
+    let right = node.children.remove(i + 1);
+    let sep_k = node.keys.remove(i);
+    let sep_p = node.postings.remove(i);
+    let left = &mut node.children[i];
+    left.keys.push(sep_k);
+    left.postings.push(sep_p);
+    left.keys.extend(right.keys);
+    left.postings.extend(right.postings);
+    left.children.extend(right.children);
+}
+
+/// Removes and returns the maximum `(key, posting)` of the subtree,
+/// keeping it balanced on the way down.
+fn take_max(node: &mut Node) -> (Value, Posting) {
+    if node.is_leaf() {
+        let k = node.keys.pop().expect("take_max on empty leaf");
+        let p = node.postings.pop().expect("postings parallel keys");
+        (k, p)
+    } else {
+        let last = node.children.len() - 1;
+        let idx = ensure_child_can_lose(node, last);
+        take_max(&mut node.children[idx])
+    }
+}
+
+/// Removes and returns the minimum `(key, posting)` of the subtree.
+fn take_min(node: &mut Node) -> (Value, Posting) {
+    if node.is_leaf() {
+        let k = node.keys.remove(0);
+        let p = node.postings.remove(0);
+        (k, p)
+    } else {
+        let idx = ensure_child_can_lose(node, 0);
+        take_min(&mut node.children[idx])
+    }
+}
+
+/// Whether `v` satisfies both bounds — the shared range predicate used by
+/// the index and by the engine's unindexed range scans.
+#[must_use]
+pub fn value_in_bounds(v: &Value, lo: Bound<&Value>, hi: Bound<&Value>) -> bool {
+    let (above, below) = within(v, lo, hi);
+    above && below
+}
+
+fn within(k: &Value, lo: Bound<&Value>, hi: Bound<&Value>) -> (bool, bool) {
+    // (above_lo, below_hi)
+    let above = match lo {
+        Bound::Unbounded => true,
+        Bound::Included(b) => k.key_cmp(b) != Ordering::Less,
+        Bound::Excluded(b) => k.key_cmp(b) == Ordering::Greater,
+    };
+    let below = match hi {
+        Bound::Unbounded => true,
+        Bound::Included(b) => k.key_cmp(b) != Ordering::Greater,
+        Bound::Excluded(b) => k.key_cmp(b) == Ordering::Less,
+    };
+    (above, below)
+}
+
+fn collect_range(node: &Node, lo: Bound<&Value>, hi: Bound<&Value>, out: &mut Vec<(Value, RowId)>) {
+    for i in 0..node.keys.len() {
+        let (above, below) = within(&node.keys[i], lo, hi);
+        if !node.is_leaf() && above {
+            // Left child may contain in-range keys below keys[i].
+            collect_range(&node.children[i], lo, hi, out);
+        }
+        if above && below {
+            for rid in &node.postings[i] {
+                out.push((node.keys[i].clone(), *rid));
+            }
+        }
+        if !below {
+            return; // all further keys and subtrees are above the range
+        }
+    }
+    if !node.is_leaf() {
+        collect_range(node.children.last().expect("internal node has children"), lo, hi, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rid(i: u64) -> RowId {
+        RowId::from_raw(i)
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = BTreeIndex::new();
+        assert!(t.insert(Value::Int(5), rid(1)));
+        assert!(t.insert(Value::Int(5), rid(2)));
+        assert!(!t.insert(Value::Int(5), rid(1)), "duplicate pair rejected");
+        assert_eq!(t.get(&Value::Int(5)), &[rid(1), rid(2)]);
+        assert_eq!(t.get(&Value::Int(6)), &[] as &[RowId]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.distinct_keys(), 1);
+    }
+
+    #[test]
+    fn large_sequential_insert_stays_balanced() {
+        let mut t = BTreeIndex::new();
+        for i in 0..5_000i64 {
+            t.insert(Value::Int(i), rid(i as u64));
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), 5_000);
+        for i in (0..5_000i64).step_by(97) {
+            assert_eq!(t.get(&Value::Int(i)), &[rid(i as u64)]);
+        }
+    }
+
+    #[test]
+    fn reverse_insert_stays_balanced() {
+        let mut t = BTreeIndex::new();
+        for i in (0..3_000i64).rev() {
+            t.insert(Value::Int(i), rid(i as u64));
+        }
+        t.check_invariants().unwrap();
+        let all = t.iter_all();
+        assert_eq!(all.len(), 3_000);
+        assert!(all.windows(2).all(|w| w[0].0.key_cmp(&w[1].0) == Ordering::Less));
+    }
+
+    #[test]
+    fn delete_everything_both_directions() {
+        let mut t = BTreeIndex::new();
+        for i in 0..1_000i64 {
+            t.insert(Value::Int(i), rid(i as u64));
+        }
+        for i in 0..500i64 {
+            assert!(t.remove(&Value::Int(i), rid(i as u64)), "forward remove {i}");
+            t.check_invariants().unwrap_or_else(|e| panic!("after fwd remove {i}: {e}"));
+        }
+        for i in (500..1_000i64).rev() {
+            assert!(t.remove(&Value::Int(i), rid(i as u64)), "reverse remove {i}");
+            t.check_invariants().unwrap_or_else(|e| panic!("after rev remove {i}: {e}"));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.distinct_keys(), 0);
+    }
+
+    #[test]
+    fn remove_from_posting_keeps_key() {
+        let mut t = BTreeIndex::new();
+        t.insert(Value::Int(1), rid(10));
+        t.insert(Value::Int(1), rid(20));
+        assert!(t.remove(&Value::Int(1), rid(10)));
+        assert!(t.contains_key(&Value::Int(1)));
+        assert_eq!(t.get(&Value::Int(1)), &[rid(20)]);
+        assert!(!t.remove(&Value::Int(1), rid(10)), "double remove");
+        assert!(t.remove(&Value::Int(1), rid(20)));
+        assert!(!t.contains_key(&Value::Int(1)));
+    }
+
+    #[test]
+    fn range_scans_respect_bounds() {
+        let mut t = BTreeIndex::new();
+        for i in 0..100i64 {
+            t.insert(Value::Int(i), rid(i as u64));
+        }
+        let mid: Vec<i64> = t
+            .range(Bound::Included(&Value::Int(10)), Bound::Excluded(&Value::Int(20)))
+            .iter()
+            .map(|(k, _)| k.as_int().unwrap())
+            .collect();
+        assert_eq!(mid, (10..20).collect::<Vec<_>>());
+
+        let open: Vec<i64> = t
+            .range(Bound::Excluded(&Value::Int(95)), Bound::Unbounded)
+            .iter()
+            .map(|(k, _)| k.as_int().unwrap())
+            .collect();
+        assert_eq!(open, (96..100).collect::<Vec<_>>());
+
+        assert_eq!(
+            t.range(Bound::Included(&Value::Int(500)), Bound::Unbounded).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn mixed_key_types_order_consistently() {
+        let mut t = BTreeIndex::new();
+        t.insert(Value::Text("b".into()), rid(1));
+        t.insert(Value::Int(10), rid(2));
+        t.insert(Value::Float(9.5), rid(3));
+        t.insert(Value::Text("a".into()), rid(4));
+        t.insert(Value::Bool(true), rid(5));
+        let keys: Vec<Value> = t.iter_all().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            vec![
+                Value::Bool(true),
+                Value::Float(9.5),
+                Value::Int(10),
+                Value::Text("a".into()),
+                Value::Text("b".into()),
+            ]
+        );
+        t.check_invariants().unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// The index agrees with a BTreeMap shadow under random workloads,
+        /// and structural invariants hold after every operation batch.
+        #[test]
+        fn prop_matches_shadow(ops in prop::collection::vec(
+            (any::<bool>(), 0i64..200, 0u64..4), 1..400,
+        )) {
+            let mut t = BTreeIndex::new();
+            let mut shadow: std::collections::BTreeMap<i64, std::collections::BTreeSet<u64>> =
+                Default::default();
+            for (is_insert, k, r) in ops {
+                if is_insert {
+                    let added = t.insert(Value::Int(k), rid(r));
+                    let shadow_added = shadow.entry(k).or_default().insert(r);
+                    prop_assert_eq!(added, shadow_added);
+                } else {
+                    let removed = t.remove(&Value::Int(k), rid(r));
+                    let shadow_removed = shadow.get_mut(&k).is_some_and(|s| s.remove(&r));
+                    if shadow.get(&k).is_some_and(|s| s.is_empty()) {
+                        shadow.remove(&k);
+                    }
+                    prop_assert_eq!(removed, shadow_removed);
+                }
+            }
+            t.check_invariants().map_err(TestCaseError::fail)?;
+            prop_assert_eq!(t.distinct_keys(), shadow.len());
+            let expect: Vec<(i64, u64)> = shadow
+                .iter()
+                .flat_map(|(k, rs)| rs.iter().map(move |r| (*k, *r)))
+                .collect();
+            let got: Vec<(i64, u64)> = t
+                .iter_all()
+                .into_iter()
+                .map(|(k, r)| (k.as_int().unwrap(), r.raw()))
+                .collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

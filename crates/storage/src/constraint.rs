@@ -1,0 +1,165 @@
+//! Declarative CHECK constraints.
+//!
+//! The paper's motivating strategy "imposes precise constraints on
+//! important resources (for example, `Flight.FreeTickets >= 0`)" and its
+//! §VII observes that reconciliation can violate such constraints, causing
+//! aborts — the effect the admission-control extension bounds. The engine
+//! enforces these constraints on every write, including SST writes.
+
+use pstm_types::{PstmResult, PstmError, Value};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A predicate over a single column value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// `col >= bound`
+    Ge(Value),
+    /// `col > bound`
+    Gt(Value),
+    /// `col <= bound`
+    Le(Value),
+    /// `col < bound`
+    Lt(Value),
+    /// `col == bound`
+    Eq(Value),
+    /// `col != bound`
+    Ne(Value),
+    /// `lo <= col <= hi`
+    Between(Value, Value),
+}
+
+impl Predicate {
+    /// Evaluates the predicate. NULL satisfies every predicate (SQL
+    /// semantics: CHECK passes on NULL).
+    #[must_use]
+    pub fn eval(&self, v: &Value) -> bool {
+        if v.is_null() {
+            return true;
+        }
+        match self {
+            Predicate::Ge(b) => v.key_cmp(b) != Ordering::Less,
+            Predicate::Gt(b) => v.key_cmp(b) == Ordering::Greater,
+            Predicate::Le(b) => v.key_cmp(b) != Ordering::Greater,
+            Predicate::Lt(b) => v.key_cmp(b) == Ordering::Less,
+            Predicate::Eq(b) => v.key_cmp(b) == Ordering::Equal,
+            Predicate::Ne(b) => v.key_cmp(b) != Ordering::Equal,
+            Predicate::Between(lo, hi) => {
+                v.key_cmp(lo) != Ordering::Less && v.key_cmp(hi) != Ordering::Greater
+            }
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Ge(b) => write!(f, ">= {b}"),
+            Predicate::Gt(b) => write!(f, "> {b}"),
+            Predicate::Le(b) => write!(f, "<= {b}"),
+            Predicate::Lt(b) => write!(f, "< {b}"),
+            Predicate::Eq(b) => write!(f, "== {b}"),
+            Predicate::Ne(b) => write!(f, "!= {b}"),
+            Predicate::Between(lo, hi) => write!(f, "BETWEEN {lo} AND {hi}"),
+        }
+    }
+}
+
+/// A CHECK constraint bound to one column of a table.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Column index the predicate applies to.
+    pub column: usize,
+    /// The predicate.
+    pub predicate: Predicate,
+    /// Display name used in violation errors.
+    pub name: String,
+}
+
+impl Constraint {
+    /// Builds a named constraint.
+    #[must_use]
+    pub fn new(name: impl Into<String>, column: usize, predicate: Predicate) -> Self {
+        Constraint { column, predicate, name: name.into() }
+    }
+
+    /// The canonical "resource never negative" constraint of the paper's
+    /// motivating scenario.
+    #[must_use]
+    pub fn non_negative(name: impl Into<String>, column: usize) -> Self {
+        Constraint::new(name, column, Predicate::Ge(Value::Int(0)))
+    }
+
+    /// Checks a full row.
+    pub fn check_row(&self, row: &[Value]) -> PstmResult<()> {
+        match row.get(self.column) {
+            Some(v) => self.check_value(v),
+            None => Err(PstmError::internal(format!(
+                "constraint {} refers to column #{} beyond row arity {}",
+                self.name,
+                self.column,
+                row.len()
+            ))),
+        }
+    }
+
+    /// Checks a candidate value for this constraint's column.
+    pub fn check_value(&self, v: &Value) -> PstmResult<()> {
+        if self.predicate.eval(v) {
+            Ok(())
+        } else {
+            Err(PstmError::ConstraintViolation {
+                constraint: format!("{} ({})", self.name, self.predicate),
+                value: v.to_string(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ge_enforces_non_negativity() {
+        let c = Constraint::non_negative("free_tickets >= 0", 1);
+        c.check_row(&[Value::Int(1), Value::Int(0)]).unwrap();
+        c.check_row(&[Value::Int(1), Value::Int(100)]).unwrap();
+        let err = c.check_row(&[Value::Int(1), Value::Int(-1)]).unwrap_err();
+        assert!(matches!(err, PstmError::ConstraintViolation { .. }));
+        assert!(err.to_string().contains("free_tickets"));
+    }
+
+    #[test]
+    fn all_predicates_evaluate() {
+        let five = Value::Int(5);
+        assert!(Predicate::Ge(Value::Int(5)).eval(&five));
+        assert!(!Predicate::Gt(Value::Int(5)).eval(&five));
+        assert!(Predicate::Le(Value::Int(5)).eval(&five));
+        assert!(!Predicate::Lt(Value::Int(5)).eval(&five));
+        assert!(Predicate::Eq(Value::Int(5)).eval(&five));
+        assert!(!Predicate::Ne(Value::Int(5)).eval(&five));
+        assert!(Predicate::Between(Value::Int(0), Value::Int(10)).eval(&five));
+        assert!(!Predicate::Between(Value::Int(6), Value::Int(10)).eval(&five));
+    }
+
+    #[test]
+    fn null_passes_checks() {
+        let c = Constraint::non_negative("c", 0);
+        c.check_row(&[Value::Null]).unwrap();
+    }
+
+    #[test]
+    fn cross_type_comparison_uses_key_order() {
+        // Int vs Float compares numerically.
+        assert!(Predicate::Ge(Value::Float(0.5)).eval(&Value::Int(1)));
+        assert!(!Predicate::Ge(Value::Float(1.5)).eval(&Value::Int(1)));
+    }
+
+    #[test]
+    fn out_of_arity_column_is_internal_error() {
+        let c = Constraint::non_negative("c", 3);
+        assert!(matches!(c.check_row(&[Value::Int(1)]).unwrap_err(), PstmError::Internal(_)));
+    }
+}

@@ -1,0 +1,145 @@
+//! Rows and row identifiers.
+
+use pstm_types::{PstmResult, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Physical address of a row: page number and slot within the page,
+/// packed into 48 bits of a `u64`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RowId(u64);
+
+impl RowId {
+    /// Packs `(page, slot)` into a row id.
+    #[must_use]
+    pub fn new(page: u32, slot: u16) -> Self {
+        RowId(((page as u64) << 16) | slot as u64)
+    }
+
+    /// The page number.
+    #[must_use]
+    pub fn page(self) -> u32 {
+        (self.0 >> 16) as u32
+    }
+
+    /// The slot within the page.
+    #[must_use]
+    pub fn slot(self) -> u16 {
+        (self.0 & 0xFFFF) as u16
+    }
+
+    /// Raw packed representation (for logging / ordering).
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a row id from its raw representation.
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        RowId(raw)
+    }
+}
+
+impl fmt::Debug for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}:{}", self.page(), self.slot())
+    }
+}
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}:{}", self.page(), self.slot())
+    }
+}
+
+/// An owned row of values, in schema column order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    /// Wraps a vector of values.
+    #[must_use]
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    /// Borrow the values.
+    #[must_use]
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Value at column `i`, if present.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// Replaces the value at column `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds; callers validate against the schema
+    /// first.
+    pub fn set(&mut self, i: usize, v: Value) {
+        self.0[i] = v;
+    }
+
+    /// Encodes the row to page/WAL bytes.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        crate::codec::encode_row(&self.0)
+    }
+
+    /// Decodes a row from page/WAL bytes.
+    pub fn decode(buf: &[u8]) -> PstmResult<Self> {
+        crate::codec::decode_row(buf).map(Row)
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_id_packs_and_unpacks() {
+        let r = RowId::new(123_456, 789);
+        assert_eq!(r.page(), 123_456);
+        assert_eq!(r.slot(), 789);
+        assert_eq!(RowId::from_raw(r.raw()), r);
+    }
+
+    #[test]
+    fn row_id_extremes() {
+        let r = RowId::new(u32::MAX, u16::MAX);
+        assert_eq!(r.page(), u32::MAX);
+        assert_eq!(r.slot(), u16::MAX);
+    }
+
+    #[test]
+    fn row_id_orders_by_page_then_slot() {
+        assert!(RowId::new(0, 5) < RowId::new(1, 0));
+        assert!(RowId::new(1, 0) < RowId::new(1, 1));
+    }
+
+    #[test]
+    fn row_encode_decode() {
+        let row = Row::new(vec![Value::Int(5), Value::Text("hi".into())]);
+        let back = Row::decode(&row.encode()).unwrap();
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn row_set_get() {
+        let mut row = Row::new(vec![Value::Int(1), Value::Int(2)]);
+        row.set(1, Value::Int(9));
+        assert_eq!(row.get(1), Some(&Value::Int(9)));
+        assert_eq!(row.get(2), None);
+    }
+}

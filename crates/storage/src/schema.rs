@@ -1,0 +1,198 @@
+//! Table schemas and row validation.
+
+use pstm_types::{PstmError, PstmResult, Value, ValueKind};
+use serde::{Deserialize, Serialize};
+
+/// Definition of one column.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name, unique within the table.
+    pub name: String,
+    /// Declared type. `ValueKind::Null` is not a valid declared type.
+    pub kind: ValueKind,
+    /// Whether NULL is admissible.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// A non-nullable column of the given kind.
+    #[must_use]
+    pub fn new(name: impl Into<String>, kind: ValueKind) -> Self {
+        ColumnDef { name: name.into(), kind, nullable: false }
+    }
+
+    /// Marks the column nullable; builder-style.
+    #[must_use]
+    pub fn nullable(mut self) -> Self {
+        self.nullable = true;
+        self
+    }
+
+    /// Whether `v` is admissible in this column. Integers are accepted in
+    /// float columns (widening); everything else must match exactly.
+    #[must_use]
+    pub fn admits(&self, v: &Value) -> bool {
+        match v {
+            Value::Null => self.nullable,
+            other => {
+                other.kind() == self.kind
+                    || (self.kind == ValueKind::Float && other.kind() == ValueKind::Int)
+            }
+        }
+    }
+}
+
+/// Schema of a table: an ordered list of columns.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name, unique within the catalog.
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Builds a schema, validating column-name uniqueness and types.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> PstmResult<Self> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(PstmError::internal("table name must be non-empty"));
+        }
+        if columns.is_empty() {
+            return Err(PstmError::internal(format!("table {name} has no columns")));
+        }
+        for (i, c) in columns.iter().enumerate() {
+            if c.kind == ValueKind::Null {
+                return Err(PstmError::internal(format!(
+                    "column {} of table {name} declared NULL type",
+                    c.name
+                )));
+            }
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(PstmError::AlreadyExists(format!("column {} in table {name}", c.name)));
+            }
+        }
+        Ok(TableSchema { name, columns })
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the named column.
+    pub fn column_index(&self, name: &str) -> PstmResult<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| PstmError::NotFound(format!("column {name} in table {}", self.name)))
+    }
+
+    /// Validates a full row against the schema (arity + per-column types).
+    pub fn validate_row(&self, row: &[Value]) -> PstmResult<()> {
+        if row.len() != self.columns.len() {
+            return Err(PstmError::internal(format!(
+                "row arity {} does not match table {} arity {}",
+                row.len(),
+                self.name,
+                self.columns.len()
+            )));
+        }
+        for (col, v) in self.columns.iter().zip(row) {
+            if !col.admits(v) {
+                return Err(PstmError::TypeMismatch { expected: col.kind, found: v.kind() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a single-column update.
+    pub fn validate_column(&self, index: usize, v: &Value) -> PstmResult<()> {
+        let col = self
+            .columns
+            .get(index)
+            .ok_or_else(|| PstmError::NotFound(format!("column #{index} in table {}", self.name)))?;
+        if col.admits(v) {
+            Ok(())
+        } else {
+            Err(PstmError::TypeMismatch { expected: col.kind, found: v.kind() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flights() -> TableSchema {
+        TableSchema::new(
+            "Flight",
+            vec![
+                ColumnDef::new("id", ValueKind::Int),
+                ColumnDef::new("free_tickets", ValueKind::Int),
+                ColumnDef::new("price", ValueKind::Float),
+                ColumnDef::new("note", ValueKind::Text).nullable(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn valid_rows_pass() {
+        let s = flights();
+        s.validate_row(&[Value::Int(1), Value::Int(100), Value::Float(59.9), Value::Null])
+            .unwrap();
+        // Int widens into Float columns.
+        s.validate_row(&[Value::Int(1), Value::Int(100), Value::Int(60), Value::Text("x".into())])
+            .unwrap();
+    }
+
+    #[test]
+    fn arity_mismatch_fails() {
+        let s = flights();
+        assert!(s.validate_row(&[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_fails() {
+        let s = flights();
+        let err = s
+            .validate_row(&[Value::Int(1), Value::Text("no".into()), Value::Float(1.0), Value::Null])
+            .unwrap_err();
+        assert!(matches!(err, PstmError::TypeMismatch { expected: ValueKind::Int, .. }));
+    }
+
+    #[test]
+    fn null_only_in_nullable_columns() {
+        let s = flights();
+        assert!(s.validate_row(&[Value::Null, Value::Int(1), Value::Float(1.0), Value::Null]).is_err());
+        s.validate_column(3, &Value::Null).unwrap();
+        assert!(s.validate_column(0, &Value::Null).is_err());
+    }
+
+    #[test]
+    fn duplicate_column_names_rejected() {
+        let err = TableSchema::new(
+            "t",
+            vec![ColumnDef::new("a", ValueKind::Int), ColumnDef::new("a", ValueKind::Int)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, PstmError::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn empty_and_null_typed_schemas_rejected() {
+        assert!(TableSchema::new("t", vec![]).is_err());
+        assert!(TableSchema::new("t", vec![ColumnDef::new("a", ValueKind::Null)]).is_err());
+        assert!(TableSchema::new("", vec![ColumnDef::new("a", ValueKind::Int)]).is_err());
+    }
+
+    #[test]
+    fn column_index_lookup() {
+        let s = flights();
+        assert_eq!(s.column_index("free_tickets").unwrap(), 1);
+        assert!(s.column_index("ghost").is_err());
+        assert_eq!(s.arity(), 4);
+    }
+}

@@ -1,0 +1,24 @@
+//! `pstm-twopl` — the strict two-phase-locking baseline.
+//!
+//! The paper compares its pre-serialization middleware against "the 2PL
+//! original protocol"; this crate implements that comparator over the same
+//! storage engine so the Fig. 3 experiments contrast scheduling policies,
+//! not substrates.
+//!
+//! Semantics implemented:
+//!
+//! * strict 2PL — shared locks for reads, exclusive for mutations, all
+//!   locks held to commit/abort;
+//! * lock upgrades (the §II scenario: read free tickets, then book);
+//! * deadlock handling by waits-for-graph detection with youngest-victim
+//!   abort, plus optional lock-wait timeouts;
+//! * the classical treatment of disconnections: a sleeping transaction
+//!   keeps its locks and is aborted once it exceeds the sleep timeout —
+//!   the behaviour the paper's abort-percentage experiment charges 2PL
+//!   with.
+
+#![warn(missing_docs)]
+
+pub mod manager;
+
+pub use manager::{TwoPlConfig, TwoPlManager, TwoPlStats, TxnPhase};

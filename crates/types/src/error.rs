@@ -1,0 +1,202 @@
+//! The workspace-wide error type.
+//!
+//! One flat enum keeps error plumbing simple across crates; variants are
+//! grouped by subsystem. The type implements `std::error::Error` by hand —
+//! the workspace deliberately avoids pulling in `thiserror` (not in the
+//! sanctioned dependency set).
+
+use crate::ids::{ResourceId, TxnId};
+use crate::value::ValueKind;
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type PstmResult<T> = Result<T, PstmError>;
+
+/// Every error the middleware, storage engine or simulator can produce.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PstmError {
+    /// A value had the wrong runtime type for the requested operation.
+    TypeMismatch {
+        /// Kind the caller required.
+        expected: ValueKind,
+        /// Kind actually found.
+        found: ValueKind,
+    },
+    /// Checked arithmetic failed (overflow, division by zero, non-finite).
+    Arithmetic(String),
+    /// A catalog object (table, column, row, object) does not exist.
+    NotFound(String),
+    /// A catalog object already exists.
+    AlreadyExists(String),
+    /// A CHECK / domain constraint was violated by a write.
+    ConstraintViolation {
+        /// Human-readable description of the violated constraint.
+        constraint: String,
+        /// The offending value rendered as text.
+        value: String,
+    },
+    /// The transaction referenced is unknown to the manager.
+    UnknownTxn(TxnId),
+    /// The transaction is in the wrong state for the requested event
+    /// (precondition failure of one of the paper's Algorithms 1-11).
+    InvalidState {
+        /// Transaction whose precondition failed.
+        txn: TxnId,
+        /// What the caller attempted.
+        action: &'static str,
+        /// The state the transaction was actually in.
+        state: &'static str,
+    },
+    /// A transaction was chosen as a deadlock victim and must abort.
+    Deadlock {
+        /// The victim.
+        victim: TxnId,
+        /// The cycle that was broken, in waits-for order.
+        cycle: Vec<TxnId>,
+    },
+    /// A lock request timed out.
+    LockTimeout {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// The contended resource.
+        resource: ResourceId,
+    },
+    /// A sleeping transaction was aborted on awakening because an
+    /// incompatible operation touched its resources while it slept
+    /// (paper Algorithm 9, third precondition).
+    SleepConflict {
+        /// The aborted sleeper.
+        txn: TxnId,
+        /// The resource on which the conflict was discovered.
+        resource: ResourceId,
+    },
+    /// Admission control refused a new compatible holder (paper §VII's
+    /// bound on concurrent compatible transactions per resource).
+    AdmissionDenied {
+        /// The refused transaction.
+        txn: TxnId,
+        /// The saturated resource.
+        resource: ResourceId,
+    },
+    /// The write-ahead log or recovery machinery detected corruption.
+    WalCorrupt(String),
+    /// An I/O error from the storage layer (message-only: `std::io::Error`
+    /// is neither `Clone` nor `PartialEq`).
+    Io(String),
+    /// Catch-all for internal invariant breaches; indicates a bug.
+    Internal(String),
+}
+
+impl PstmError {
+    /// Builds an [`PstmError::Arithmetic`] from anything displayable.
+    pub fn arithmetic(msg: impl Into<String>) -> Self {
+        PstmError::Arithmetic(msg.into())
+    }
+
+    /// Builds an [`PstmError::Internal`] from anything displayable.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        PstmError::Internal(msg.into())
+    }
+
+    /// True when the error means "the transaction has been aborted by the
+    /// system" (deadlock victim, sleep conflict, timeout) rather than a
+    /// caller mistake — the distinction the experiment harness uses to
+    /// count aborts.
+    #[must_use]
+    pub fn is_system_abort(&self) -> bool {
+        matches!(
+            self,
+            PstmError::Deadlock { .. }
+                | PstmError::LockTimeout { .. }
+                | PstmError::SleepConflict { .. }
+        )
+    }
+}
+
+impl fmt::Display for PstmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PstmError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            PstmError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+            PstmError::NotFound(what) => write!(f, "not found: {what}"),
+            PstmError::AlreadyExists(what) => write!(f, "already exists: {what}"),
+            PstmError::ConstraintViolation { constraint, value } => {
+                write!(f, "constraint violation: {constraint} (value {value})")
+            }
+            PstmError::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
+            PstmError::InvalidState { txn, action, state } => {
+                write!(f, "{txn}: cannot {action} while {state}")
+            }
+            PstmError::Deadlock { victim, cycle } => {
+                write!(f, "deadlock: victim {victim}, cycle {cycle:?}")
+            }
+            PstmError::LockTimeout { txn, resource } => {
+                write!(f, "{txn}: lock timeout on {resource}")
+            }
+            PstmError::SleepConflict { txn, resource } => {
+                write!(f, "{txn}: aborted on awakening, incompatible activity on {resource}")
+            }
+            PstmError::AdmissionDenied { txn, resource } => {
+                write!(f, "{txn}: admission denied on {resource}")
+            }
+            PstmError::WalCorrupt(msg) => write!(f, "WAL corrupt: {msg}"),
+            PstmError::Io(msg) => write!(f, "I/O error: {msg}"),
+            PstmError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PstmError {}
+
+impl From<std::io::Error> for PstmError {
+    fn from(e: std::io::Error) -> Self {
+        PstmError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ObjectId;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = PstmError::TypeMismatch {
+            expected: ValueKind::Int,
+            found: ValueKind::Text,
+        };
+        assert_eq!(e.to_string(), "type mismatch: expected INT, found TEXT");
+
+        let e = PstmError::LockTimeout {
+            txn: TxnId(3),
+            resource: ResourceId::atomic(ObjectId(1)),
+        };
+        assert!(e.to_string().contains("T3"));
+        assert!(e.to_string().contains("X1.m0"));
+    }
+
+    #[test]
+    fn system_abort_classification() {
+        assert!(PstmError::Deadlock { victim: TxnId(1), cycle: vec![] }.is_system_abort());
+        assert!(PstmError::SleepConflict {
+            txn: TxnId(1),
+            resource: ResourceId::atomic(ObjectId(0))
+        }
+        .is_system_abort());
+        assert!(!PstmError::NotFound("t".into()).is_system_abort());
+        assert!(!PstmError::AdmissionDenied {
+            txn: TxnId(1),
+            resource: ResourceId::atomic(ObjectId(0))
+        }
+        .is_system_abort());
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::other("disk on fire");
+        let e: PstmError = io.into();
+        assert!(matches!(e, PstmError::Io(ref m) if m.contains("disk on fire")));
+    }
+}

@@ -1,0 +1,161 @@
+//! Strongly-typed identifiers.
+//!
+//! Newtypes over integers keep the crates honest about which id is which and
+//! cost nothing at runtime. All ids are `Copy`, hashable and ordered so they
+//! can key `BTreeMap`s deterministically (determinism matters: the simulator
+//! must replay identically for a given seed).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a transaction, unique within one manager instance.
+///
+/// Ids are allocated monotonically; the allocation order doubles as the
+/// arrival order `λ` used by the paper's workload description (§VI.B).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// First id handed out by an id allocator.
+    pub const FIRST: TxnId = TxnId(1);
+
+    /// Returns the next id in allocation order.
+    #[must_use]
+    pub fn next(self) -> TxnId {
+        TxnId(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Identifier of a database *object* (the paper's `X`, `Y`, `Z` …).
+///
+/// In the storage engine an object maps to a row of a catalogued table; in
+/// the middleware it is an abstract data type with data members.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u32);
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0)
+    }
+}
+
+/// Identifier of a *data member* of an object (a column of the row backing
+/// the object). Compatibility (Definition 1 in the paper) is evaluated per
+/// data member: operations on distinct, logically independent members never
+/// conflict.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MemberId(pub u16);
+
+impl MemberId {
+    /// Conventional member used for objects of atomic type (a single field).
+    pub const ATOMIC: MemberId = MemberId(0);
+}
+
+impl fmt::Debug for MemberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for MemberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// The lockable unit of the middleware: an object data member.
+///
+/// The paper's Definition 1 requires two invocation events to refer to "the
+/// same object data member" before they can conflict, so everything in the
+/// global transaction manager is keyed by `ResourceId` rather than by bare
+/// [`ObjectId`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ResourceId {
+    /// Object the member belongs to.
+    pub object: ObjectId,
+    /// Data member within the object.
+    pub member: MemberId,
+}
+
+impl ResourceId {
+    /// Creates the resource id for `member` of `object`.
+    #[must_use]
+    pub fn new(object: ObjectId, member: MemberId) -> Self {
+        ResourceId { object, member }
+    }
+
+    /// Resource id for an atomic (single-member) object.
+    #[must_use]
+    pub fn atomic(object: ObjectId) -> Self {
+        ResourceId {
+            object,
+            member: MemberId::ATOMIC,
+        }
+    }
+}
+
+impl fmt::Debug for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.object, self.member)
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.object, self.member)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_next_is_monotonic() {
+        let a = TxnId::FIRST;
+        let b = a.next();
+        assert!(b > a);
+        assert_eq!(b, TxnId(2));
+    }
+
+    #[test]
+    fn resource_id_atomic_uses_member_zero() {
+        let r = ResourceId::atomic(ObjectId(7));
+        assert_eq!(r.member, MemberId::ATOMIC);
+        assert_eq!(r.object, ObjectId(7));
+    }
+
+    #[test]
+    fn ids_format_compactly() {
+        assert_eq!(format!("{}", TxnId(3)), "T3");
+        assert_eq!(format!("{}", ResourceId::new(ObjectId(1), MemberId(2))), "X1.m2");
+        assert_eq!(format!("{:?}", ResourceId::atomic(ObjectId(4))), "X4.m0");
+    }
+
+    #[test]
+    fn resource_ids_order_by_object_then_member() {
+        let a = ResourceId::new(ObjectId(1), MemberId(9));
+        let b = ResourceId::new(ObjectId(2), MemberId(0));
+        assert!(a < b);
+        let c = ResourceId::new(ObjectId(1), MemberId(10));
+        assert!(a < c);
+    }
+}

@@ -1,0 +1,142 @@
+//! Scalar operations — the concrete invocations transactions issue
+//! against an object data member.
+//!
+//! The paper's compatibility classes (Table I) partition these: `Read` is
+//! its own class, `Assign` is `UpdateAssign`, `Add`/`Sub` fall in
+//! `UpdateAddSub`, `Mul`/`Div` in `UpdateMulDiv`. Each operation knows how
+//! to apply itself to a current value, which is what both the 2PL baseline
+//! (applying directly to database state) and the GTM (applying to the
+//! transaction's virtual copy `A_temp`) execute.
+
+use crate::compat::OpClass;
+use crate::error::{PstmError, PstmResult};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An invocation against a single object data member.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ScalarOp {
+    /// Read the current value.
+    Read,
+    /// `X = c`.
+    Assign(Value),
+    /// `X = X + c`.
+    Add(Value),
+    /// `X = X - c`.
+    Sub(Value),
+    /// `X = X · c`.
+    Mul(Value),
+    /// `X = X / c` (`c ≠ 0` is enforced at application time).
+    Div(Value),
+}
+
+impl ScalarOp {
+    /// The paper's operation class of this op.
+    #[must_use]
+    pub fn class(&self) -> OpClass {
+        match self {
+            ScalarOp::Read => OpClass::Read,
+            ScalarOp::Assign(_) => OpClass::UpdateAssign,
+            ScalarOp::Add(_) | ScalarOp::Sub(_) => OpClass::UpdateAddSub,
+            ScalarOp::Mul(_) | ScalarOp::Div(_) => OpClass::UpdateMulDiv,
+        }
+    }
+
+    /// Whether the op mutates the member.
+    #[must_use]
+    pub fn is_mutation(&self) -> bool {
+        self.class().is_mutation()
+    }
+
+    /// Applies the op to `current`, producing the new value (for `Read`,
+    /// the unchanged current value).
+    pub fn apply(&self, current: &Value) -> PstmResult<Value> {
+        match self {
+            ScalarOp::Read => Ok(current.clone()),
+            ScalarOp::Assign(c) => Ok(c.clone()),
+            ScalarOp::Add(c) => current.checked_add(c),
+            ScalarOp::Sub(c) => current.checked_sub(c),
+            ScalarOp::Mul(c) => current.checked_mul(c),
+            ScalarOp::Div(c) => {
+                if matches!(c, Value::Int(0)) || matches!(c, Value::Float(f) if *f == 0.0) {
+                    Err(PstmError::arithmetic("division by zero constant"))
+                } else {
+                    current.checked_div(c)
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ScalarOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarOp::Read => f.write_str("read"),
+            ScalarOp::Assign(c) => write!(f, "X = {c}"),
+            ScalarOp::Add(c) => write!(f, "X = X + {c}"),
+            ScalarOp::Sub(c) => write!(f, "X = X - {c}"),
+            ScalarOp::Mul(c) => write!(f, "X = X * {c}"),
+            ScalarOp::Div(c) => write!(f, "X = X / {c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_match_table_one() {
+        assert_eq!(ScalarOp::Read.class(), OpClass::Read);
+        assert_eq!(ScalarOp::Assign(Value::Int(1)).class(), OpClass::UpdateAssign);
+        assert_eq!(ScalarOp::Add(Value::Int(1)).class(), OpClass::UpdateAddSub);
+        assert_eq!(ScalarOp::Sub(Value::Int(1)).class(), OpClass::UpdateAddSub);
+        assert_eq!(ScalarOp::Mul(Value::Int(2)).class(), OpClass::UpdateMulDiv);
+        assert_eq!(ScalarOp::Div(Value::Int(2)).class(), OpClass::UpdateMulDiv);
+    }
+
+    #[test]
+    fn application_semantics() {
+        let x = Value::Int(100);
+        assert_eq!(ScalarOp::Read.apply(&x).unwrap(), Value::Int(100));
+        assert_eq!(ScalarOp::Assign(Value::Int(7)).apply(&x).unwrap(), Value::Int(7));
+        assert_eq!(ScalarOp::Add(Value::Int(1)).apply(&x).unwrap(), Value::Int(101));
+        assert_eq!(ScalarOp::Sub(Value::Int(1)).apply(&x).unwrap(), Value::Int(99));
+        assert_eq!(ScalarOp::Mul(Value::Int(2)).apply(&x).unwrap(), Value::Int(200));
+        assert_eq!(ScalarOp::Div(Value::Int(4)).apply(&x).unwrap(), Value::Int(25));
+    }
+
+    #[test]
+    fn division_by_zero_constant_rejected() {
+        assert!(ScalarOp::Div(Value::Int(0)).apply(&Value::Int(1)).is_err());
+        assert!(ScalarOp::Div(Value::Float(0.0)).apply(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn add_and_sub_share_a_class_and_commute() {
+        // The classes commute pairwise — the property Definition 1 needs.
+        let x = Value::Int(10);
+        let a = ScalarOp::Add(Value::Int(3));
+        let b = ScalarOp::Sub(Value::Int(4));
+        let ab = b.apply(&a.apply(&x).unwrap()).unwrap();
+        let ba = a.apply(&b.apply(&x).unwrap()).unwrap();
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn assign_does_not_commute_with_add() {
+        let x = Value::Int(10);
+        let a = ScalarOp::Assign(Value::Int(0));
+        let b = ScalarOp::Add(Value::Int(1));
+        let ab = b.apply(&a.apply(&x).unwrap()).unwrap();
+        let ba = a.apply(&b.apply(&x).unwrap()).unwrap();
+        assert_ne!(ab, ba, "Table I rightly marks assign incompatible with add");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ScalarOp::Sub(Value::Int(1)).to_string(), "X = X - 1");
+        assert_eq!(ScalarOp::Read.to_string(), "read");
+    }
+}

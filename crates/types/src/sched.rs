@@ -1,0 +1,125 @@
+//! Scheduler-facing outcome types shared by the transaction managers.
+//!
+//! Both the 2PL baseline and the GTM expose the same synchronous,
+//! event-driven surface to the simulator: an operation either completes
+//! immediately, queues the transaction, or kills it. Side effects on
+//! *other* transactions (promotions after a release, deadlock victims,
+//! sleepers aborted on conflict) are reported in [`StepEffects`] so the
+//! simulator can schedule follow-ups.
+
+use crate::ids::TxnId;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Why the system aborted a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// Chosen as deadlock victim.
+    Deadlock,
+    /// Waited on a lock longer than the configured timeout.
+    LockTimeout,
+    /// Slept longer than the configured timeout (the 2PL policy for
+    /// disconnected transactions).
+    SleepTimeout,
+    /// Awoke to find incompatible operations had touched its resources
+    /// (GTM, Algorithm 9 third precondition).
+    SleepConflict,
+    /// The application requested the abort.
+    User,
+    /// A database CHECK constraint rejected the final write.
+    Constraint,
+    /// Admission control refused the operation (extension, paper §VII).
+    Admission,
+    /// The Secure System Transaction failed persistently (after retries)
+    /// for a non-constraint reason — the paper's §VII open problem on SST
+    /// failure recovery.
+    SstFailure,
+    /// Backward validation failed (optimistic comparator only): a
+    /// committed writer overlapped the transaction's read set.
+    Validation,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AbortReason::Deadlock => "deadlock",
+            AbortReason::LockTimeout => "lock-timeout",
+            AbortReason::SleepTimeout => "sleep-timeout",
+            AbortReason::SleepConflict => "sleep-conflict",
+            AbortReason::User => "user",
+            AbortReason::Constraint => "constraint",
+            AbortReason::Admission => "admission",
+            AbortReason::SstFailure => "sst-failure",
+            AbortReason::Validation => "validation",
+        })
+    }
+}
+
+/// Result of submitting one operation for the *requesting* transaction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecOutcome {
+    /// The operation ran; for reads, the observed value; for mutations,
+    /// the new (local) value.
+    Completed(Value),
+    /// The transaction was queued behind incompatible work.
+    Waiting,
+    /// The transaction was aborted while processing this request (e.g. it
+    /// was chosen as the deadlock victim its own request created).
+    Aborted(AbortReason),
+}
+
+/// Side effects on other transactions produced while handling an event.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepEffects {
+    /// Transactions whose queued operation just completed, with the
+    /// operation's result value.
+    pub resumed: Vec<(TxnId, Value)>,
+    /// Transactions the system aborted, with the reason.
+    pub aborted: Vec<(TxnId, AbortReason)>,
+}
+
+impl StepEffects {
+    /// No side effects.
+    #[must_use]
+    pub fn none() -> Self {
+        StepEffects::default()
+    }
+
+    /// Whether anything happened.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.resumed.is_empty() && self.aborted.is_empty()
+    }
+
+    /// Merges another effect set into this one.
+    pub fn merge(&mut self, other: StepEffects) {
+        self.resumed.extend(other.resumed);
+        self.aborted.extend(other.aborted);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effects_merge_and_emptiness() {
+        let mut a = StepEffects::none();
+        assert!(a.is_empty());
+        a.merge(StepEffects {
+            resumed: vec![(TxnId(1), Value::Int(5))],
+            aborted: vec![(TxnId(2), AbortReason::Deadlock)],
+        });
+        a.merge(StepEffects { resumed: vec![(TxnId(3), Value::Int(6))], aborted: vec![] });
+        assert_eq!(a.resumed.len(), 2);
+        assert_eq!(a.aborted.len(), 1);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn abort_reasons_display() {
+        assert_eq!(AbortReason::SleepConflict.to_string(), "sleep-conflict");
+        assert_eq!(AbortReason::Deadlock.to_string(), "deadlock");
+    }
+}

@@ -1,0 +1,185 @@
+//! Logical time.
+//!
+//! The whole system — managers, simulator, workload generator — runs on a
+//! *virtual* clock so that experiments are deterministic and a thousand
+//! simulated long-running transactions (inter-arrival 0.5 s, sleeps of many
+//! seconds) complete in milliseconds of wall time. Ticks are microseconds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in microseconds since the start of the run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Timestamp(pub u64);
+
+/// A span of virtual time, in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Duration(pub u64);
+
+impl Timestamp {
+    /// Time zero — the start of a run.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Builds a timestamp from whole milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: u64) -> Self {
+        Timestamp(ms * 1_000)
+    }
+
+    /// Builds a timestamp from seconds (fractional seconds allowed).
+    ///
+    /// # Panics
+    /// Panics if `secs` is negative or not finite.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid timestamp seconds: {secs}");
+        Timestamp((secs * 1e6).round() as u64)
+    }
+
+    /// This timestamp expressed in fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating difference `self - earlier`.
+    #[must_use]
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// The zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Builds a duration from whole milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000)
+    }
+
+    /// Builds a duration from seconds (fractional seconds allowed).
+    ///
+    /// # Panics
+    /// Panics if `secs` is negative or not finite.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration seconds: {secs}");
+        Duration((secs * 1e6).round() as u64)
+    }
+
+    /// This duration expressed in fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Scales the duration by a non-negative factor, rounding to the
+    /// nearest microsecond.
+    #[must_use]
+    pub fn mul_f64(self, factor: f64) -> Duration {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid duration factor: {factor}");
+        Duration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    fn sub(self, rhs: Timestamp) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_round_trips_through_seconds() {
+        let t = Timestamp::from_secs_f64(1.5);
+        assert_eq!(t.0, 1_500_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        let early = Timestamp::from_millis(100);
+        let late = Timestamp::from_millis(250);
+        assert_eq!(late.since(early), Duration::from_millis(150));
+        assert_eq!(early.since(late), Duration::ZERO);
+    }
+
+    #[test]
+    fn arithmetic_composes() {
+        let mut t = Timestamp::ZERO;
+        t += Duration::from_millis(500);
+        let t2 = t + Duration::from_secs_f64(0.5);
+        assert_eq!(t2, Timestamp::from_secs_f64(1.0));
+        assert_eq!(t2 - t, Duration::from_millis(500));
+    }
+
+    #[test]
+    fn mul_f64_scales_and_rounds() {
+        let d = Duration::from_millis(100).mul_f64(2.5);
+        assert_eq!(d, Duration::from_millis(250));
+        assert_eq!(Duration(3).mul_f64(0.5), Duration(2)); // 1.5 rounds to 2
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration seconds")]
+    fn negative_duration_panics() {
+        let _ = Duration::from_secs_f64(-1.0);
+    }
+}

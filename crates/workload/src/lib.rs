@@ -1,0 +1,25 @@
+//! `pstm-workload` — workload generators for the experiments.
+//!
+//! * [`paper`] — the §VI.B parameterized generator: 1000 transactions
+//!   over 5 database objects, a fraction `α` performing a subtraction
+//!   (mobile clients booking a ticket, `X = X − 1`), `1 − α` performing
+//!   an assignment (an administrator fixing a price, `X = c`),
+//!   disconnection probability `β` for subtraction transactions, uniform
+//!   object choice `γ`, fixed inter-arrival time 0.5 s;
+//! * [`travel`] — the §II motivating scenario: a travel agency database
+//!   (flights, hotels, museums, cars) with customers composing package
+//!   tours and administrators repricing;
+//! * [`world`] — helpers that build the backing database, bindings and
+//!   resources for either workload.
+//!
+//! All generators are seeded and deterministic.
+
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod travel;
+pub mod world;
+
+pub use paper::PaperWorkload;
+pub use travel::TravelWorkload;
+pub use world::{counter_world, World};

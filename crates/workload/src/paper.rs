@@ -1,0 +1,322 @@
+//! The §VI.B workload generator.
+//!
+//! The paper's GTM evaluation: a data set of 1000 transactions over 5
+//! database objects. With probability `α` a transaction is a mobile
+//! client booking (a subtraction, `X_q = X_q − 1`, issued as read-then-
+//! book); with probability `1 − α` it is an administrator on a fixed
+//! device performing an assignment (`X_p = c`). Subtraction transactions
+//! disconnect with probability `β` (assignments never do — the admin is
+//! wired). Each transaction works on object `j` with probability `γ_j`
+//! (uniform here), arrivals are spaced 0.5 s apart in arrival-label
+//! order.
+
+use pstm_sim::{LinkModel, Step, TxnScript};
+use pstm_types::{Duration, ResourceId, ScalarOp, Timestamp, TxnId, Value};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Parameters of the §VI.B experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct PaperWorkload {
+    /// Number of transactions (paper: 1000).
+    pub n_txns: usize,
+    /// Probability a transaction is a subtraction (mobile booking).
+    pub alpha: f64,
+    /// Disconnection probability for subtraction transactions.
+    pub beta: f64,
+    /// Fixed inter-arrival time (paper: 0.5 s).
+    pub interarrival: Duration,
+    /// Base user think time between steps.
+    pub think: Duration,
+    /// How long a disconnection lasts.
+    pub disconnect_for: Duration,
+    /// RNG seed — runs are deterministic per seed.
+    pub seed: u64,
+}
+
+impl Default for PaperWorkload {
+    fn default() -> Self {
+        PaperWorkload {
+            n_txns: 1000,
+            alpha: 0.7,
+            beta: 0.05,
+            interarrival: Duration::from_secs_f64(0.5),
+            think: Duration::from_secs_f64(1.0),
+            disconnect_for: Duration::from_secs_f64(8.0),
+            seed: 42,
+        }
+    }
+}
+
+impl PaperWorkload {
+    /// Generates the transaction scripts over the given resources
+    /// (uniform `γ`). Transaction ids are the arrival labels
+    /// `λ = 1..=n`.
+    #[must_use]
+    pub fn scripts(&self, resources: &[ResourceId]) -> Vec<TxnScript> {
+        assert!(!resources.is_empty(), "workload needs at least one resource");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut scripts = Vec::with_capacity(self.n_txns);
+        for label in 1..=self.n_txns as u64 {
+            let arrival = Timestamp::ZERO
+                + Duration::from_secs_f64(self.interarrival.as_secs_f64() * (label - 1) as f64);
+            let resource = resources[rng.gen_range(0..resources.len())];
+            let is_subtraction = rng.gen_bool(self.alpha.clamp(0.0, 1.0));
+            let steps = if is_subtraction {
+                let disconnects = rng.gen_bool(self.beta.clamp(0.0, 1.0));
+                self.subtraction_steps(resource, disconnects, &mut rng)
+            } else {
+                self.assignment_steps(resource, &mut rng)
+            };
+            scripts.push(TxnScript::new(TxnId(label), arrival, steps));
+        }
+        scripts
+    }
+
+    /// Mobile booking: think, check availability (read folded into the
+    /// additive class per the paper's simplification), optionally
+    /// disconnect mid-execution, book, think, commit.
+    fn subtraction_steps(
+        &self,
+        resource: ResourceId,
+        disconnects: bool,
+        rng: &mut StdRng,
+    ) -> Vec<Step> {
+        let think = |rng: &mut StdRng| Step::Think(jitter(self.think, rng));
+        let mut steps = vec![
+            think(rng),
+            Step::Op(resource, ScalarOp::Read),
+            think(rng),
+            Step::Op(resource, ScalarOp::Sub(Value::Int(1))),
+        ];
+        if disconnects {
+            // "All disconnections take place during the transaction
+            // execution" — after the booking, while the transaction holds
+            // its additive class (the paper folds reads-for-update into
+            // the update class, so a disconnected booker is an additive
+            // holder that incompatible commits can kill at awake time).
+            steps.push(Step::Disconnect(jitter(self.disconnect_for, rng)));
+        }
+        steps.push(think(rng));
+        steps.push(Step::Commit);
+        steps
+    }
+
+    /// Administrator repricing: a short wired session, no disconnection.
+    fn assignment_steps(&self, resource: ResourceId, rng: &mut StdRng) -> Vec<Step> {
+        let price = rng.gen_range(50..500);
+        vec![
+            Step::Think(jitter(self.think, rng)),
+            Step::Op(resource, ScalarOp::Assign(Value::Int(price))),
+            Step::Think(jitter(self.think, rng)),
+            Step::Commit,
+        ]
+    }
+}
+
+impl PaperWorkload {
+    /// Variant of [`PaperWorkload::scripts`] that derives disconnections
+    /// from a sampled two-state Markov link ([`LinkModel`]) instead of
+    /// the flat β coin: each mobile client gets its own link trace, and a
+    /// booking that falls into a down window disconnects until the
+    /// window ends. The workload's `beta` field is ignored — the
+    /// effective disconnection pressure is `link.down_fraction()` and
+    /// outage lengths follow the link's sojourn distribution (bursty,
+    /// not fixed).
+    #[must_use]
+    pub fn scripts_with_link(
+        &self,
+        resources: &[ResourceId],
+        link: LinkModel,
+    ) -> Vec<TxnScript> {
+        assert!(!resources.is_empty(), "workload needs at least one resource");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut scripts = Vec::with_capacity(self.n_txns);
+        for label in 1..=self.n_txns as u64 {
+            let arrival = Timestamp::ZERO
+                + Duration::from_secs_f64(self.interarrival.as_secs_f64() * (label - 1) as f64);
+            let resource = resources[rng.gen_range(0..resources.len())];
+            let is_subtraction = rng.gen_bool(self.alpha.clamp(0.0, 1.0));
+            let steps = if is_subtraction {
+                // Sample this client's link over a generous session
+                // horizon, then place the outage where the booking lands.
+                let horizon = Timestamp::ZERO
+                    + Duration::from_secs_f64(self.think.as_secs_f64() * 20.0);
+                let trace = link.sample_trace_stationary(horizon, &mut rng);
+                let t1 = jitter(self.think, &mut rng);
+                let t2 = jitter(self.think, &mut rng);
+                let t3 = jitter(self.think, &mut rng);
+                // Offset of the post-booking moment within the session.
+                let book_at = Timestamp::ZERO + t1 + t2;
+                let mut steps = vec![
+                    Step::Think(t1),
+                    Step::Op(resource, ScalarOp::Read),
+                    Step::Think(t2),
+                    Step::Op(resource, ScalarOp::Sub(Value::Int(1))),
+                ];
+                if trace.is_down(book_at) {
+                    let until = trace.next_up(book_at);
+                    steps.push(Step::Disconnect(until.since(book_at)));
+                }
+                steps.push(Step::Think(t3));
+                steps.push(Step::Commit);
+                steps
+            } else {
+                self.assignment_steps(resource, &mut rng)
+            };
+            scripts.push(TxnScript::new(TxnId(label), arrival, steps));
+        }
+        scripts
+    }
+}
+
+/// Uniform jitter in [0.5·d, 1.5·d] keeps scripts long-running without
+/// lockstep artifacts.
+fn jitter(d: Duration, rng: &mut StdRng) -> Duration {
+    d.mul_f64(rng.gen_range(0.5..1.5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pstm_types::ObjectId;
+
+    fn resources(n: u32) -> Vec<ResourceId> {
+        (0..n).map(|i| ResourceId::atomic(ObjectId(i))).collect()
+    }
+
+    #[test]
+    fn generates_requested_count_with_fixed_interarrival() {
+        let w = PaperWorkload { n_txns: 100, ..PaperWorkload::default() };
+        let scripts = w.scripts(&resources(5));
+        assert_eq!(scripts.len(), 100);
+        for (i, s) in scripts.iter().enumerate() {
+            assert_eq!(s.txn, TxnId(i as u64 + 1));
+            assert_eq!(s.arrival, Timestamp::from_secs_f64(0.5 * i as f64));
+        }
+    }
+
+    #[test]
+    fn alpha_controls_operation_mix() {
+        let make = |alpha: f64| {
+            let w = PaperWorkload { n_txns: 2000, alpha, beta: 0.0, ..PaperWorkload::default() };
+            w.scripts(&resources(5))
+                .iter()
+                .filter(|s| {
+                    s.steps.iter().any(|st| matches!(st, Step::Op(_, ScalarOp::Sub(_))))
+                })
+                .count()
+        };
+        assert_eq!(make(0.0), 0);
+        assert_eq!(make(1.0), 2000);
+        let half = make(0.5);
+        assert!((800..1200).contains(&half), "α=0.5 gave {half}/2000 subtractions");
+    }
+
+    #[test]
+    fn beta_controls_disconnections_of_subtractions_only() {
+        let w = PaperWorkload { n_txns: 2000, alpha: 0.5, beta: 1.0, ..PaperWorkload::default() };
+        let scripts = w.scripts(&resources(5));
+        for s in &scripts {
+            let is_sub = s.steps.iter().any(|st| matches!(st, Step::Op(_, ScalarOp::Sub(_))));
+            assert_eq!(s.disconnects, is_sub, "β=1: exactly the subtractions disconnect");
+        }
+        let w0 = PaperWorkload { n_txns: 500, beta: 0.0, ..PaperWorkload::default() };
+        assert!(w0.scripts(&resources(5)).iter().all(|s| !s.disconnects));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = PaperWorkload { n_txns: 50, ..PaperWorkload::default() };
+        let a = w.scripts(&resources(5));
+        let b = w.scripts(&resources(5));
+        assert_eq!(a, b);
+        let w2 = PaperWorkload { seed: 7, n_txns: 50, ..PaperWorkload::default() };
+        assert_ne!(a, w2.scripts(&resources(5)));
+    }
+
+    #[test]
+    fn objects_are_used_roughly_uniformly() {
+        let w = PaperWorkload { n_txns: 5000, ..PaperWorkload::default() };
+        let rs = resources(5);
+        let scripts = w.scripts(&rs);
+        let mut counts = vec![0usize; 5];
+        for s in &scripts {
+            for st in &s.steps {
+                if let Step::Op(r, _) = st {
+                    counts[r.object.0 as usize] += 1;
+                    break; // one object per txn
+                }
+            }
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "non-uniform object use: {c}/5000");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resource")]
+    fn empty_resources_rejected() {
+        let w = PaperWorkload::default();
+        let _ = w.scripts(&[]);
+    }
+}
+
+#[cfg(test)]
+mod link_tests {
+    use super::*;
+    use pstm_types::ObjectId;
+
+    fn resources(n: u32) -> Vec<ResourceId> {
+        (0..n).map(|i| ResourceId::atomic(ObjectId(i))).collect()
+    }
+
+    #[test]
+    fn link_down_fraction_drives_disconnect_share() {
+        let w = PaperWorkload { n_txns: 4_000, alpha: 1.0, ..PaperWorkload::default() };
+        // ~25% down: mean_up 3·think, mean_down 1·think.
+        let link = LinkModel {
+            mean_up: Duration::from_secs_f64(3.0),
+            mean_down: Duration::from_secs_f64(1.0),
+        };
+        let scripts = w.scripts_with_link(&resources(5), link);
+        let disconnecting = scripts.iter().filter(|s| s.disconnects).count();
+        let share = disconnecting as f64 / scripts.len() as f64;
+        assert!(
+            (0.15..0.35).contains(&share),
+            "≈25% of bookings should land in a down window, got {share}"
+        );
+    }
+
+    #[test]
+    fn perfect_link_never_disconnects() {
+        let w = PaperWorkload { n_txns: 300, alpha: 1.0, ..PaperWorkload::default() };
+        let link = LinkModel {
+            mean_up: Duration::from_secs_f64(1e9),
+            mean_down: Duration::ZERO,
+        };
+        let scripts = w.scripts_with_link(&resources(3), link);
+        assert!(scripts.iter().all(|s| !s.disconnects));
+    }
+
+    #[test]
+    fn admins_unaffected_by_link() {
+        let w = PaperWorkload { n_txns: 500, alpha: 0.0, ..PaperWorkload::default() };
+        let link = LinkModel {
+            mean_up: Duration::from_secs_f64(0.1),
+            mean_down: Duration::from_secs_f64(10.0),
+        };
+        let scripts = w.scripts_with_link(&resources(3), link);
+        assert!(scripts.iter().all(|s| !s.disconnects), "wired admins never disconnect");
+    }
+
+    #[test]
+    fn deterministic_per_seed_with_link() {
+        let w = PaperWorkload { n_txns: 100, ..PaperWorkload::default() };
+        let link = LinkModel {
+            mean_up: Duration::from_secs_f64(5.0),
+            mean_down: Duration::from_secs_f64(1.0),
+        };
+        assert_eq!(w.scripts_with_link(&resources(3), link), w.scripts_with_link(&resources(3), link));
+    }
+}

@@ -1,0 +1,189 @@
+//! An interactive shell over the GTM — poke at the paper's state
+//! machines by hand.
+//!
+//! ```text
+//! cargo run --example repl
+//! pstm> begin 1
+//! pstm> sub 1 0 1        # T1: X0 = X0 - 1
+//! pstm> sleep 1
+//! pstm> begin 2
+//! pstm> assign 2 0 500   # bypasses the sleeper
+//! pstm> commit 2
+//! pstm> awake 1          # -> aborted (sleep conflict)
+//! pstm> show
+//! ```
+//!
+//! Also scriptable: `echo "begin 1\nsub 1 0 1\ncommit 1\nshow" | cargo run --example repl`
+
+use preserial::gtm::{AwakeResult, CommitResult, Gtm, GtmConfig};
+use pstm_types::{PstmError, ScalarOp, Timestamp, TxnId, Value};
+use pstm_workload::counter_world;
+use std::io::{BufRead, Write};
+
+const OBJECTS: usize = 3;
+const INITIAL: i64 = 100;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = counter_world(OBJECTS, INITIAL)?;
+    let mut gtm = Gtm::new(world.db.clone(), world.bindings.clone(), GtmConfig::default());
+    let mut clock: u64 = 0;
+
+    println!("pre-serialization middleware shell — {OBJECTS} objects (X0..X{}) at {INITIAL}, CHECK >= 0", OBJECTS - 1);
+    println!("type `help` for commands, `quit` to exit");
+
+    let stdin = std::io::stdin();
+    let interactive = atty_stdin();
+    loop {
+        if interactive {
+            print!("pstm> ");
+            std::io::stdout().flush()?;
+        }
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        clock += 100_000; // each command advances the clock 0.1 s
+        let now = Timestamp(clock);
+        let words: Vec<&str> = line.split_whitespace().collect();
+        let result = dispatch(&mut gtm, &world, &words, now);
+        match result {
+            Ok(Reply::Quit) => break,
+            Ok(Reply::Text(msg)) => {
+                if !msg.is_empty() {
+                    println!("{msg}");
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+enum Reply {
+    Text(String),
+    Quit,
+}
+
+fn dispatch(
+    gtm: &mut Gtm,
+    world: &pstm_workload::World,
+    words: &[&str],
+    now: Timestamp,
+) -> Result<Reply, PstmError> {
+    let parse_txn = |w: &str| -> Result<TxnId, PstmError> {
+        w.parse::<u64>().map(TxnId).map_err(|_| PstmError::internal(format!("bad txn id {w}")))
+    };
+    let parse_obj = |w: &str| -> Result<pstm_types::ResourceId, PstmError> {
+        let i: usize =
+            w.parse().map_err(|_| PstmError::internal(format!("bad object index {w}")))?;
+        world
+            .resources
+            .get(i)
+            .copied()
+            .ok_or_else(|| PstmError::NotFound(format!("object #{i}")))
+    };
+    let parse_const = |w: &str| -> Result<Value, PstmError> {
+        if let Ok(i) = w.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+        w.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| PstmError::internal(format!("bad constant {w}")))
+    };
+
+    let reply = match words {
+        [] => Reply::Text(String::new()),
+        ["quit" | "exit"] => Reply::Quit,
+        ["help"] => Reply::Text(
+            "commands:\n  begin <t>\n  read <t> <obj>\n  assign|add|sub|mul|div <t> <obj> <c>\n  \
+             commit <t> | abort <t> | sleep <t> | awake <t>\n  state <t> | show | stats | quit"
+                .into(),
+        ),
+        ["begin", t] => {
+            gtm.begin(parse_txn(t)?, now)?;
+            Reply::Text(format!("T{t} active"))
+        }
+        ["read", t, o] => {
+            let (out, fx) = gtm.execute(parse_txn(t)?, parse_obj(o)?, ScalarOp::Read, now)?;
+            Reply::Text(format!("{out:?}{}", effects_suffix(&fx)))
+        }
+        [op @ ("assign" | "add" | "sub" | "mul" | "div"), t, o, c] => {
+            let constant = parse_const(c)?;
+            let op = match *op {
+                "assign" => ScalarOp::Assign(constant),
+                "add" => ScalarOp::Add(constant),
+                "sub" => ScalarOp::Sub(constant),
+                "mul" => ScalarOp::Mul(constant),
+                _ => ScalarOp::Div(constant),
+            };
+            let (out, fx) = gtm.execute(parse_txn(t)?, parse_obj(o)?, op, now)?;
+            Reply::Text(format!("{out:?}{}", effects_suffix(&fx)))
+        }
+        ["commit", t] => {
+            let (r, fx) = gtm.commit(parse_txn(t)?, now)?;
+            let msg = match r {
+                CommitResult::Committed => "committed".to_owned(),
+                CommitResult::Aborted(reason) => format!("aborted at commit: {reason}"),
+            };
+            Reply::Text(format!("{msg}{}", effects_suffix(&fx)))
+        }
+        ["abort", t] => {
+            let fx = gtm.abort(parse_txn(t)?, now)?;
+            Reply::Text(format!("aborted{}", effects_suffix(&fx)))
+        }
+        ["sleep", t] => {
+            let fx = gtm.sleep(parse_txn(t)?, now)?;
+            Reply::Text(format!("sleeping{}", effects_suffix(&fx)))
+        }
+        ["awake", t] => {
+            let (r, fx) = gtm.awake(parse_txn(t)?, now)?;
+            let msg = match r {
+                AwakeResult::Resumed(Some(v)) => format!("resumed; queued op completed: {v}"),
+                AwakeResult::Resumed(None) => "resumed".to_owned(),
+                AwakeResult::Aborted => "aborted on awakening (sleep conflict)".to_owned(),
+            };
+            Reply::Text(format!("{msg}{}", effects_suffix(&fx)))
+        }
+        ["state", t] => {
+            let txn = parse_txn(t)?;
+            match gtm.state(txn) {
+                Some(s) => Reply::Text(format!("T{t}: {s}")),
+                None => Reply::Text(format!("T{t}: unknown")),
+            }
+        }
+        ["show"] => {
+            let mut out = String::new();
+            for (i, r) in world.resources.iter().enumerate() {
+                let b = world.bindings.resolve(*r)?;
+                let v = world.db.get_col(b.table, b.row, b.column)?;
+                out.push_str(&format!("X{i} = {v}\n"));
+            }
+            Reply::Text(out.trim_end().to_owned())
+        }
+        ["stats"] => Reply::Text(format!("{:#?}", gtm.stats())),
+        other => Reply::Text(format!("unknown command {other:?}; try `help`")),
+    };
+    Ok(reply)
+}
+
+fn effects_suffix(fx: &pstm_types::StepEffects) -> String {
+    if fx.is_empty() {
+        String::new()
+    } else {
+        let mut s = String::new();
+        for (t, v) in &fx.resumed {
+            s.push_str(&format!("  [{t} resumed with {v}]"));
+        }
+        for (t, r) in &fx.aborted {
+            s.push_str(&format!("  [{t} aborted: {r}]"));
+        }
+        s
+    }
+}
+
+/// Crude interactivity probe without extra dependencies: honour an env
+/// override, otherwise assume non-interactive when stdin is piped (the
+/// common scripted case prints no prompts).
+fn atty_stdin() -> bool {
+    std::env::var("PSTM_REPL_PROMPT").map(|v| v == "1").unwrap_or(false)
+}

@@ -1,0 +1,103 @@
+//! Durability end to end: after a full mobile workload commits through
+//! the GTM, a crash + recovery of the LDBS must reproduce exactly the
+//! state the SSTs left behind (the middleware delegates durability to
+//! the engine — this test proves the delegation holds).
+
+use preserial::gtm::{Gtm, GtmConfig};
+use preserial::sim::{GtmBackend, Runner, RunnerConfig};
+use preserial::workload::{counter_world, PaperWorkload};
+use pstm_types::{Duration, Value};
+
+#[test]
+fn committed_workload_survives_crash() {
+    let world = counter_world(5, 10_000).unwrap();
+    let workload = PaperWorkload {
+        n_txns: 120,
+        alpha: 0.8,
+        beta: 0.1,
+        interarrival: Duration::from_secs_f64(0.1),
+        ..PaperWorkload::default()
+    };
+    let scripts = workload.scripts(&world.resources);
+    let gtm = Gtm::new(world.db.clone(), world.bindings.clone(), GtmConfig::default());
+    let (report, backend) = Runner::new(GtmBackend(gtm), scripts, RunnerConfig::default())
+        .run_with_backend()
+        .unwrap();
+    assert!(report.committed > 0);
+
+    // Snapshot the values the SSTs left.
+    let before: Vec<Value> = world
+        .resources
+        .iter()
+        .map(|r| {
+            let b = world.bindings.resolve(*r).unwrap();
+            world.db.get_col(b.table, b.row, b.column).unwrap()
+        })
+        .collect();
+
+    // Crash and recover the engine (no checkpoint was ever taken: full
+    // WAL replay from genesis — but DDL happened before any checkpoint,
+    // so take one first to capture the catalog... no: counter_world does
+    // not checkpoint; recovery requires the catalog in a checkpoint.
+    // Take a quiescent checkpoint now, then crash: recovery must then
+    // reproduce the exact same state from the image alone.
+    world.db.checkpoint().unwrap();
+    world.db.simulate_crash_and_recover().unwrap();
+
+    let after: Vec<Value> = world
+        .resources
+        .iter()
+        .map(|r| {
+            let b = world.bindings.resolve(*r).unwrap();
+            world.db.get_col(b.table, b.row, b.column).unwrap()
+        })
+        .collect();
+    assert_eq!(before, after, "recovered state differs from committed state");
+
+    // The history still replays to the recovered state.
+    backend.0.verify_serializable().unwrap();
+}
+
+#[test]
+fn crash_mid_history_loses_only_the_tail() {
+    // Commit some work, checkpoint, commit more, tear the WAL tail: the
+    // checkpointed prefix must survive untouched.
+    let world = counter_world(1, 1_000).unwrap();
+    let r = world.resources[0];
+    let b = world.bindings.resolve(r).unwrap();
+
+    let run = |n_txns: usize, seed: u64, id_base: u64| {
+        let workload = PaperWorkload {
+            n_txns,
+            alpha: 1.0,
+            beta: 0.0,
+            interarrival: Duration::from_secs_f64(0.05),
+            seed,
+            ..PaperWorkload::default()
+        };
+        let mut scripts = workload.scripts(&world.resources);
+        for s in &mut scripts {
+            s.txn = pstm_types::TxnId(s.txn.0 + id_base);
+        }
+        let gtm = Gtm::new(world.db.clone(), world.bindings.clone(), GtmConfig::default());
+        Runner::new(GtmBackend(gtm), scripts, RunnerConfig::default()).run().unwrap()
+    };
+
+    let first = run(30, 1, 0);
+    assert_eq!(first.committed, 30);
+    let after_first = world.db.get_col(b.table, b.row, b.column).unwrap();
+    world.db.checkpoint().unwrap();
+
+    let second = run(10, 2, 1_000);
+    assert_eq!(second.committed, 10);
+
+    // Tear far enough to destroy the last SST's commit record; recovery
+    // must keep a consistent prefix — at least the checkpointed 30
+    // bookings, at most all 40.
+    world.db.crash_with_torn_tail(8).unwrap();
+    let recovered = world.db.get_col(b.table, b.row, b.column).unwrap().as_int().unwrap();
+    let first_val = after_first.as_int().unwrap();
+    assert!(recovered <= first_val, "bookings only subtract");
+    assert!(recovered >= first_val - 10, "at most the second batch is lost");
+    assert!(recovered >= 960, "30 bookings committed before the checkpoint");
+}

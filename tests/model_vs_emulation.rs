@@ -1,0 +1,79 @@
+//! Cross-validation: the analytical model (§VI.A) and the emulation
+//! (§VI.B) must agree on *direction* — the middleware never loses to 2PL
+//! on execution time, and its sleeping-transaction abort rate stays below
+//! the 2PL timeout policy's.
+
+use pstm_bench::{run_emulation, Scheduler};
+use pstm_core::gtm::GtmConfig;
+use pstm_model::{abort_pct_pstm, abort_pct_twopl, exec_time_pstm, exec_time_twopl};
+use pstm_types::Duration;
+use pstm_workload::PaperWorkload;
+
+#[test]
+fn analytical_dominance_everywhere() {
+    let n = 100;
+    for c in (0..=n).step_by(10) {
+        for i in (0..=n).step_by(10) {
+            assert!(exec_time_pstm(n, c, i, 1.0) <= exec_time_twopl(n, c, 1.0) + 1e-9);
+        }
+    }
+    for d in 0..=10 {
+        for c in 0..=10 {
+            for i in 0..=10 {
+                let (d, c, i) = (d as f64 / 10.0, c as f64 / 10.0, i as f64 / 10.0);
+                assert!(abort_pct_pstm(d, c, i) <= abort_pct_twopl(d) + 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn emulation_agrees_with_model_direction() {
+    // A contended point: α = 0.8, β = 0.1.
+    let workload = PaperWorkload {
+        n_txns: 150,
+        alpha: 0.8,
+        beta: 0.1,
+        interarrival: Duration::from_secs_f64(0.2),
+        ..PaperWorkload::default()
+    };
+    let g = run_emulation(Scheduler::Gtm, &workload, GtmConfig::default()).unwrap();
+    let t = run_emulation(Scheduler::TwoPl, &workload, GtmConfig::default()).unwrap();
+
+    assert!(g.unfinished == 0 && t.unfinished == 0);
+    // Execution time: the model predicts PSTM ≤ 2PL; allow a small
+    // tolerance for the different commit populations.
+    assert!(
+        g.mean_exec_committed_s <= t.mean_exec_committed_s * 1.05,
+        "gtm {} vs 2pl {}",
+        g.mean_exec_committed_s,
+        t.mean_exec_committed_s
+    );
+    // Abort rate: the middleware's product model bounds it below 2PL's
+    // sleep-timeout behaviour.
+    assert!(g.abort_pct <= t.abort_pct, "gtm {} vs 2pl {}", g.abort_pct, t.abort_pct);
+    assert!(
+        g.abort_pct_disconnected <= t.abort_pct_disconnected,
+        "gtm {} vs 2pl {}",
+        g.abort_pct_disconnected,
+        t.abort_pct_disconnected
+    );
+}
+
+#[test]
+fn incompatibility_free_workload_matches_best_case() {
+    // α = 1 (all additive, i = 0 in model terms), no disconnections: the
+    // model's best case — zero aborts under the middleware.
+    let workload = PaperWorkload {
+        n_txns: 120,
+        alpha: 1.0,
+        beta: 0.0,
+        interarrival: Duration::from_secs_f64(0.1),
+        ..PaperWorkload::default()
+    };
+    let g = run_emulation(Scheduler::Gtm, &workload, GtmConfig::default()).unwrap();
+    assert_eq!(g.aborted, 0, "i = 0 ⇒ no conflicts ⇒ no system aborts");
+    assert_eq!(g.committed, 120);
+    // The model's corresponding abort probability is exactly zero.
+    assert_eq!(abort_pct_pstm(0.0, 1.0, 0.0), 0.0);
+}

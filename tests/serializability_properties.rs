@@ -1,0 +1,91 @@
+//! Property-based end-to-end serializability: random mobile workloads
+//! driven through the full stack (workload → simulator → GTM → storage
+//! engine) must always leave the database in a state reachable by some
+//! serial execution — checked by replaying the committed history in
+//! commit order (final-state equivalence, the §V claim).
+
+use preserial::gtm::{Gtm, GtmConfig};
+use preserial::sim::{GtmBackend, Runner, RunnerConfig};
+use preserial::workload::{counter_world, PaperWorkload};
+use proptest::prelude::*;
+use pstm_core::policy::{AdmissionPolicy, StarvationPolicy};
+use pstm_types::Duration;
+
+fn run_and_verify(workload: &PaperWorkload, config: GtmConfig) {
+    let world = counter_world(5, 10_000).expect("world");
+    let scripts = workload.scripts(&world.resources);
+    let gtm = Gtm::new(world.db.clone(), world.bindings, config);
+    let (report, backend) = Runner::new(GtmBackend(gtm), scripts, RunnerConfig::default())
+        .run_with_backend()
+        .expect("run");
+    assert_eq!(report.unfinished, 0, "workload must drain");
+    backend.0.verify_serializable().expect("final-state serializability");
+    // Conservation law: with only subtractions committing against large
+    // counters, each committed subtraction removes exactly one unit.
+    let committed_subs = backend.0.history().replay_serial().expect("replay");
+    let total: i64 = committed_subs
+        .values()
+        .map(|v| v.as_int().unwrap_or(0))
+        .sum();
+    assert!(total <= 50_000, "counters can only shrink from 5 × 10000");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Paper defaults, random α/β/seed.
+    #[test]
+    fn prop_random_workloads_serializable(
+        alpha in 0.0f64..1.0,
+        beta in 0.0f64..0.5,
+        seed in 0u64..1_000,
+    ) {
+        let workload = PaperWorkload {
+            n_txns: 60,
+            alpha,
+            beta,
+            interarrival: Duration::from_secs_f64(0.2),
+            seed,
+            ..PaperWorkload::default()
+        };
+        run_and_verify(&workload, GtmConfig::default());
+    }
+
+    /// The §VII extensions must preserve serializability.
+    #[test]
+    fn prop_policies_preserve_serializability(
+        seed in 0u64..1_000,
+        starve in 1usize..4,
+        unit in 1i64..3,
+    ) {
+        let workload = PaperWorkload {
+            n_txns: 50,
+            alpha: 0.8,
+            beta: 0.2,
+            interarrival: Duration::from_secs_f64(0.15),
+            seed,
+            ..PaperWorkload::default()
+        };
+        let config = GtmConfig {
+            starvation: Some(StarvationPolicy { deny_threshold: starve }),
+            admission: Some(AdmissionPolicy { unit, max_holders: usize::MAX }),
+            wait_timeout: Some(Duration::from_secs_f64(60.0)),
+            ..GtmConfig::default()
+        };
+        run_and_verify(&workload, config);
+    }
+}
+
+/// Deterministic regression of one dense, disconnect-heavy configuration.
+#[test]
+fn dense_disconnect_heavy_workload_serializable() {
+    let workload = PaperWorkload {
+        n_txns: 200,
+        alpha: 0.75,
+        beta: 0.4,
+        interarrival: Duration::from_secs_f64(0.05),
+        seed: 2008,
+        ..PaperWorkload::default()
+    };
+    run_and_verify(&workload, GtmConfig::default());
+}
