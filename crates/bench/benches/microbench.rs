@@ -8,11 +8,9 @@ use pstm_core::reconcile::reconcile;
 use pstm_lock::{LockManager, LockMode};
 use pstm_sim::{GtmBackend, Runner, RunnerConfig, TwoPlBackend};
 use pstm_storage::btree::BTreeIndex;
-use pstm_storage::{Database, HeapFile, Page, Row, RowId, Wal, LogRecord};
+use pstm_storage::{Database, HeapFile, LogRecord, Page, Row, RowId, Wal};
 use pstm_twopl::{TwoPlConfig, TwoPlManager};
-use pstm_types::{
-    Duration, ObjectId, OpClass, ResourceId, ScalarOp, Timestamp, TxnId, Value,
-};
+use pstm_types::{Duration, ObjectId, OpClass, ResourceId, ScalarOp, Timestamp, TxnId, Value};
 use pstm_workload::{counter_world, PaperWorkload};
 
 fn bench_storage(c: &mut Criterion) {
@@ -202,8 +200,13 @@ fn bench_lock_manager(c: &mut Criterion) {
             lm.request(TxnId(1_000 + obj as u64), res, LockMode::Exclusive, Timestamp::ZERO)
                 .unwrap();
             for w in 0..8u64 {
-                lm.request(TxnId(2_000 + obj as u64 * 8 + w), res, LockMode::Exclusive, Timestamp::ZERO)
-                    .unwrap();
+                lm.request(
+                    TxnId(2_000 + obj as u64 * 8 + w),
+                    res,
+                    LockMode::Exclusive,
+                    Timestamp::ZERO,
+                )
+                .unwrap();
             }
         }
         b.iter(|| lm.detect_deadlock());
@@ -316,5 +319,12 @@ fn bench_occ(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_storage, bench_lock_manager, bench_gtm, bench_occ, bench_end_to_end);
+criterion_group!(
+    benches,
+    bench_storage,
+    bench_lock_manager,
+    bench_gtm,
+    bench_occ,
+    bench_end_to_end
+);
 criterion_main!(benches);

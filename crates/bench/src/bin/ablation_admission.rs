@@ -56,7 +56,8 @@ fn measure(seats: i64, bookers: u64, admission: Option<AdmissionPolicy>) -> Row 
         .expect("run");
     let constraint = *report.aborts_by_reason.get("constraint").unwrap_or(&0);
     Row {
-        policy: admission.map_or_else(|| "off (paper default)".into(), |p| format!("unit={}", p.unit)),
+        policy: admission
+            .map_or_else(|| "off (paper default)".into(), |p| format!("unit={}", p.unit)),
         seats,
         bookers,
         committed: report.committed,
@@ -70,7 +71,15 @@ fn measure(seats: i64, bookers: u64, admission: Option<AdmissionPolicy>) -> Row 
 fn main() {
     pstm_bench::print_header(
         "Ablation A2 — §VII admission control (value-bounded holders)",
-        &["policy", "seats", "bookers", "committed", "constraint aborts", "other aborts", "denials"],
+        &[
+            "policy",
+            "seats",
+            "bookers",
+            "committed",
+            "constraint aborts",
+            "other aborts",
+            "denials",
+        ],
     );
     let mut rows = Vec::new();
     for (seats, bookers) in [(10i64, 40u64), (25, 40), (40, 40)] {

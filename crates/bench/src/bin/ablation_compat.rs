@@ -40,10 +40,9 @@ fn main() {
             interarrival: Duration::from_secs_f64(0.3),
             ..PaperWorkload::default()
         };
-        for (name, matrix) in [
-            ("table-I", CompatMatrix::paper()),
-            ("read/write", CompatMatrix::read_write_only()),
-        ] {
+        for (name, matrix) in
+            [("table-I", CompatMatrix::paper()), ("read/write", CompatMatrix::read_write_only())]
+        {
             let config = GtmConfig { compat: matrix, ..GtmConfig::default() };
             let r = run_emulation(Scheduler::Gtm, &workload, config).expect("run");
             println!(

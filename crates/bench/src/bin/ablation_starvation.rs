@@ -109,7 +109,14 @@ fn measure(remedy: Remedy) -> Row {
 fn main() {
     pstm_bench::print_header(
         "Ablation A1 — §VII starvation control (lock-deny)",
-        &["policy", "admin mean latency (s)", "stream mean latency (s)", "committed", "aborted", "denials"],
+        &[
+            "policy",
+            "admin mean latency (s)",
+            "stream mean latency (s)",
+            "committed",
+            "aborted",
+            "denials",
+        ],
     );
     let mut rows = Vec::new();
     for remedy in [

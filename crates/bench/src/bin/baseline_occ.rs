@@ -43,7 +43,9 @@ fn main() {
     };
 
     pstm_bench::print_header(
-        &format!("Baseline comparison — abort % and exec time vs alpha (beta = 0.05, n = {n_txns})"),
+        &format!(
+            "Baseline comparison — abort % and exec time vs alpha (beta = 0.05, n = {n_txns})"
+        ),
         &[
             "alpha",
             "GTM abort%",

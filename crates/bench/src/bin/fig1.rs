@@ -16,11 +16,7 @@ fn main() {
         &["c%", "2PL", "PSTM(i=0%)", "PSTM(i=25%)", "PSTM(i=50%)", "PSTM(i=75%)", "PSTM(i=100%)"],
     );
     for c_pct in (0..=100u64).step_by(10) {
-        let twopl = rows
-            .iter()
-            .find(|r| r.conflict_pct == c_pct)
-            .expect("row exists")
-            .twopl;
+        let twopl = rows.iter().find(|r| r.conflict_pct == c_pct).expect("row exists").twopl;
         let mut line = format!("{c_pct}\t{twopl:.4}");
         for i_pct in levels {
             let r = rows
@@ -47,5 +43,28 @@ fn main() {
     match pstm_bench::write_results("fig1", &rows) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
+    }
+
+    // Fig. 1 itself is closed-form (no transactions to trace), so with
+    // PSTM_TRACE set we drive one emulated GTM point of the same regime,
+    // persist its full event stream, and prove the artifact faithful by
+    // replaying it against the live counters.
+    let tracer = pstm_bench::tracer_from_env("fig1");
+    if tracer.is_enabled() {
+        use pstm_bench::{run_emulation_traced, Scheduler};
+        use pstm_core::gtm::GtmConfig;
+        use pstm_workload::PaperWorkload;
+        let workload = PaperWorkload { n_txns: 100, ..PaperWorkload::default() };
+        let report =
+            run_emulation_traced(Scheduler::Gtm, &workload, GtmConfig::default(), tracer.clone())
+                .expect("traced emulation");
+        println!(
+            "\ntraced emulation: {} txns, {} committed, {} aborted",
+            report.total, report.committed, report.aborted
+        );
+        match pstm_bench::verify_trace(&pstm_bench::trace_path("fig1"), &tracer) {
+            Ok(n) => println!("trace: {n} events; replayed counters match the live run ✓"),
+            Err(e) => eprintln!("trace verification failed: {e}"),
+        }
     }
 }

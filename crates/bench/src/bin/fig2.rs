@@ -37,4 +37,26 @@ fn main() {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
     }
+
+    // Like Fig. 1 this bin is closed-form; with PSTM_TRACE set we trace
+    // one emulated point at the disconnection-heavy end of the sweep and
+    // validate the artifact by replay.
+    let tracer = pstm_bench::tracer_from_env("fig2");
+    if tracer.is_enabled() {
+        use pstm_bench::{run_emulation_traced, Scheduler};
+        use pstm_core::gtm::GtmConfig;
+        use pstm_workload::PaperWorkload;
+        let workload = PaperWorkload { n_txns: 100, beta: 0.3, ..PaperWorkload::default() };
+        let report =
+            run_emulation_traced(Scheduler::Gtm, &workload, GtmConfig::default(), tracer.clone())
+                .expect("traced emulation");
+        println!(
+            "\ntraced emulation: {} txns, {} committed, {} aborted",
+            report.total, report.committed, report.aborted
+        );
+        match pstm_bench::verify_trace(&pstm_bench::trace_path("fig2"), &tracer) {
+            Ok(n) => println!("trace: {n} events; replayed counters match the live run ✓"),
+            Err(e) => eprintln!("trace verification failed: {e}"),
+        }
+    }
 }

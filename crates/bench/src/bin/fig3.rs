@@ -8,7 +8,7 @@
 //!
 //! Pass `--quick` to run 200-transaction sweeps (CI-friendly).
 
-use pstm_bench::{run_emulation, Scheduler};
+use pstm_bench::{run_emulation_traced, tracer_from_env, Scheduler};
 use pstm_core::gtm::GtmConfig;
 use pstm_types::Duration;
 use pstm_workload::PaperWorkload;
@@ -36,6 +36,10 @@ fn main() {
         ..PaperWorkload::default()
     };
     let mut rows: Vec<Fig3Row> = Vec::new();
+    // Set PSTM_TRACE=1 to persist every point's event stream (all GTM
+    // points share one file, all 2PL points another).
+    let trace_gtm = tracer_from_env("fig3_gtm");
+    let trace_2pl = tracer_from_env("fig3_2pl");
 
     // Left panel: execution time vs α at β = 0.05.
     pstm_bench::print_header(
@@ -45,10 +49,20 @@ fn main() {
     for step in 1..=10u32 {
         let alpha = f64::from(step) / 10.0;
         let workload = PaperWorkload { alpha, beta: 0.05, ..base };
-        let g = run_emulation(Scheduler::Gtm, &workload, GtmConfig::default())
-            .expect("gtm run");
-        let t = run_emulation(Scheduler::TwoPl, &workload, GtmConfig::default())
-            .expect("2pl run");
+        let g = run_emulation_traced(
+            Scheduler::Gtm,
+            &workload,
+            GtmConfig::default(),
+            trace_gtm.clone(),
+        )
+        .expect("gtm run");
+        let t = run_emulation_traced(
+            Scheduler::TwoPl,
+            &workload,
+            GtmConfig::default(),
+            trace_2pl.clone(),
+        )
+        .expect("2pl run");
         println!(
             "{alpha:.1}\t{:.3}\t{:.3}\t{:.2}\t{:.2}",
             g.mean_exec_committed_s, t.mean_exec_committed_s, g.abort_pct, t.abort_pct
@@ -76,10 +90,20 @@ fn main() {
     for step in 0..=6u32 {
         let beta = f64::from(step) * 0.05;
         let workload = PaperWorkload { alpha: 0.7, beta, ..base };
-        let g = run_emulation(Scheduler::Gtm, &workload, GtmConfig::default())
-            .expect("gtm run");
-        let t = run_emulation(Scheduler::TwoPl, &workload, GtmConfig::default())
-            .expect("2pl run");
+        let g = run_emulation_traced(
+            Scheduler::Gtm,
+            &workload,
+            GtmConfig::default(),
+            trace_gtm.clone(),
+        )
+        .expect("gtm run");
+        let t = run_emulation_traced(
+            Scheduler::TwoPl,
+            &workload,
+            GtmConfig::default(),
+            trace_2pl.clone(),
+        )
+        .expect("2pl run");
         println!(
             "{beta:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
             g.abort_pct, t.abort_pct, g.abort_pct_disconnected, t.abort_pct_disconnected

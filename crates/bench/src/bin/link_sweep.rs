@@ -7,8 +7,9 @@
 //! the GTM's abort rate for disconnected transactions stays well below
 //! 2PL's timeout policy — should survive the distribution change.
 
-use pstm_bench::{twopl_config_for_emulation, FIG3_INITIAL, FIG3_OBJECTS};
+use pstm_bench::{tracer_from_env, twopl_config_for_emulation, FIG3_INITIAL, FIG3_OBJECTS};
 use pstm_core::gtm::{Gtm, GtmConfig};
+use pstm_obs::Tracer;
 use pstm_sim::{GtmBackend, LinkModel, RunReport, Runner, RunnerConfig, TwoPlBackend};
 use pstm_twopl::TwoPlManager;
 use pstm_types::Duration;
@@ -25,16 +26,25 @@ struct Row {
     committed: usize,
 }
 
-fn run(scheduler: &'static str, workload: &PaperWorkload, link: LinkModel) -> RunReport {
+fn run(
+    scheduler: &'static str,
+    workload: &PaperWorkload,
+    link: LinkModel,
+    tracer: Tracer,
+) -> RunReport {
     let world = counter_world(FIG3_OBJECTS, FIG3_INITIAL).expect("world");
+    world.db.set_tracer(tracer.clone());
     let scripts = workload.scripts_with_link(&world.resources, link);
     match scheduler {
         "gtm" => {
-            let gtm = Gtm::new(world.db.clone(), world.bindings, GtmConfig::default());
+            let gtm = Gtm::new(world.db.clone(), world.bindings, GtmConfig::default())
+                .with_tracer(tracer);
             Runner::new(GtmBackend(gtm), scripts, RunnerConfig::default()).run().expect("run")
         }
         _ => {
-            let tp = TwoPlManager::new(world.db.clone(), world.bindings, twopl_config_for_emulation());
+            let tp =
+                TwoPlManager::new(world.db.clone(), world.bindings, twopl_config_for_emulation())
+                    .with_tracer(tracer);
             Runner::new(TwoPlBackend(tp), scripts, RunnerConfig::default()).run().expect("run")
         }
     }
@@ -54,6 +64,8 @@ fn main() {
         &["down-frac", "GTM abort%", "2PL abort%", "GTM disc-abort%", "2PL disc-abort%"],
     );
     let mut rows = Vec::new();
+    let trace_gtm = tracer_from_env("link_sweep_gtm");
+    let trace_2pl = tracer_from_env("link_sweep_2pl");
     for step in 0..=6u32 {
         let down = f64::from(step) * 0.05;
         // Mean outage 8 s (as in the fixed-β runs); mean uptime set to
@@ -64,8 +76,8 @@ fn main() {
             mean_up: Duration::from_secs_f64(mean_up),
             mean_down: Duration::from_secs_f64(mean_down),
         };
-        let g = run("gtm", &workload, link);
-        let t = run("2pl", &workload, link);
+        let g = run("gtm", &workload, link, trace_gtm.clone());
+        let t = run("2pl", &workload, link, trace_2pl.clone());
         println!(
             "{down:.2}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
             g.abort_pct, t.abort_pct, g.abort_pct_disconnected, t.abort_pct_disconnected
@@ -83,6 +95,8 @@ fn main() {
     }
     println!("\nexpected shape: same ordering as Fig. 3 right panel — burstiness does");
     println!("not change who wins, only the magnitude of the sleep-conflict tail.");
+    trace_gtm.flush();
+    trace_2pl.flush();
     match pstm_bench::write_results("link_sweep", &rows) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),

@@ -13,7 +13,10 @@ fn main() {
     let world = counter_world(1, 100).expect("world");
     let x = world.resources[0];
     let binding = world.bindings.resolve(x).expect("binding");
-    let mut gtm = Gtm::new(world.db.clone(), world.bindings.clone(), GtmConfig::default());
+    let tracer = pstm_bench::tracer_from_env("table2");
+    world.db.set_tracer(tracer.clone());
+    let mut gtm = Gtm::new(world.db.clone(), world.bindings.clone(), GtmConfig::default())
+        .with_tracer(tracer.clone());
     let (a, b) = (TxnId(1), TxnId(2));
     let t = Timestamp::ZERO;
 
@@ -21,7 +24,8 @@ fn main() {
         "Table II — reconciliation trace",
         &["step", "X_permanent", "A_temp", "B_temp"],
     );
-    let perm = |gtm: &Gtm| gtm.database().get_col(binding.table, binding.row, binding.column).unwrap();
+    let perm =
+        |gtm: &Gtm| gtm.database().get_col(binding.table, binding.row, binding.column).unwrap();
 
     gtm.begin(a, t).unwrap();
     println!("begin A\t\t{}\t-\t-", perm(&gtm));
@@ -73,5 +77,11 @@ fn main() {
     ) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
+    }
+    if tracer.is_enabled() {
+        match pstm_bench::verify_trace(&pstm_bench::trace_path("table2"), &tracer) {
+            Ok(n) => println!("trace: {n} events; replayed counters match the live run ✓"),
+            Err(e) => eprintln!("trace verification failed: {e}"),
+        }
     }
 }

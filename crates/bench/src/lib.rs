@@ -15,12 +15,13 @@
 //! JSON under `results/`. Criterion microbenchmarks live in `benches/`.
 
 use pstm_core::gtm::{Gtm, GtmConfig};
+use pstm_obs::{load_jsonl, Ctr, JsonlSink, Tracer};
 use pstm_sim::{GtmBackend, RunReport, Runner, RunnerConfig, TwoPlBackend, TxnScript};
 use pstm_twopl::{TwoPlConfig, TwoPlManager};
 use pstm_types::{Duration, PstmResult};
 use pstm_workload::{counter_world, PaperWorkload};
 use serde::Serialize;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Which scheduler to drive.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,23 +59,89 @@ pub fn run_emulation(
     workload: &PaperWorkload,
     gtm_config: GtmConfig,
 ) -> PstmResult<RunReport> {
+    run_emulation_traced(scheduler, workload, gtm_config, Tracer::disabled())
+}
+
+/// [`run_emulation`] with a caller-supplied tracer threaded through the
+/// scheduler, its lock table, and the storage engine + WAL, so the whole
+/// stack lands in one interleaved event stream.
+pub fn run_emulation_traced(
+    scheduler: Scheduler,
+    workload: &PaperWorkload,
+    gtm_config: GtmConfig,
+    tracer: Tracer,
+) -> PstmResult<RunReport> {
     let world = counter_world(FIG3_OBJECTS, FIG3_INITIAL)?;
+    world.db.set_tracer(tracer.clone());
     let scripts: Vec<TxnScript> = workload.scripts(&world.resources);
     let runner_config = RunnerConfig::default();
-    match scheduler {
+    let report = match scheduler {
         Scheduler::Gtm => {
-            let gtm = Gtm::new(world.db.clone(), world.bindings, gtm_config);
+            let gtm =
+                Gtm::new(world.db.clone(), world.bindings, gtm_config).with_tracer(tracer.clone());
             Runner::new(GtmBackend(gtm), scripts, runner_config).run()
         }
         Scheduler::TwoPl => {
-            let tp = TwoPlManager::new(
-                world.db.clone(),
-                world.bindings,
-                twopl_config_for_emulation(),
-            );
+            let tp =
+                TwoPlManager::new(world.db.clone(), world.bindings, twopl_config_for_emulation())
+                    .with_tracer(tracer.clone());
             Runner::new(TwoPlBackend(tp), scripts, runner_config).run()
         }
+    };
+    tracer.flush();
+    report
+}
+
+/// Builds a tracer from the `PSTM_TRACE` environment variable: unset,
+/// empty, or `0` disables persistence (metrics still accumulate); any
+/// other value attaches a JSONL sink writing
+/// `results/trace_<label>.jsonl`.
+#[must_use]
+pub fn tracer_from_env(label: &str) -> Tracer {
+    match std::env::var("PSTM_TRACE") {
+        Ok(v) if !v.is_empty() && v != "0" => {
+            let path = trace_path(label);
+            match JsonlSink::create(&path) {
+                Ok(sink) => {
+                    eprintln!("tracing to {}", path.display());
+                    Tracer::with_sink(Box::new(sink))
+                }
+                Err(e) => {
+                    eprintln!("could not open {}: {e}; tracing disabled", path.display());
+                    Tracer::disabled()
+                }
+            }
+        }
+        _ => Tracer::disabled(),
     }
+}
+
+/// Where [`tracer_from_env`] writes the trace for `label`.
+#[must_use]
+pub fn trace_path(label: &str) -> PathBuf {
+    PathBuf::from("results").join(format!("trace_{label}.jsonl"))
+}
+
+/// Replays the JSONL trace at `path` and compares every counter against
+/// the live registry behind `tracer`. Returns the number of events
+/// replayed, or a message naming the first mismatched counter — the
+/// artifact-validity check from the acceptance criteria.
+pub fn verify_trace(path: &Path, tracer: &Tracer) -> Result<usize, String> {
+    tracer.flush();
+    let records = load_jsonl(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let rebuilt = pstm_obs::replay(&records);
+    let live = tracer.snapshot();
+    for c in Ctr::ALL {
+        if rebuilt.counter(*c) != live.counter(*c) {
+            return Err(format!(
+                "counter {} diverged: trace {} vs live {}",
+                c.name(),
+                rebuilt.counter(*c),
+                live.counter(*c)
+            ));
+        }
+    }
+    Ok(records.len())
 }
 
 /// Writes `rows` as JSON under `results/<name>.json` (created on demand),

@@ -35,9 +35,7 @@ impl DependenceMap {
     /// than two members are pointless and rejected.
     pub fn declare_dependent(&mut self, members: &[ResourceId]) -> PstmResult<usize> {
         if members.len() < 2 {
-            return Err(PstmError::internal(
-                "a dependence group needs at least two members",
-            ));
+            return Err(PstmError::internal("a dependence group needs at least two members"));
         }
         for m in members {
             if self.group_of.contains_key(m) {

@@ -29,6 +29,7 @@ use crate::reconcile::reconcile;
 use crate::sst::Sst;
 use crate::state::{ResourceState, TxnRecord, TxnState, WaitEntry};
 use pstm_lock::WaitsForGraph;
+use pstm_obs::{AbortOrigin, Ctr, MetricsRegistry, TraceEvent, Tracer};
 use pstm_storage::{BindingRegistry, Database};
 use pstm_types::{
     AbortReason, CompatMatrix, Duration, ExecOutcome, OpClass, PstmError, PstmResult, ResourceId,
@@ -125,13 +126,43 @@ pub struct GtmStats {
     pub aborted_sst_failure: u64,
 }
 
+impl GtmStats {
+    /// Projects the legacy counter set out of an obs registry. This is
+    /// the *only* way GTM stats are produced — live stats and stats
+    /// rebuilt from a persisted trace go through the same projection, so
+    /// they cannot drift.
+    #[must_use]
+    pub fn from_registry(reg: &MetricsRegistry) -> Self {
+        GtmStats {
+            begun: reg.counter(Ctr::Begun),
+            committed: reg.counter(Ctr::Committed),
+            aborted: reg.counter(Ctr::Aborted),
+            aborted_sleep_conflict: reg.counter(Ctr::AbortedSleepConflict),
+            aborted_deadlock: reg.counter(Ctr::AbortedDeadlock),
+            aborted_constraint: reg.counter(Ctr::AbortedConstraint),
+            aborted_wait_timeout: reg.counter(Ctr::AbortedLockTimeout),
+            ops_completed: reg.counter(Ctr::OpsCompleted),
+            ops_waited: reg.counter(Ctr::OpsWaited),
+            shared_grants: reg.counter(Ctr::SharedGrants),
+            bypassed_sleepers: reg.counter(Ctr::BypassedSleepers),
+            reconciliations: reg.counter(Ctr::Reconciliations),
+            ssts_executed: reg.counter(Ctr::SstsExecuted),
+            starvation_denials: reg.counter(Ctr::StarvationDenials),
+            admission_denials: reg.counter(Ctr::AdmissionDenials),
+            sst_retries: reg.counter(Ctr::SstRetries),
+            aborted_sst_failure: reg.counter(Ctr::AbortedSstFailure),
+        }
+    }
+}
+
 /// Whether an operation's worst case *decreases* the value — the ops the
 /// §VII admission bound applies to.
 fn op_decrements(op: &ScalarOp) -> bool {
     match op {
         ScalarOp::Sub(c) => !matches!(c, Value::Int(i) if *i <= 0),
-        ScalarOp::Add(c) => matches!(c, Value::Int(i) if *i < 0)
-            || matches!(c, Value::Float(f) if *f < 0.0),
+        ScalarOp::Add(c) => {
+            matches!(c, Value::Int(i) if *i < 0) || matches!(c, Value::Float(f) if *f < 0.0)
+        }
         _ => false,
     }
 }
@@ -198,7 +229,7 @@ pub struct Gtm {
     resources: BTreeMap<ResourceId, ResourceState>,
     config: GtmConfig,
     dependence: DependenceMap,
-    stats: GtmStats,
+    tracer: Tracer,
     history: HistoryRecorder,
 }
 
@@ -213,9 +244,24 @@ impl Gtm {
             resources: BTreeMap::new(),
             config,
             dependence: DependenceMap::new(),
-            stats: GtmStats::default(),
+            tracer: Tracer::disabled(),
             history: HistoryRecorder::new(),
         }
+    }
+
+    /// Installs a tracer (event sink + metrics registry). Builder-style;
+    /// call before scheduling begins.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The tracer this manager emits into. Clones share the registry, so
+    /// the handle stays valid however long the manager lives.
+    #[must_use]
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
     }
 
     /// Installs a logical-dependence map (§IV): conflict checks span each
@@ -232,10 +278,10 @@ impl Gtm {
         &self.dependence
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, projected from the tracer's registry.
     #[must_use]
     pub fn stats(&self) -> GtmStats {
-        self.stats
+        self.tracer.with_registry(GtmStats::from_registry)
     }
 
     /// The shared database handle.
@@ -306,7 +352,7 @@ impl Gtm {
             });
         }
         self.txns.insert(txn, TxnRecord::new(now));
-        self.stats.begun += 1;
+        self.tracer.emit(now, TraceEvent::TxnBegin { txn });
         Ok(())
     }
 
@@ -333,20 +379,30 @@ impl Gtm {
         }
         let class = op.class();
         let held = record.classes.get(&resource).copied();
+        self.tracer.emit(now, TraceEvent::OpRequested { txn, resource, class });
+        let record = self.txn_mut(txn)?;
 
         match held {
             // Already granted under a class that covers this op: pure
             // virtual-copy work, no scheduling involved.
             Some(cur) if class == cur || class == OpClass::Read => {
-                let temp = record
-                    .temp
-                    .get(&resource)
-                    .cloned()
-                    .ok_or_else(|| PstmError::internal(format!("{txn} granted without temp")))?;
+                let temp =
+                    record.temp.get(&resource).cloned().ok_or_else(|| {
+                        PstmError::internal(format!("{txn} granted without temp"))
+                    })?;
                 let new = op.apply(&temp)?;
                 record.temp.insert(resource, new.clone());
                 record.op_log.push((resource, op));
-                self.stats.ops_completed += 1;
+                self.tracer.emit(
+                    now,
+                    TraceEvent::OpGranted {
+                        txn,
+                        resource,
+                        class,
+                        shared: false,
+                        bypassed_sleeper: false,
+                    },
+                );
                 Ok((ExecOutcome::Completed(new), StepEffects::none()))
             }
             // Strengthening Read → mutation (the §II "select then book"
@@ -371,9 +427,7 @@ impl Gtm {
     /// dependence group: operations on logically dependent members
     /// conflict exactly like operations on one member (§IV).
     fn blocked(&self, txn: TxnId, resource: ResourceId, class: OpClass) -> bool {
-        self.dependence
-            .related(resource)
-            .any(|sibling| self.blocked_on(txn, sibling, class))
+        self.dependence.related(resource).any(|sibling| self.blocked_on(txn, sibling, class))
     }
 
     /// The single-resource blocking check underlying [`Gtm::blocked`].
@@ -402,15 +456,15 @@ impl Gtm {
                 state: "waiting",
             });
         }
-        let denied = self.grant_denied(txn, resource, class, &op)?;
+        let denied = self.grant_denied(txn, resource, class, &op, now)?;
         if !denied && !self.blocked(txn, resource, class) {
             return self
-                .grant(txn, resource, op, class, is_upgrade)
+                .grant(txn, resource, op, class, is_upgrade, now)
                 .map(|v| (ExecOutcome::Completed(v), StepEffects::none()));
         }
         // Queue (Algorithm 2, second branch).
         self.enqueue_wait(txn, resource, op, class, now, is_upgrade);
-        let mut effects = self.post_wait_checks(txn)?;
+        let mut effects = self.post_wait_checks(txn, now)?;
         match Self::extract_requester(&mut effects, txn) {
             Some(outcome) => Ok((outcome, effects)),
             None => Ok((ExecOutcome::Waiting, effects)),
@@ -424,16 +478,13 @@ impl Gtm {
         resource: ResourceId,
         class: OpClass,
         op: &ScalarOp,
+        now: Timestamp,
     ) -> PstmResult<bool> {
         let mut denied = false;
         if self.config.elder_priority {
             let rs = self.resources.entry(resource).or_default();
-            if rs
-                .waiting
-                .iter()
-                .any(|w| w.txn < txn && !rs.sleeping.contains(&w.txn))
-            {
-                self.stats.starvation_denials += 1;
+            if rs.waiting.iter().any(|w| w.txn < txn && !rs.sleeping.contains(&w.txn)) {
+                self.tracer.emit(now, TraceEvent::StarvationDenied { txn, resource });
                 denied = true;
             }
         }
@@ -447,12 +498,12 @@ impl Gtm {
                 .filter(|w| !compat.compatible(class, w.class))
                 .count();
             if p.deny(incompatible_waiters) {
-                self.stats.starvation_denials += 1;
+                self.tracer.emit(now, TraceEvent::StarvationDenied { txn, resource });
                 denied = true;
             }
         }
         if self.admission_denies(txn, resource, op)? {
-            self.stats.admission_denials += 1;
+            self.tracer.emit(now, TraceEvent::AdmissionDenied { txn, resource });
             denied = true;
         }
         Ok(denied)
@@ -463,7 +514,12 @@ impl Gtm {
     /// operations are bounded — an addition that restocks the resource
     /// must never be admission-denied, or a sold-out resource could
     /// deadlock its own replenishment.
-    fn admission_denies(&self, txn: TxnId, resource: ResourceId, op: &ScalarOp) -> PstmResult<bool> {
+    fn admission_denies(
+        &self,
+        txn: TxnId,
+        resource: ResourceId,
+        op: &ScalarOp,
+    ) -> PstmResult<bool> {
         let Some(p) = self.config.admission else { return Ok(false) };
         if !op_decrements(op) {
             return Ok(false);
@@ -494,6 +550,7 @@ impl Gtm {
         op: ScalarOp,
         class: OpClass,
         _is_upgrade: bool,
+        now: Timestamp,
     ) -> PstmResult<Value> {
         let permanent = self.perm(resource)?;
         // Apply the operation first: a failing op (e.g. arithmetic on the
@@ -502,10 +559,7 @@ impl Gtm {
         self.history.observe_initial(resource, &permanent);
         let matrix = self.config.compat;
         let rs = self.resources.entry(resource).or_default();
-        let shared = rs
-            .pending
-            .iter()
-            .any(|(t, _)| *t != txn && !rs.sleeping.contains(t));
+        let shared = rs.pending.iter().any(|(t, _)| *t != txn && !rs.sleeping.contains(t));
         let bypassed = rs
             .pending
             .iter()
@@ -517,13 +571,10 @@ impl Gtm {
         record.classes.insert(resource, class);
         record.op_log.push((resource, op));
         record.t_wait.remove(&resource);
-        self.stats.ops_completed += 1;
-        if shared {
-            self.stats.shared_grants += 1;
-        }
-        if bypassed {
-            self.stats.bypassed_sleepers += 1;
-        }
+        self.tracer.emit(
+            now,
+            TraceEvent::OpGranted { txn, resource, class, shared, bypassed_sleeper: bypassed },
+        );
         Ok(new)
     }
 
@@ -543,26 +594,30 @@ impl Gtm {
         } else {
             rs.waiting.push_back(entry);
         }
+        let queue_depth = rs.waiting.len() as u32;
         let record = self.txns.get_mut(&txn).expect("waiting txn exists");
         record.state = TxnState::Waiting;
         record.pending_op = Some((resource, op));
         record.t_wait.insert(resource, now);
-        self.stats.ops_waited += 1;
+        self.tracer.emit(now, TraceEvent::OpWaiting { txn, resource, class, queue_depth });
     }
 
     /// After queuing a request: deadlock detection. Returns effects; if
     /// the requester itself died or got resumed, the caller extracts it.
-    fn post_wait_checks(&mut self, requester: TxnId) -> PstmResult<StepEffects> {
+    fn post_wait_checks(&mut self, requester: TxnId, now: Timestamp) -> PstmResult<StepEffects> {
         let mut effects = StepEffects::none();
         if self.config.deadlock_detection {
             // Any cycle created by this wait passes through the
             // requester, so the search is scoped to it (cheap); repeat
             // until the requester's neighbourhood is cycle-free.
-            while let Some((victim, _cycle)) =
-                self.waits_for_graph().pick_victim_from(requester)
-            {
-                self.stats.aborted_deadlock += 1;
-                effects.merge(self.abort_internal(victim, AbortReason::Deadlock)?);
+            while let Some((victim, cycle)) = self.waits_for_graph().pick_victim_from(requester) {
+                self.tracer.emit(now, TraceEvent::DeadlockVictim { txn: victim, cycle });
+                effects.merge(self.abort_internal(
+                    victim,
+                    AbortReason::Deadlock,
+                    AbortOrigin::Request,
+                    now,
+                )?);
                 if victim == requester {
                     break;
                 }
@@ -633,7 +688,7 @@ impl Gtm {
                     if let Some(new) = reconcile(*class, &temp, &read, &permanent)? {
                         rs.new.insert(txn, new.clone());
                         writes.push((*resource, new));
-                        self.stats.reconciliations += 1;
+                        self.tracer.emit(now, TraceEvent::Reconciled { txn, resource: *resource });
                     }
                 }
             }
@@ -644,12 +699,10 @@ impl Gtm {
             Err(PstmError::Arithmetic(_)) => {
                 // Reconciliation failed in the value domain (overflow,
                 // zero snapshot for mul/div): the transaction dies.
-                self.stats.aborted_constraint += 1;
-                return self.finish_failed_commit(txn, &touched, AbortReason::Constraint);
+                return self.finish_failed_commit(txn, &touched, AbortReason::Constraint, now);
             }
             Err(PstmError::Io(_)) => {
-                self.stats.aborted_sst_failure += 1;
-                return self.finish_failed_commit(txn, &touched, AbortReason::SstFailure);
+                return self.finish_failed_commit(txn, &touched, AbortReason::SstFailure, now);
             }
             Err(e) => return Err(e),
         };
@@ -657,20 +710,20 @@ impl Gtm {
         // Global commit: one SST for all writes. Transient failures
         // (I/O) are retried per the recovery policy; constraint
         // violations are permanent.
+        let write_count = writes.len() as u32;
         let sst = Sst::new(txn, writes);
+        self.tracer.emit(now, TraceEvent::SstAttempt { txn, writes: write_count });
         let mut sst_result = sst.execute(&self.db, &self.bindings);
         let mut attempts = 0;
-        while attempts < self.config.sst_retries
-            && matches!(sst_result, Err(PstmError::Io(_)))
-        {
+        while attempts < self.config.sst_retries && matches!(sst_result, Err(PstmError::Io(_))) {
             attempts += 1;
-            self.stats.sst_retries += 1;
+            self.tracer.emit(now, TraceEvent::SstRetry { txn, attempt: attempts });
             sst_result = sst.execute(&self.db, &self.bindings);
         }
         match sst_result {
             Ok(()) => {
                 if !sst.is_empty() {
-                    self.stats.ssts_executed += 1;
+                    self.tracer.emit(now, TraceEvent::SstApplied { txn });
                 }
                 for (resource, class) in &touched {
                     let rs = self.resources.entry(*resource).or_default();
@@ -684,23 +737,20 @@ impl Gtm {
                 record.t_wait.clear();
                 let ops = record.op_log.clone();
                 self.history.record_commit(txn, ops);
-                self.stats.committed += 1;
-                let effects =
-                    self.promote_all(touched.iter().map(|(r, _)| *r).collect())?;
+                self.tracer.emit(now, TraceEvent::Committed { txn });
+                let effects = self.promote_all(touched.iter().map(|(r, _)| *r).collect(), now)?;
                 Ok((CommitResult::Committed, effects))
             }
             Err(PstmError::ConstraintViolation { .. }) => {
                 // §VII problem 2: reconciliation violated an integrity
                 // constraint — the transaction aborts.
-                self.stats.aborted_constraint += 1;
-                self.finish_failed_commit(txn, &touched, AbortReason::Constraint)
+                self.finish_failed_commit(txn, &touched, AbortReason::Constraint, now)
             }
             Err(PstmError::Io(_)) => {
                 // Persistent SST failure: §VII's open problem. Nothing
                 // reached the database (the write set is all-or-nothing),
                 // so cleanup is pure bookkeeping.
-                self.stats.aborted_sst_failure += 1;
-                self.finish_failed_commit(txn, &touched, AbortReason::SstFailure)
+                self.finish_failed_commit(txn, &touched, AbortReason::SstFailure, now)
             }
             Err(e) => Err(e),
         }
@@ -714,13 +764,14 @@ impl Gtm {
         txn: TxnId,
         touched: &[(ResourceId, OpClass)],
         reason: AbortReason,
+        now: Timestamp,
     ) -> PstmResult<(CommitResult, StepEffects)> {
         for (resource, _) in touched {
             let rs = self.resources.entry(*resource).or_default();
             rs.committing.remove(&txn);
             rs.new.remove(&txn);
         }
-        let mut effects = self.abort_internal(txn, reason)?;
+        let mut effects = self.abort_internal(txn, reason, AbortOrigin::Commit, now)?;
         effects.aborted.retain(|(t, _)| *t != txn);
         Ok((CommitResult::Aborted(reason), effects))
     }
@@ -731,11 +782,17 @@ impl Gtm {
 
     /// User-requested abort. Nothing reached the database (virtual copies
     /// only), so abort is pure bookkeeping plus promotions.
-    pub fn abort(&mut self, txn: TxnId, _now: Timestamp) -> PstmResult<StepEffects> {
-        self.abort_internal(txn, AbortReason::User)
+    pub fn abort(&mut self, txn: TxnId, now: Timestamp) -> PstmResult<StepEffects> {
+        self.abort_internal(txn, AbortReason::User, AbortOrigin::User, now)
     }
 
-    fn abort_internal(&mut self, txn: TxnId, reason: AbortReason) -> PstmResult<StepEffects> {
+    fn abort_internal(
+        &mut self,
+        txn: TxnId,
+        reason: AbortReason,
+        origin: AbortOrigin,
+        now: Timestamp,
+    ) -> PstmResult<StepEffects> {
         let record = self.txn_mut(txn)?;
         if record.state.is_terminal() {
             return Err(PstmError::InvalidState {
@@ -761,8 +818,8 @@ impl Gtm {
         record.state = TxnState::Aborted;
         record.t_sleep = None;
         record.t_wait.clear();
-        self.stats.aborted += 1;
-        let mut effects = self.promote_all(resources)?;
+        self.tracer.emit(now, TraceEvent::Aborted { txn, reason, origin });
+        let mut effects = self.promote_all(resources, now)?;
         effects.aborted.push((txn, reason));
         Ok(effects)
     }
@@ -785,7 +842,8 @@ impl Gtm {
                 for resource in &resources {
                     self.rs(*resource).sleeping.insert(txn);
                 }
-                self.promote_all(resources)
+                self.tracer.emit(now, TraceEvent::TxnSlept { txn });
+                self.promote_all(resources, now)
             }
             other => Err(PstmError::InvalidState { txn, action: "sleep", state: other.name() }),
         }
@@ -801,11 +859,7 @@ impl Gtm {
     /// — a queued invocation is granted on the spot with a fresh snapshot
     /// (Algorithm 9, first branch). Otherwise it is aborted (third
     /// branch).
-    pub fn awake(
-        &mut self,
-        txn: TxnId,
-        _now: Timestamp,
-    ) -> PstmResult<(AwakeResult, StepEffects)> {
+    pub fn awake(&mut self, txn: TxnId, now: Timestamp) -> PstmResult<(AwakeResult, StepEffects)> {
         let record = self.txn_mut(txn)?;
         if record.state != TxnState::Sleeping {
             return Err(PstmError::InvalidState {
@@ -838,8 +892,8 @@ impl Gtm {
         }
 
         if conflicted {
-            self.stats.aborted_sleep_conflict += 1;
-            let mut effects = self.abort_internal(txn, AbortReason::SleepConflict)?;
+            let mut effects =
+                self.abort_internal(txn, AbortReason::SleepConflict, AbortOrigin::Awake, now)?;
             effects.aborted.retain(|(t, _)| *t != txn);
             return Ok((AwakeResult::Aborted, effects));
         }
@@ -859,10 +913,11 @@ impl Gtm {
         let mut value = None;
         if let Some((resource, op)) = queued {
             let class = op.class();
-            if self.grant_denied(txn, resource, class, &op)? {
+            if self.grant_denied(txn, resource, class, &op, now)? {
                 let record = self.txns.get_mut(&txn).expect("awaking txn exists");
                 record.state = TxnState::Waiting;
                 record.t_sleep = None;
+                self.tracer.emit(now, TraceEvent::TxnAwoke { txn });
                 return Ok((AwakeResult::Resumed(None), StepEffects::none()));
             }
             let rs = self.rs(resource);
@@ -870,13 +925,14 @@ impl Gtm {
             let record = self.txns.get_mut(&txn).expect("awaking txn exists");
             record.pending_op = None;
             let is_upgrade = record.classes.get(&resource) == Some(&OpClass::Read);
-            match self.grant(txn, resource, op, class, is_upgrade) {
+            match self.grant(txn, resource, op, class, is_upgrade, now) {
                 Ok(v) => value = Some(v),
                 Err(PstmError::Arithmetic(_)) => {
                     // The stashed op failed on the fresh snapshot: the
                     // transaction dies cleanly instead of stranding
                     // half-awake.
-                    let mut effects = self.abort_internal(txn, AbortReason::Constraint)?;
+                    let mut effects =
+                        self.abort_internal(txn, AbortReason::Constraint, AbortOrigin::Awake, now)?;
                     effects.aborted.retain(|(t, _)| *t != txn);
                     return Ok((AwakeResult::Aborted, effects));
                 }
@@ -887,6 +943,7 @@ impl Gtm {
         record.state = TxnState::Active;
         record.t_sleep = None;
         record.t_wait.clear();
+        self.tracer.emit(now, TraceEvent::TxnAwoke { txn });
         Ok((AwakeResult::Resumed(value), StepEffects::none()))
     }
 
@@ -897,7 +954,11 @@ impl Gtm {
     /// Reconsiders the wait queues of `resources` after removals. FIFO
     /// with skip-over: grantable awake entries are granted (each on a
     /// fresh snapshot), sleeping and still-blocked entries stay queued.
-    fn promote_all(&mut self, resources: BTreeSet<ResourceId>) -> PstmResult<StepEffects> {
+    fn promote_all(
+        &mut self,
+        resources: BTreeSet<ResourceId>,
+        now: Timestamp,
+    ) -> PstmResult<StepEffects> {
         // A removal on one member can unblock waiters queued on a
         // logically dependent sibling — expand the scan to each
         // resource's dependence group.
@@ -908,11 +969,8 @@ impl Gtm {
         let mut effects = StepEffects::none();
         for resource in resources {
             let mut idx = 0;
-            while let Some(entry) = self
-                .resources
-                .get(&resource)
-                .and_then(|rs| rs.waiting.get(idx))
-                .cloned()
+            while let Some(entry) =
+                self.resources.get(&resource).and_then(|rs| rs.waiting.get(idx)).cloned()
             {
                 let rs = self.resources.get(&resource).expect("resource exists");
                 if rs.sleeping.contains(&entry.txn) {
@@ -944,7 +1002,10 @@ impl Gtm {
                             .filter(|w| !self.config.compat.compatible(entry.class, w.class))
                             .count();
                         if p.deny(incompatible_ahead) {
-                            self.stats.starvation_denials += 1;
+                            self.tracer.emit(
+                                now,
+                                TraceEvent::StarvationDenied { txn: entry.txn, resource },
+                            );
                             denied = true;
                         }
                     }
@@ -961,7 +1022,8 @@ impl Gtm {
                 rs.waiting.remove(idx);
                 let record = self.txns.get_mut(&entry.txn).expect("waiting txn exists");
                 record.pending_op = None;
-                match self.grant(entry.txn, resource, entry.op, entry.class, entry.is_upgrade) {
+                match self.grant(entry.txn, resource, entry.op, entry.class, entry.is_upgrade, now)
+                {
                     Ok(value) => {
                         let record = self.txns.get_mut(&entry.txn).expect("granted txn exists");
                         if record.state == TxnState::Waiting {
@@ -973,7 +1035,12 @@ impl Gtm {
                         // The stashed op failed on the fresh snapshot
                         // (e.g. divide by a value that became zero): the
                         // transaction dies.
-                        effects.merge(self.abort_internal(entry.txn, AbortReason::Constraint)?);
+                        effects.merge(self.abort_internal(
+                            entry.txn,
+                            AbortReason::Constraint,
+                            AbortOrigin::Promotion,
+                            now,
+                        )?);
                     }
                     Err(e) => return Err(e),
                 }
@@ -1015,14 +1082,26 @@ impl Gtm {
         g
     }
 
+    /// The current waits-for graph rendered as Graphviz DOT — a debugging
+    /// artifact (`dot -Tsvg`) showing who blocks whom right now.
+    #[must_use]
+    pub fn waits_for_dot(&self) -> String {
+        pstm_obs::waits_for_dot(self.waits_for_graph().edges())
+    }
+
     /// Periodic maintenance: deadlock detection, wait timeouts, committed
     /// set pruning. The simulator calls this on clock advances.
     pub fn tick(&mut self, now: Timestamp) -> PstmResult<StepEffects> {
         let mut effects = StepEffects::none();
         if self.config.deadlock_detection {
-            while let Some((victim, _)) = self.waits_for_graph().pick_victim() {
-                self.stats.aborted_deadlock += 1;
-                effects.merge(self.abort_internal(victim, AbortReason::Deadlock)?);
+            while let Some((victim, cycle)) = self.waits_for_graph().pick_victim() {
+                self.tracer.emit(now, TraceEvent::DeadlockVictim { txn: victim, cycle });
+                effects.merge(self.abort_internal(
+                    victim,
+                    AbortReason::Deadlock,
+                    AbortOrigin::Tick,
+                    now,
+                )?);
             }
         }
         if let Some(timeout) = self.config.wait_timeout {
@@ -1038,8 +1117,12 @@ impl Gtm {
                 // promoted this waiter already — an Active transaction
                 // must not be killed by a stale expiry list.
                 if self.txns.get(&t).is_some_and(|r| r.state == TxnState::Waiting) {
-                    self.stats.aborted_wait_timeout += 1;
-                    effects.merge(self.abort_internal(t, AbortReason::LockTimeout)?);
+                    effects.merge(self.abort_internal(
+                        t,
+                        AbortReason::LockTimeout,
+                        AbortOrigin::Tick,
+                        now,
+                    )?);
                 }
             }
         }
@@ -1054,7 +1137,7 @@ impl Gtm {
             .map(|(r, _)| *r)
             .collect();
         if !queued.is_empty() {
-            effects.merge(self.promote_all(queued)?);
+            effects.merge(self.promote_all(queued, now)?);
         }
         // Prune committed sets below the horizon any sleeper can observe.
         let horizon = self
@@ -1086,7 +1169,10 @@ impl Gtm {
                     return Err(format!("{t} pending on {resource} but unknown"));
                 };
                 if rec.state.is_terminal() {
-                    return Err(format!("{t} pending on {resource} in terminal state {}", rec.state));
+                    return Err(format!(
+                        "{t} pending on {resource} in terminal state {}",
+                        rec.state
+                    ));
                 }
                 if !rec.classes.contains_key(resource) {
                     return Err(format!("{t} pending on {resource} without a recorded class"));
@@ -1124,9 +1210,7 @@ impl Gtm {
                 }
             }
             if !rs.committing.is_empty() {
-                return Err(format!(
-                    "{resource} has a non-empty committing set between events"
-                ));
+                return Err(format!("{resource} has a non-empty committing set between events"));
             }
         }
         for (t, rec) in &self.txns {
@@ -1138,7 +1222,9 @@ impl Gtm {
                             .get(resource)
                             .is_some_and(|rs| rs.pending.contains_key(t));
                         if !held {
-                            return Err(format!("{t} records class on {resource} but is not pending"));
+                            return Err(format!(
+                                "{t} records class on {resource} but is not pending"
+                            ));
                         }
                     }
                 }
@@ -1160,7 +1246,10 @@ impl Gtm {
                     }
                 }
                 TxnState::Committing | TxnState::Aborting => {
-                    return Err(format!("{t} left in transient state {} between events", rec.state));
+                    return Err(format!(
+                        "{t} left in transient state {} between events",
+                        rec.state
+                    ));
                 }
             }
         }

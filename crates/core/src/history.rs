@@ -92,10 +92,7 @@ impl HistoryRecorder {
     /// the observed final values for every touched resource. Float
     /// comparisons use a relative epsilon (reconciliation reassociates
     /// float arithmetic).
-    pub fn verify_final_state(
-        &self,
-        finals: &BTreeMap<ResourceId, Value>,
-    ) -> Result<(), String> {
+    pub fn verify_final_state(&self, finals: &BTreeMap<ResourceId, Value>) -> Result<(), String> {
         let replayed = self.replay_serial().map_err(|e| e.to_string())?;
         for (resource, expected) in &replayed {
             let Some(actual) = finals.get(resource) else {
@@ -140,7 +137,10 @@ mod tests {
     fn replay_applies_ops_in_commit_order() {
         let mut h = HistoryRecorder::new();
         h.observe_initial(r(1), &Value::Int(100));
-        h.record_commit(t(1), vec![(r(1), ScalarOp::Add(Value::Int(1))), (r(1), ScalarOp::Add(Value::Int(3)))]);
+        h.record_commit(
+            t(1),
+            vec![(r(1), ScalarOp::Add(Value::Int(1))), (r(1), ScalarOp::Add(Value::Int(3)))],
+        );
         h.record_commit(t(2), vec![(r(1), ScalarOp::Add(Value::Int(2)))]);
         let state = h.replay_serial().unwrap();
         assert_eq!(state[&r(1)], Value::Int(106));

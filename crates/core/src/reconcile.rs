@@ -60,9 +60,9 @@ pub fn reconcile(
             let v = ratio.checked_mul(permanent)?;
             Ok(Some(v))
         }
-        OpClass::Insert | OpClass::Delete => Err(PstmError::internal(format!(
-            "no scalar reconciliation for {class}"
-        ))),
+        OpClass::Insert | OpClass::Delete => {
+            Err(PstmError::internal(format!("no scalar reconciliation for {class}")))
+        }
     }
 }
 
@@ -109,27 +109,19 @@ mod tests {
         // A multiplies by 3 (temp 300 from snapshot 100); meanwhile the
         // permanent value moved to 200 (a compatible ×2 committed).
         // eq. 2: 300/100 · 200 = 600.
-        let new = reconcile(
-            OpClass::UpdateMulDiv,
-            &Value::Int(300),
-            &Value::Int(100),
-            &Value::Int(200),
-        )
-        .unwrap()
-        .unwrap();
+        let new =
+            reconcile(OpClass::UpdateMulDiv, &Value::Int(300), &Value::Int(100), &Value::Int(200))
+                .unwrap()
+                .unwrap();
         assert_eq!(new, Value::Int(600));
     }
 
     #[test]
     fn assignment_writes_temp_verbatim() {
-        let new = reconcile(
-            OpClass::UpdateAssign,
-            &Value::Int(42),
-            &Value::Int(100),
-            &Value::Int(100),
-        )
-        .unwrap()
-        .unwrap();
+        let new =
+            reconcile(OpClass::UpdateAssign, &Value::Int(42), &Value::Int(100), &Value::Int(100))
+                .unwrap()
+                .unwrap();
         assert_eq!(new, Value::Int(42));
     }
 
@@ -150,13 +142,8 @@ mod tests {
 
     #[test]
     fn zero_snapshot_muldiv_is_an_error() {
-        assert!(reconcile(
-            OpClass::UpdateMulDiv,
-            &Value::Int(0),
-            &Value::Int(0),
-            &Value::Int(5)
-        )
-        .is_err());
+        assert!(reconcile(OpClass::UpdateMulDiv, &Value::Int(0), &Value::Int(0), &Value::Int(5))
+            .is_err());
     }
 
     proptest! {

@@ -91,7 +91,8 @@ mod tests {
         let mut bindings = BindingRegistry::new();
         let mut rs = Vec::new();
         for i in 0..2 {
-            let row = db.insert(boot, table, Row::new(vec![Value::Int(i), Value::Int(10)])).unwrap();
+            let row =
+                db.insert(boot, table, Row::new(vec![Value::Int(i), Value::Int(10)])).unwrap();
             let o = bindings.bind_object(table, row, &[(MemberId::ATOMIC, 1)]).unwrap();
             rs.push(ResourceId::atomic(o));
         }

@@ -159,7 +159,12 @@ impl ResourceState {
     /// (Algorithm 2) — that is the mechanism that lets incompatible work
     /// bypass disconnected transactions.
     #[must_use]
-    pub fn conflicts_with_blockers(&self, txn: TxnId, class: OpClass, matrix: &CompatMatrix) -> bool {
+    pub fn conflicts_with_blockers(
+        &self,
+        txn: TxnId,
+        class: OpClass,
+        matrix: &CompatMatrix,
+    ) -> bool {
         self.blocking_conflicts(txn, class, matrix).next().is_some()
     }
 
@@ -170,10 +175,8 @@ impl ResourceState {
         class: OpClass,
         matrix: &'a CompatMatrix,
     ) -> impl Iterator<Item = (TxnId, OpClass)> + 'a {
-        let pending = self
-            .pending
-            .iter()
-            .filter(move |(t, _)| **t != txn && !self.sleeping.contains(t));
+        let pending =
+            self.pending.iter().filter(move |(t, _)| **t != txn && !self.sleeping.contains(t));
         let committing = self.committing.iter().filter(move |(t, _)| **t != txn);
         pending
             .chain(committing)
@@ -185,7 +188,12 @@ impl ResourceState {
     /// under `matrix`, sleeping included — the stricter check Algorithm 9
     /// applies when a sleeper awakes.
     #[must_use]
-    pub fn conflicts_with_any_holder(&self, txn: TxnId, class: OpClass, matrix: &CompatMatrix) -> bool {
+    pub fn conflicts_with_any_holder(
+        &self,
+        txn: TxnId,
+        class: OpClass,
+        matrix: &CompatMatrix,
+    ) -> bool {
         self.pending
             .iter()
             .chain(self.committing.iter())
@@ -282,8 +290,10 @@ mod tests {
         rs.committed.push((t(1), OpClass::UpdateAssign, Timestamp::from_millis(100)));
         let class = OpClass::UpdateAddSub;
         assert!(rs.incompatible_commit_after(t(2), class, Timestamp::from_millis(50), &m));
-        assert!(!rs.incompatible_commit_after(t(2), class, Timestamp::from_millis(100), &m),
-            "commit at exactly t_sleep is not after it");
+        assert!(
+            !rs.incompatible_commit_after(t(2), class, Timestamp::from_millis(100), &m),
+            "commit at exactly t_sleep is not after it"
+        );
         // Compatible commits never trigger.
         let mut rs2 = ResourceState::default();
         rs2.committed.push((t(1), OpClass::UpdateAddSub, Timestamp::from_millis(100)));

@@ -41,11 +41,13 @@ fn setup(n: usize, config: GtmConfig) -> (Gtm, Vec<ResourceId>) {
     let mut resources = Vec::new();
     for i in 0..n {
         let row = db
-            .insert(boot, table, Row::new(vec![Value::Int(i as i64), Value::Int(100), Value::Float(50.0)]))
+            .insert(
+                boot,
+                table,
+                Row::new(vec![Value::Int(i as i64), Value::Int(100), Value::Float(50.0)]),
+            )
             .unwrap();
-        let obj = bindings
-            .bind_object(table, row, &[(MemberId(0), 1), (MemberId(1), 2)])
-            .unwrap();
+        let obj = bindings.bind_object(table, row, &[(MemberId(0), 1), (MemberId(1), 2)]).unwrap();
         resources.push(ResourceId::new(obj, MemberId(0)));
     }
     db.commit(boot).unwrap();
@@ -140,9 +142,8 @@ fn different_members_never_conflict() {
     gtm.begin(t(1), T0).unwrap();
     gtm.begin(t(2), T0).unwrap();
     gtm.execute(t(1), res[0], ScalarOp::Sub(Value::Int(1)), T0).unwrap();
-    let (o, _) = gtm
-        .execute(t(2), price_member(res[0]), ScalarOp::Assign(Value::Float(42.0)), T0)
-        .unwrap();
+    let (o, _) =
+        gtm.execute(t(2), price_member(res[0]), ScalarOp::Assign(Value::Float(42.0)), T0).unwrap();
     assert!(matches!(o, ExecOutcome::Completed(_)), "other member, no conflict");
     gtm.commit(t(1), T0).unwrap();
     gtm.commit(t(2), T0).unwrap();
@@ -578,9 +579,8 @@ fn logical_dependence_makes_members_conflict() {
     gtm.execute(t(1), res[0], ScalarOp::Sub(Value::Int(1)), T0).unwrap();
     // Without the declaration this completes (different members); with it
     // the assignment must queue.
-    let (o, _) = gtm
-        .execute(t(2), price_member(res[0]), ScalarOp::Assign(Value::Float(9.0)), T0)
-        .unwrap();
+    let (o, _) =
+        gtm.execute(t(2), price_member(res[0]), ScalarOp::Assign(Value::Float(9.0)), T0).unwrap();
     assert_eq!(o, ExecOutcome::Waiting, "dependent members conflict");
 
     let (_, fx) = gtm.commit(t(1), ts(1.0)).unwrap();
@@ -623,9 +623,8 @@ fn independent_members_still_share_without_declaration() {
     gtm.begin(t(1), T0).unwrap();
     gtm.execute(t(1), res[0], ScalarOp::Sub(Value::Int(1)), T0).unwrap();
     gtm.begin(t(2), T0).unwrap();
-    let (o, _) = gtm
-        .execute(t(2), price_member(res[0]), ScalarOp::Assign(Value::Float(9.0)), T0)
-        .unwrap();
+    let (o, _) =
+        gtm.execute(t(2), price_member(res[0]), ScalarOp::Assign(Value::Float(9.0)), T0).unwrap();
     assert!(matches!(o, ExecOutcome::Completed(_)));
     gtm.commit(t(1), ts(1.0)).unwrap();
     gtm.commit(t(2), ts(2.0)).unwrap();

@@ -5,11 +5,11 @@
 //! ([`Gtm::check_invariants`] runs after every event), and whatever
 //! commits must remain final-state serializable.
 
+use proptest::prelude::*;
 use pstm_core::gtm::{Gtm, GtmConfig};
 use pstm_core::policy::{AdmissionPolicy, StarvationPolicy};
 use pstm_storage::{BindingRegistry, ColumnDef, Constraint, Database, Row, TableSchema};
 use pstm_types::{MemberId, ResourceId, ScalarOp, Timestamp, TxnId, Value, ValueKind};
-use proptest::prelude::*;
 use std::sync::Arc;
 
 #[derive(Debug, Clone)]
@@ -81,7 +81,11 @@ fn world() -> (Gtm, Vec<ResourceId>) {
     (Gtm::new(db, bindings, GtmConfig::default()), rs)
 }
 
-fn drive(mut gtm: Gtm, resources: &[ResourceId], events: &[FuzzEvent]) -> Result<(), TestCaseError> {
+fn drive(
+    mut gtm: Gtm,
+    resources: &[ResourceId],
+    events: &[FuzzEvent],
+) -> Result<(), TestCaseError> {
     let mut clock = 0u64;
     for ev in events {
         clock += 100_000; // 0.1 s per event

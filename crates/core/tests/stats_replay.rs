@@ -1,0 +1,153 @@
+//! Satellite of the obs PR: `GtmStats` is a pure projection of the event
+//! stream, so the counters derived by replaying a captured trace must
+//! equal the counters the live run reports — on arbitrary workloads,
+//! including ones full of rejected calls and policy denials.
+
+use proptest::prelude::*;
+use pstm_core::gtm::{Gtm, GtmConfig, GtmStats};
+use pstm_core::policy::{AdmissionPolicy, StarvationPolicy};
+use pstm_obs::{MetricsRegistry, RingSink, Tracer};
+use pstm_storage::{BindingRegistry, ColumnDef, Constraint, Database, Row, TableSchema};
+use pstm_types::{MemberId, ResourceId, ScalarOp, Timestamp, TxnId, Value, ValueKind};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum FuzzEvent {
+    Begin(u64),
+    Execute(u64, usize, FuzzOp),
+    Commit(u64),
+    Abort(u64),
+    Sleep(u64),
+    Awake(u64),
+    Tick,
+}
+
+#[derive(Debug, Clone)]
+enum FuzzOp {
+    Read,
+    Assign(i64),
+    Add(i64),
+    Sub(i64),
+}
+
+impl FuzzOp {
+    fn to_scalar(&self) -> ScalarOp {
+        match self {
+            FuzzOp::Read => ScalarOp::Read,
+            FuzzOp::Assign(c) => ScalarOp::Assign(Value::Int(*c)),
+            FuzzOp::Add(c) => ScalarOp::Add(Value::Int(*c)),
+            FuzzOp::Sub(c) => ScalarOp::Sub(Value::Int(*c)),
+        }
+    }
+}
+
+fn arb_event() -> impl Strategy<Value = FuzzEvent> {
+    let op = prop_oneof![
+        Just(FuzzOp::Read),
+        (0i64..50).prop_map(FuzzOp::Assign),
+        (1i64..5).prop_map(FuzzOp::Add),
+        (1i64..5).prop_map(FuzzOp::Sub),
+    ];
+    prop_oneof![
+        (1u64..8).prop_map(FuzzEvent::Begin),
+        (1u64..8, 0usize..3, op).prop_map(|(t, r, o)| FuzzEvent::Execute(t, r, o)),
+        (1u64..8).prop_map(FuzzEvent::Commit),
+        (1u64..8).prop_map(FuzzEvent::Abort),
+        (1u64..8).prop_map(FuzzEvent::Sleep),
+        (1u64..8).prop_map(FuzzEvent::Awake),
+        Just(FuzzEvent::Tick),
+    ]
+}
+
+fn world(config: GtmConfig) -> (Gtm, Vec<ResourceId>) {
+    let db = Arc::new(Database::new());
+    let schema = TableSchema::new(
+        "Obj",
+        vec![ColumnDef::new("id", ValueKind::Int), ColumnDef::new("v", ValueKind::Int)],
+    )
+    .unwrap();
+    let table = db.create_table(schema, vec![Constraint::non_negative("v>=0", 1)]).unwrap();
+    let boot = TxnId(1 << 40);
+    db.begin(boot).unwrap();
+    let mut bindings = BindingRegistry::new();
+    let mut rs = Vec::new();
+    for i in 0..3 {
+        let row = db.insert(boot, table, Row::new(vec![Value::Int(i), Value::Int(30)])).unwrap();
+        let o = bindings.bind_object(table, row, &[(MemberId::ATOMIC, 1)]).unwrap();
+        rs.push(ResourceId::atomic(o));
+    }
+    db.commit(boot).unwrap();
+    (Gtm::new(db, bindings, config), rs)
+}
+
+fn replay_equals_live(config: GtmConfig, events: &[FuzzEvent]) -> Result<(), TestCaseError> {
+    let (gtm, rs) = world(config);
+    let ring = RingSink::new(1 << 14);
+    let handle = ring.handle();
+    let mut gtm = gtm.with_tracer(Tracer::with_sink(Box::new(ring)));
+
+    let mut clock = 0u64;
+    for ev in events {
+        clock += 100_000; // 0.1 s per event
+        let now = Timestamp(clock);
+        match ev {
+            FuzzEvent::Begin(t) => {
+                let _ = gtm.begin(TxnId(*t), now);
+            }
+            FuzzEvent::Execute(t, r, op) => {
+                let _ = gtm.execute(TxnId(*t), rs[*r], op.to_scalar(), now);
+            }
+            FuzzEvent::Commit(t) => {
+                let _ = gtm.commit(TxnId(*t), now);
+            }
+            FuzzEvent::Abort(t) => {
+                let _ = gtm.abort(TxnId(*t), now);
+            }
+            FuzzEvent::Sleep(t) => {
+                let _ = gtm.sleep(TxnId(*t), now);
+            }
+            FuzzEvent::Awake(t) => {
+                let _ = gtm.awake(TxnId(*t), now);
+            }
+            FuzzEvent::Tick => {
+                let _ = gtm.tick(now);
+            }
+        }
+    }
+
+    prop_assert_eq!(handle.dropped(), 0, "ring must be large enough to hold the whole trace");
+    let records = handle.snapshot();
+    let derived = GtmStats::from_registry(&MetricsRegistry::from_records(&records));
+    let live = gtm.stats();
+    prop_assert_eq!(derived, live);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Default config: shared grants, reconciliation, deadlock ticks.
+    #[test]
+    fn prop_trace_derived_stats_equal_live_stats(
+        events in prop::collection::vec(arb_event(), 1..120)
+    ) {
+        replay_equals_live(GtmConfig::default(), &events)?;
+    }
+
+    /// Every §VII policy armed: starvation + admission denials, wait
+    /// timeouts, and constraint aborts (tight initial counter) all flow
+    /// through the same event stream.
+    #[test]
+    fn prop_trace_derived_stats_equal_live_stats_with_policies(
+        events in prop::collection::vec(arb_event(), 1..100)
+    ) {
+        let config = GtmConfig {
+            starvation: Some(StarvationPolicy { deny_threshold: 1 }),
+            admission: Some(AdmissionPolicy::per_unit()),
+            wait_timeout: Some(pstm_types::Duration::from_secs_f64(2.0)),
+            sst_retries: 1,
+            ..GtmConfig::default()
+        };
+        replay_equals_live(config, &events)?;
+    }
+}

@@ -69,6 +69,12 @@ impl WaitsForGraph {
         self.edges.get(&waiter).is_some_and(|out| out.contains(&holder))
     }
 
+    /// All edges as `(waiter, holder)` pairs, in sorted order (the input
+    /// shape the DOT exporter takes).
+    pub fn edges(&self) -> impl Iterator<Item = (TxnId, TxnId)> + '_ {
+        self.edges.iter().flat_map(|(waiter, out)| out.iter().map(move |holder| (*waiter, *holder)))
+    }
+
     /// Finds one cycle, if any, returned in waits-for order (each element
     /// waits for the next; the last waits for the first). Deterministic:
     /// the search explores nodes in `TxnId` order.
@@ -80,7 +86,8 @@ impl WaitsForGraph {
             Gray,
             Black,
         }
-        let mut color: BTreeMap<TxnId, Color> = self.edges.keys().map(|t| (*t, Color::White)).collect();
+        let mut color: BTreeMap<TxnId, Color> =
+            self.edges.keys().map(|t| (*t, Color::White)).collect();
         for out in self.edges.values() {
             for t in out {
                 color.entry(*t).or_insert(Color::White);

@@ -8,6 +8,7 @@
 
 use crate::graph::WaitsForGraph;
 use crate::mode::LockMode;
+use pstm_obs::{Ctr, MetricsRegistry, TraceEvent, Tracer};
 use pstm_types::{PstmError, PstmResult, ResourceId, Timestamp, TxnId};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -92,6 +93,20 @@ pub struct LockStats {
     pub deadlock_victims: u64,
 }
 
+impl LockStats {
+    /// Projects the lock counters out of an obs registry — the only way
+    /// lock stats are produced, so they cannot drift from the trace.
+    #[must_use]
+    pub fn from_registry(reg: &MetricsRegistry) -> Self {
+        LockStats {
+            immediate_grants: reg.counter(Ctr::LockImmediateGrants),
+            waits: reg.counter(Ctr::LockWaits),
+            upgrades: reg.counter(Ctr::LockUpgrades),
+            deadlock_victims: reg.counter(Ctr::DeadlockVictims),
+        }
+    }
+}
+
 /// The lock manager.
 #[derive(Debug, Default)]
 pub struct LockManager {
@@ -100,7 +115,7 @@ pub struct LockManager {
     held: BTreeMap<TxnId, BTreeSet<ResourceId>>,
     /// The single resource each waiting transaction is queued on.
     waiting_on: BTreeMap<TxnId, ResourceId>,
-    stats: LockStats,
+    tracer: Tracer,
 }
 
 impl LockManager {
@@ -108,6 +123,18 @@ impl LockManager {
     #[must_use]
     pub fn new() -> Self {
         LockManager::default()
+    }
+
+    /// Replaces the tracer — used by an owning scheduler to share one
+    /// registry/trace with its lock table.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The tracer this manager emits into.
+    #[must_use]
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
     }
 
     /// Requests `mode` on `resource` for `txn` at time `now`.
@@ -136,36 +163,41 @@ impl LockManager {
             });
         }
         let queue = self.queues.entry(resource).or_default();
+        let exclusive = mode == LockMode::Exclusive;
         if let Some(held_mode) = queue.granted_mode(txn) {
             if held_mode == mode || held_mode == LockMode::Exclusive {
-                self.stats.immediate_grants += 1;
+                self.tracer.emit(now, TraceEvent::LockGranted { txn, resource, exclusive });
                 return Ok(LockOutcome::Granted); // already covered
             }
             // Upgrade S → X.
             debug_assert!(held_mode.upgrades_to(mode));
-            self.stats.upgrades += 1;
+            self.tracer.emit(now, TraceEvent::LockUpgrade { txn, resource });
             let req = Request { txn, mode, since: now, is_upgrade: true };
             if queue.grantable(&req) {
                 queue.grant(req);
-                self.stats.immediate_grants += 1;
+                self.tracer.emit(now, TraceEvent::LockGranted { txn, resource, exclusive });
                 return Ok(LockOutcome::Granted);
             }
             queue.waiting.push_front(req);
+            let queue_depth = queue.waiting.len() as u32;
             self.waiting_on.insert(txn, resource);
-            self.stats.waits += 1;
+            self.tracer
+                .emit(now, TraceEvent::LockWaiting { txn, resource, exclusive, queue_depth });
             return Ok(LockOutcome::Waiting);
         }
         let req = Request { txn, mode, since: now, is_upgrade: false };
         if queue.waiting.is_empty() && queue.grantable(&req) {
             queue.grant(req);
             self.held.entry(txn).or_default().insert(resource);
-            self.stats.immediate_grants += 1;
+            self.tracer.emit(now, TraceEvent::LockGranted { txn, resource, exclusive });
             Ok(LockOutcome::Granted)
         } else {
             queue.waiting.push_back(req);
+            let queue_depth = queue.waiting.len() as u32;
             self.waiting_on.insert(txn, resource);
             self.held.entry(txn).or_default().insert(resource); // reserved; finalized on grant
-            self.stats.waits += 1;
+            self.tracer
+                .emit(now, TraceEvent::LockWaiting { txn, resource, exclusive, queue_depth });
             Ok(LockOutcome::Waiting)
         }
     }
@@ -251,8 +283,9 @@ impl LockManager {
     /// calling [`LockManager::release_all`]).
     pub fn detect_deadlock(&mut self) -> Option<(TxnId, Vec<TxnId>)> {
         let result = self.waits_for_graph().pick_victim();
-        if result.is_some() {
-            self.stats.deadlock_victims += 1;
+        if let Some((victim, cycle)) = &result {
+            self.tracer
+                .emit_unclocked(TraceEvent::DeadlockVictim { txn: *victim, cycle: cycle.clone() });
         }
         result
     }
@@ -262,8 +295,9 @@ impl LockManager {
     /// it); much cheaper than the full scan under deep queues.
     pub fn detect_deadlock_from(&mut self, waiter: TxnId) -> Option<(TxnId, Vec<TxnId>)> {
         let result = self.waits_for_graph().pick_victim_from(waiter);
-        if result.is_some() {
-            self.stats.deadlock_victims += 1;
+        if let Some((victim, cycle)) = &result {
+            self.tracer
+                .emit_unclocked(TraceEvent::DeadlockVictim { txn: *victim, cycle: cycle.clone() });
         }
         result
     }
@@ -283,10 +317,16 @@ impl LockManager {
         out
     }
 
-    /// Snapshot of the counters.
+    /// Snapshot of the counters, projected from the tracer's registry.
     #[must_use]
     pub fn stats(&self) -> LockStats {
-        self.stats
+        self.tracer.with_registry(LockStats::from_registry)
+    }
+
+    /// The current waits-for graph rendered as Graphviz DOT.
+    #[must_use]
+    pub fn waits_for_dot(&self) -> String {
+        pstm_obs::waits_for_dot(self.waits_for_graph().edges())
     }
 }
 
@@ -318,7 +358,10 @@ mod tests {
         let mut lm = LockManager::new();
         lm.request(t(1), res(1), LockMode::Exclusive, T0).unwrap();
         assert_eq!(lm.request(t(2), res(1), LockMode::Shared, T0).unwrap(), LockOutcome::Waiting);
-        assert_eq!(lm.request(t(3), res(1), LockMode::Exclusive, T0).unwrap(), LockOutcome::Waiting);
+        assert_eq!(
+            lm.request(t(3), res(1), LockMode::Exclusive, T0).unwrap(),
+            LockOutcome::Waiting
+        );
         assert_eq!(lm.waiter_count(res(1)), 2);
         assert_eq!(lm.waiting_resource(t(2)), Some(res(1)));
     }
@@ -340,8 +383,8 @@ mod tests {
         let mut lm = LockManager::new();
         lm.request(t(1), res(1), LockMode::Shared, T0).unwrap();
         lm.request(t(2), res(1), LockMode::Exclusive, T0).unwrap(); // waits
-        // t3's shared is compatible with t1's grant but must queue behind
-        // t2 to avoid starving the exclusive request.
+                                                                    // t3's shared is compatible with t1's grant but must queue behind
+                                                                    // t2 to avoid starving the exclusive request.
         assert_eq!(lm.request(t(3), res(1), LockMode::Shared, T0).unwrap(), LockOutcome::Waiting);
         let promoted = lm.release_all(t(1));
         assert_eq!(promoted, vec![t(2)], "exclusive goes first");
@@ -354,7 +397,10 @@ mod tests {
         let mut lm = LockManager::new();
         lm.request(t(1), res(1), LockMode::Exclusive, T0).unwrap();
         assert_eq!(lm.request(t(1), res(1), LockMode::Shared, T0).unwrap(), LockOutcome::Granted);
-        assert_eq!(lm.request(t(1), res(1), LockMode::Exclusive, T0).unwrap(), LockOutcome::Granted);
+        assert_eq!(
+            lm.request(t(1), res(1), LockMode::Exclusive, T0).unwrap(),
+            LockOutcome::Granted
+        );
         assert_eq!(lm.holders(res(1)).len(), 1);
     }
 
@@ -362,7 +408,10 @@ mod tests {
     fn sole_holder_upgrades_immediately() {
         let mut lm = LockManager::new();
         lm.request(t(1), res(1), LockMode::Shared, T0).unwrap();
-        assert_eq!(lm.request(t(1), res(1), LockMode::Exclusive, T0).unwrap(), LockOutcome::Granted);
+        assert_eq!(
+            lm.request(t(1), res(1), LockMode::Exclusive, T0).unwrap(),
+            LockOutcome::Granted
+        );
         assert_eq!(lm.held_mode(t(1), res(1)), Some(LockMode::Exclusive));
     }
 
@@ -372,8 +421,11 @@ mod tests {
         lm.request(t(1), res(1), LockMode::Shared, T0).unwrap();
         lm.request(t(2), res(1), LockMode::Shared, T0).unwrap();
         lm.request(t(3), res(1), LockMode::Exclusive, T0).unwrap(); // queued
-        // t1 upgrades: goes to the FRONT, ahead of t3.
-        assert_eq!(lm.request(t(1), res(1), LockMode::Exclusive, T0).unwrap(), LockOutcome::Waiting);
+                                                                    // t1 upgrades: goes to the FRONT, ahead of t3.
+        assert_eq!(
+            lm.request(t(1), res(1), LockMode::Exclusive, T0).unwrap(),
+            LockOutcome::Waiting
+        );
         let promoted = lm.release_all(t(2));
         assert_eq!(promoted, vec![t(1)], "upgrade wins over queued exclusive");
         assert_eq!(lm.held_mode(t(1), res(1)), Some(LockMode::Exclusive));
@@ -387,8 +439,14 @@ mod tests {
         // The paper's §II scenario: both read, both try to write.
         lm.request(t(1), res(1), LockMode::Shared, T0).unwrap();
         lm.request(t(2), res(1), LockMode::Shared, T0).unwrap();
-        assert_eq!(lm.request(t(1), res(1), LockMode::Exclusive, T0).unwrap(), LockOutcome::Waiting);
-        assert_eq!(lm.request(t(2), res(1), LockMode::Exclusive, T0).unwrap(), LockOutcome::Waiting);
+        assert_eq!(
+            lm.request(t(1), res(1), LockMode::Exclusive, T0).unwrap(),
+            LockOutcome::Waiting
+        );
+        assert_eq!(
+            lm.request(t(2), res(1), LockMode::Exclusive, T0).unwrap(),
+            LockOutcome::Waiting
+        );
         let (victim, cycle) = lm.detect_deadlock().expect("upgrade deadlock");
         assert_eq!(victim, t(2));
         assert_eq!(cycle.len(), 2);

@@ -116,7 +116,9 @@ mod tests {
         // Higher incompatibility → more aborts, all else equal.
         let pick = |i: u64| {
             rows.iter()
-                .find(|r| r.incompatible_pct == i && r.disconnected_pct == 50 && r.conflict_pct == 50)
+                .find(|r| {
+                    r.incompatible_pct == i && r.disconnected_pct == 50 && r.conflict_pct == 50
+                })
                 .unwrap()
                 .pstm
         };

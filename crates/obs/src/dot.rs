@@ -1,0 +1,59 @@
+//! Graphviz DOT export for waits-for / conflict graphs.
+//!
+//! Kept generic over an edge iterator so both the GTM's dependence graph
+//! and the lock manager's waits-for graph can export without this crate
+//! depending on either.
+
+use pstm_types::TxnId;
+use std::collections::BTreeSet;
+
+/// Renders a waits-for graph (`waiter → holder` edges) as a DOT digraph.
+///
+/// Output is deterministic: nodes and edges are emitted in sorted order
+/// regardless of iteration order, so two identical graphs produce
+/// byte-identical DOT — diffable across runs like every other artifact.
+#[must_use]
+pub fn waits_for_dot(edges: impl IntoIterator<Item = (TxnId, TxnId)>) -> String {
+    let edges: BTreeSet<(TxnId, TxnId)> = edges.into_iter().collect();
+    let nodes: BTreeSet<TxnId> = edges.iter().flat_map(|(a, b)| [*a, *b]).collect();
+    let mut out = String::from("digraph waits_for {\n");
+    out.push_str("  rankdir=LR;\n");
+    out.push_str("  node [shape=circle];\n");
+    for n in &nodes {
+        out.push_str(&format!("  T{};\n", n.0));
+    }
+    for (waiter, holder) in &edges {
+        out.push_str(&format!("  T{} -> T{};\n", waiter.0, holder.0));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_is_still_valid_dot() {
+        let dot = waits_for_dot(std::iter::empty());
+        assert!(dot.starts_with("digraph waits_for {"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn edges_and_nodes_are_sorted() {
+        let dot = waits_for_dot(vec![(TxnId(3), TxnId(1)), (TxnId(2), TxnId(3))]);
+        let t1 = dot.find("T1;").unwrap();
+        let t2 = dot.find("T2;").unwrap();
+        let t3 = dot.find("T3;").unwrap();
+        assert!(t1 < t2 && t2 < t3);
+        assert!(dot.find("T2 -> T3;").unwrap() < dot.find("T3 -> T1;").unwrap());
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_output() {
+        let a = waits_for_dot(vec![(TxnId(1), TxnId(2)), (TxnId(2), TxnId(1))]);
+        let b = waits_for_dot(vec![(TxnId(2), TxnId(1)), (TxnId(1), TxnId(2))]);
+        assert_eq!(a, b);
+    }
+}

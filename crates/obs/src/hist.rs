@@ -1,0 +1,181 @@
+//! Fixed-bucket histograms over virtual-time quantities.
+//!
+//! Buckets are chosen at construction and never rebalance, so two runs
+//! that record the same values produce identical histograms — the same
+//! determinism contract the rest of the subsystem keeps.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with a dedicated zero bucket, one bucket per configured
+/// upper bound, and an overflow bucket.
+///
+/// Bucket layout for bounds `[b0, b1, …, bn]`:
+///
+/// | bucket      | values              |
+/// |-------------|---------------------|
+/// | 0 (zero)    | `v == 0`            |
+/// | 1           | `0 < v <= b0`       |
+/// | i+1         | `b(i-1) < v <= bi`  |
+/// | n+1 (over)  | `v > bn`            |
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram over the given strictly-increasing upper bounds.
+    ///
+    /// # Panics
+    /// If `bounds` is empty, contains zero, or is not strictly increasing.
+    #[must_use]
+    pub fn new(bounds: Vec<u64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(bounds[0] > 0, "the zero bucket is implicit; bounds start above 0");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must strictly increase");
+        let buckets = bounds.len() + 2;
+        Histogram { bounds, counts: vec![0; buckets], total: 0, sum: 0, max: 0 }
+    }
+
+    /// Bounds for latency-like quantities in microseconds of virtual
+    /// time: 100 µs … 1000 s, decade-spaced.
+    #[must_use]
+    pub fn latency_us() -> Self {
+        Histogram::new(vec![
+            100,
+            1_000,
+            10_000,
+            100_000,
+            1_000_000,
+            10_000_000,
+            100_000_000,
+            1_000_000_000,
+        ])
+    }
+
+    /// Bounds for queue depths: powers of two up to 64.
+    #[must_use]
+    pub fn queue_depth() -> Self {
+        Histogram::new(vec![1, 2, 4, 8, 16, 32, 64])
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let idx = if value == 0 {
+            0
+        } else {
+            match self.bounds.iter().position(|b| value <= *b) {
+                Some(i) => i + 1,
+                None => self.bounds.len() + 1,
+            }
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of recorded values (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values, 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The configured upper bounds.
+    #[must_use]
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts: `[zero, (0,b0], …, overflow]`.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count in the dedicated zero bucket.
+    #[must_use]
+    pub fn zero_count(&self) -> u64 {
+        self.counts[0]
+    }
+
+    /// Count in the overflow bucket (`v > last bound`).
+    #[must_use]
+    pub fn overflow_count(&self) -> u64 {
+        *self.counts.last().expect("histograms always have buckets")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_goes_to_the_zero_bucket() {
+        let mut h = Histogram::new(vec![10, 100]);
+        h.record(0);
+        assert_eq!(h.zero_count(), 1);
+        assert_eq!(h.counts(), &[1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn bounds_are_inclusive_upper() {
+        let mut h = Histogram::new(vec![10, 100]);
+        h.record(1);
+        h.record(10); // lands in (0, 10], not (10, 100]
+        h.record(11);
+        h.record(100);
+        assert_eq!(h.counts(), &[0, 2, 2, 0]);
+    }
+
+    #[test]
+    fn overflow_catches_everything_past_the_last_bound() {
+        let mut h = Histogram::new(vec![10]);
+        h.record(11);
+        h.record(u64::MAX);
+        assert_eq!(h.overflow_count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn mean_and_sum() {
+        let mut h = Histogram::new(vec![10]);
+        assert_eq!(h.mean(), 0.0);
+        h.record(2);
+        h.record(4);
+        assert_eq!(h.sum(), 6);
+        assert_eq!(h.total(), 2);
+        assert!((h.mean() - 3.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn non_monotone_bounds_rejected() {
+        let _ = Histogram::new(vec![10, 10]);
+    }
+}

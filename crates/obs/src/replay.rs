@@ -1,0 +1,104 @@
+//! Loading persisted JSONL traces back into records and metrics.
+//!
+//! The round trip `Tracer` → [`crate::sink::JsonlSink`] → [`parse_jsonl`]
+//! → [`MetricsRegistry::from_records`] is how artifacts are validated:
+//! counters rebuilt from the trace must equal the counters the live run
+//! reported, because both go through the same `apply` mapping.
+
+use crate::event::TraceRecord;
+use crate::registry::MetricsRegistry;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Parses JSONL text (one [`TraceRecord`] per non-empty line).
+///
+/// # Errors
+/// Returns the 1-based line number and message of the first malformed
+/// line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: TraceRecord =
+            serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Reads and parses a JSONL trace file.
+///
+/// # Errors
+/// I/O errors from reading, or `InvalidData` wrapping the first
+/// malformed line.
+pub fn load_jsonl(path: impl AsRef<Path>) -> io::Result<Vec<TraceRecord>> {
+    let text = fs::read_to_string(path)?;
+    parse_jsonl(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Rebuilds the metrics a trace implies.
+#[must_use]
+pub fn replay(records: &[TraceRecord]) -> MetricsRegistry {
+    MetricsRegistry::from_records(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AbortOrigin, TraceEvent};
+    use crate::registry::Ctr;
+    use crate::sink::JsonlSink;
+    use crate::tracer::Tracer;
+    use pstm_types::{AbortReason, Timestamp, TxnId};
+
+    #[test]
+    fn jsonl_round_trip_preserves_records_and_counters() {
+        let (sink, buf) = JsonlSink::shared_buffer();
+        let t = Tracer::with_sink(Box::new(sink));
+        t.emit(Timestamp(1), TraceEvent::TxnBegin { txn: TxnId(1) });
+        t.emit(Timestamp(2), TraceEvent::TxnBegin { txn: TxnId(2) });
+        t.emit(Timestamp(5), TraceEvent::Committed { txn: TxnId(1) });
+        t.emit(
+            Timestamp(6),
+            TraceEvent::Aborted {
+                txn: TxnId(2),
+                reason: AbortReason::User,
+                origin: AbortOrigin::User,
+            },
+        );
+        t.flush();
+
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        let records = parse_jsonl(&text).unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(
+            records[3].event,
+            TraceEvent::Aborted {
+                txn: TxnId(2),
+                reason: AbortReason::User,
+                origin: AbortOrigin::User,
+            }
+        );
+
+        let rebuilt = replay(&records);
+        let live = t.snapshot();
+        for c in Ctr::ALL {
+            assert_eq!(rebuilt.counter(*c), live.counter(*c), "counter {}", c.name());
+        }
+        assert_eq!(rebuilt.commit_latency().sum(), live.commit_latency().sum());
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_its_number() {
+        let err = parse_jsonl("{\"not\": \"a record\"}").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        assert_eq!(parse_jsonl("\n\n  \n").unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! The [`Tracer`]: the single handle a component holds to emit events.
+//!
+//! A tracer is a cheaply cloneable `Arc` around a registry and an
+//! optional sink; clones share both. That sharing is the point — a 2PL
+//! scheduler and its lock table clone one tracer and their events land
+//! in one registry and one interleaved trace, in emission order.
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::registry::{Ctr, MetricsRegistry};
+use crate::sink::Sink;
+use parking_lot::Mutex;
+use pstm_types::Timestamp;
+use std::sync::Arc;
+
+struct TracerInner {
+    registry: MetricsRegistry,
+    sink: Option<Box<dyn Sink>>,
+    seq: u64,
+}
+
+/// A shared emission point for trace events.
+///
+/// With no sink attached ([`Tracer::disabled`], also the `Default`), an
+/// emit is a lock plus one counter-array update — cheap enough to leave
+/// threaded through release builds.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Mutex<TracerInner>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::disabled()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Tracer")
+            .field("seq", &inner.seq)
+            .field("sink", &inner.sink.is_some())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A tracer that maintains metrics but persists no trace.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Tracer {
+            inner: Arc::new(Mutex::new(TracerInner {
+                registry: MetricsRegistry::new(),
+                sink: None,
+                seq: 0,
+            })),
+        }
+    }
+
+    /// A tracer recording every event into `sink`.
+    #[must_use]
+    pub fn with_sink(sink: Box<dyn Sink>) -> Self {
+        Tracer {
+            inner: Arc::new(Mutex::new(TracerInner {
+                registry: MetricsRegistry::new(),
+                sink: Some(sink),
+                seq: 0,
+            })),
+        }
+    }
+
+    /// True when a sink is attached (metrics are always maintained).
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.lock().sink.is_some()
+    }
+
+    /// Emits one event at virtual time `at`.
+    pub fn emit(&self, at: Timestamp, event: TraceEvent) {
+        let mut inner = self.inner.lock();
+        inner.registry.apply(at, &event);
+        if inner.sink.is_some() {
+            let rec = TraceRecord { seq: inner.seq, at, event };
+            inner.seq += 1;
+            if let Some(sink) = inner.sink.as_mut() {
+                sink.record(&rec);
+            }
+        } else {
+            inner.seq += 1;
+        }
+    }
+
+    /// Emits an event from a layer without a virtual clock (the storage
+    /// engine, the WAL), stamping it with the registry's last-seen
+    /// timestamp. Still deterministic: that timestamp is itself driven
+    /// by the deterministic scheduler events.
+    pub fn emit_unclocked(&self, event: TraceEvent) {
+        let at = self.inner.lock().registry.last_at();
+        self.emit(at, event);
+    }
+
+    /// Current value of one counter.
+    #[must_use]
+    pub fn counter(&self, c: Ctr) -> u64 {
+        self.inner.lock().registry.counter(c)
+    }
+
+    /// Runs `f` against the live registry (for stats projection and
+    /// histogram reads) and returns its result.
+    pub fn with_registry<R>(&self, f: impl FnOnce(&MetricsRegistry) -> R) -> R {
+        f(&self.inner.lock().registry)
+    }
+
+    /// A point-in-time copy of the registry.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.inner.lock().registry.clone()
+    }
+
+    /// Flushes the attached sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = self.inner.lock().sink.as_mut() {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RingSink;
+    use pstm_types::TxnId;
+
+    #[test]
+    fn clones_share_registry_and_sequence() {
+        let a = Tracer::disabled();
+        let b = a.clone();
+        a.emit(Timestamp(1), TraceEvent::TxnBegin { txn: TxnId(1) });
+        b.emit(Timestamp(2), TraceEvent::TxnBegin { txn: TxnId(2) });
+        assert_eq!(a.counter(Ctr::Begun), 2);
+        assert_eq!(b.counter(Ctr::Begun), 2);
+    }
+
+    #[test]
+    fn sink_receives_sequenced_records() {
+        let ring = RingSink::new(16);
+        let handle = ring.handle();
+        let t = Tracer::with_sink(Box::new(ring));
+        t.emit(Timestamp(5), TraceEvent::TxnBegin { txn: TxnId(1) });
+        t.emit(Timestamp(9), TraceEvent::Committed { txn: TxnId(1) });
+        let recs = handle.snapshot();
+        assert_eq!(recs.len(), 2);
+        assert_eq!((recs[0].seq, recs[0].at), (0, Timestamp(5)));
+        assert_eq!((recs[1].seq, recs[1].at), (1, Timestamp(9)));
+    }
+
+    #[test]
+    fn unclocked_events_inherit_the_last_timestamp() {
+        let t = Tracer::disabled();
+        t.emit(Timestamp(42), TraceEvent::TxnBegin { txn: TxnId(1) });
+        t.emit_unclocked(TraceEvent::WalFlush { lsn: 0, bytes: 8 });
+        assert_eq!(t.with_registry(|r| r.last_at()), Timestamp(42));
+    }
+}

@@ -33,9 +33,7 @@ pub mod manager;
 pub use manager::{OccManager, OccStats};
 
 use pstm_sim::{AwakeOutcome, Backend, CommitOutcome};
-use pstm_types::{
-    ExecOutcome, PstmResult, ResourceId, ScalarOp, StepEffects, Timestamp, TxnId,
-};
+use pstm_types::{ExecOutcome, PstmResult, ResourceId, ScalarOp, StepEffects, Timestamp, TxnId};
 
 /// Simulator adapter.
 pub struct OccBackend(pub OccManager);

@@ -1,9 +1,9 @@
 //! The BOCC transaction manager.
 
+use pstm_obs::{AbortOrigin, Ctr, MetricsRegistry, TraceEvent, Tracer};
 use pstm_storage::{BindingRegistry, Database, WriteOp, WriteSet};
 use pstm_types::{
-    AbortReason, ExecOutcome, PstmError, PstmResult, ResourceId, ScalarOp, Timestamp, TxnId,
-    Value,
+    AbortReason, ExecOutcome, PstmError, PstmResult, ResourceId, ScalarOp, Timestamp, TxnId, Value,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -46,6 +46,22 @@ pub struct OccStats {
     pub ops_completed: u64,
 }
 
+impl OccStats {
+    /// Projects the OCC counters out of an obs registry — the only way
+    /// OCC stats are produced, so they cannot drift from the trace.
+    #[must_use]
+    pub fn from_registry(reg: &MetricsRegistry) -> Self {
+        OccStats {
+            begun: reg.counter(Ctr::Begun),
+            committed: reg.counter(Ctr::Committed),
+            aborted: reg.counter(Ctr::Aborted),
+            aborted_validation: reg.counter(Ctr::AbortedValidation),
+            aborted_constraint: reg.counter(Ctr::AbortedConstraint),
+            ops_completed: reg.counter(Ctr::OpsCompleted),
+        }
+    }
+}
+
 /// Engine-txn id offset for OCC write phases (disjoint from middleware
 /// and SST id spaces).
 const OCC_ID_BASE: u64 = 1 << 49;
@@ -81,7 +97,7 @@ pub struct OccManager {
     serial: u64,
     /// Committed write sets, newest last: `(serial, resources)`.
     committed_writes: Vec<(u64, BTreeSet<ResourceId>)>,
-    stats: OccStats,
+    tracer: Tracer,
 }
 
 impl OccManager {
@@ -94,14 +110,27 @@ impl OccManager {
             txns: BTreeMap::new(),
             serial: 0,
             committed_writes: Vec::new(),
-            stats: OccStats::default(),
+            tracer: Tracer::disabled(),
         }
     }
 
-    /// Counter snapshot.
+    /// Replaces the tracer (builder style) so events reach a shared sink.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The manager's tracer handle.
+    #[must_use]
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
+    }
+
+    /// Counter snapshot, projected from the obs registry.
     #[must_use]
     pub fn stats(&self) -> OccStats {
-        self.stats
+        self.tracer.with_registry(OccStats::from_registry)
     }
 
     /// The shared database handle.
@@ -117,7 +146,7 @@ impl OccManager {
     /// Starts a transaction. Ids at or above the reserved engine id space
     /// (`1 << 49`) are rejected — they would collide with the ids write
     /// phases run under.
-    pub fn begin(&mut self, txn: TxnId, _now: Timestamp) -> PstmResult<()> {
+    pub fn begin(&mut self, txn: TxnId, now: Timestamp) -> PstmResult<()> {
         if self.txns.contains_key(&txn) {
             return Err(PstmError::InvalidState { txn, action: "begin", state: "already known" });
         }
@@ -138,7 +167,7 @@ impl OccManager {
                 write_buffer: BTreeMap::new(),
             },
         );
-        self.stats.begun += 1;
+        self.tracer.emit(now, TraceEvent::TxnBegin { txn });
         Ok(())
     }
 
@@ -148,9 +177,10 @@ impl OccManager {
         txn: TxnId,
         resource: ResourceId,
         op: ScalarOp,
-        _now: Timestamp,
+        now: Timestamp,
     ) -> PstmResult<ExecOutcome> {
         let binding = self.bindings.resolve(resource)?;
+        let class = op.class();
         let state = self.txns.get_mut(&txn).ok_or(PstmError::UnknownTxn(txn))?;
         if state.phase != OccPhase::Reading {
             return Err(PstmError::InvalidState {
@@ -159,6 +189,8 @@ impl OccManager {
                 state: phase_name(state.phase),
             });
         }
+        self.tracer.emit(now, TraceEvent::OpRequested { txn, resource, class });
+        let state = self.txns.get_mut(&txn).expect("checked above");
         state.read_set.insert(resource);
         let current = match state.snapshot.get(&resource) {
             Some(v) => v.clone(),
@@ -173,18 +205,17 @@ impl OccManager {
             state.snapshot.insert(resource, new.clone());
             state.write_buffer.insert(resource, new.clone());
         }
-        self.stats.ops_completed += 1;
+        self.tracer.emit(
+            now,
+            TraceEvent::OpGranted { txn, resource, class, shared: false, bypassed_sleeper: false },
+        );
         Ok(ExecOutcome::Completed(new))
     }
 
     /// Validates and, on success, applies the write phase. Returns
     /// `Ok(Ok(()))` on commit, `Ok(Err(reason))` on a system abort.
     #[allow(clippy::type_complexity)]
-    pub fn commit(
-        &mut self,
-        txn: TxnId,
-        _now: Timestamp,
-    ) -> PstmResult<Result<(), AbortReason>> {
+    pub fn commit(&mut self, txn: TxnId, now: Timestamp) -> PstmResult<Result<(), AbortReason>> {
         let state = self.txns.get(&txn).ok_or(PstmError::UnknownTxn(txn))?;
         if state.phase != OccPhase::Reading {
             return Err(PstmError::InvalidState {
@@ -202,8 +233,7 @@ impl OccManager {
             .filter(|(s, _)| *s > start)
             .any(|(_, writes)| writes.intersection(&state.read_set).next().is_some());
         if invalid {
-            self.stats.aborted_validation += 1;
-            self.finish_abort(txn);
+            self.finish_abort(txn, AbortReason::Validation, AbortOrigin::Commit, now);
             return Ok(Err(AbortReason::Validation));
         }
         // Write phase: one atomic engine write set.
@@ -222,8 +252,7 @@ impl OccManager {
             match self.db.apply_write_set(TxnId(OCC_ID_BASE + txn.0), &ws) {
                 Ok(_) => {}
                 Err(PstmError::ConstraintViolation { .. }) => {
-                    self.stats.aborted_constraint += 1;
-                    self.finish_abort(txn);
+                    self.finish_abort(txn, AbortReason::Constraint, AbortOrigin::Commit, now);
                     return Ok(Err(AbortReason::Constraint));
                 }
                 Err(e) => return Err(e),
@@ -236,22 +265,28 @@ impl OccManager {
             self.committed_writes.push((self.serial, writes));
         }
         state.phase = OccPhase::Committed;
-        self.stats.committed += 1;
+        self.tracer.emit(now, TraceEvent::Committed { txn });
         self.gc_committed_writes();
         Ok(Ok(()))
     }
 
-    fn finish_abort(&mut self, txn: TxnId) {
+    fn finish_abort(
+        &mut self,
+        txn: TxnId,
+        reason: AbortReason,
+        origin: AbortOrigin,
+        now: Timestamp,
+    ) {
         if let Some(state) = self.txns.get_mut(&txn) {
             state.phase = OccPhase::Aborted;
             state.write_buffer.clear();
             state.snapshot.clear();
         }
-        self.stats.aborted += 1;
+        self.tracer.emit(now, TraceEvent::Aborted { txn, reason, origin });
     }
 
     /// User abort.
-    pub fn abort(&mut self, txn: TxnId, _now: Timestamp) -> PstmResult<()> {
+    pub fn abort(&mut self, txn: TxnId, now: Timestamp) -> PstmResult<()> {
         let state = self.txn_mut(txn)?;
         if matches!(state.phase, OccPhase::Committed | OccPhase::Aborted) {
             return Err(PstmError::InvalidState {
@@ -260,29 +295,39 @@ impl OccManager {
                 state: phase_name(state.phase),
             });
         }
-        self.finish_abort(txn);
+        self.finish_abort(txn, AbortReason::User, AbortOrigin::User, now);
         Ok(())
     }
 
     /// Disconnection: free under OCC (no locks held), only the phase is
     /// tracked so the state machine stays honest.
-    pub fn sleep(&mut self, txn: TxnId, _now: Timestamp) -> PstmResult<()> {
+    pub fn sleep(&mut self, txn: TxnId, now: Timestamp) -> PstmResult<()> {
         let state = self.txn_mut(txn)?;
         if state.phase != OccPhase::Reading {
-            return Err(PstmError::InvalidState { txn, action: "sleep", state: phase_name(state.phase) });
+            return Err(PstmError::InvalidState {
+                txn,
+                action: "sleep",
+                state: phase_name(state.phase),
+            });
         }
         state.phase = OccPhase::Sleeping;
+        self.tracer.emit(now, TraceEvent::TxnSlept { txn });
         Ok(())
     }
 
     /// Reconnection. Never aborts here: the price of the long sleep is
     /// paid at validation time.
-    pub fn awake(&mut self, txn: TxnId, _now: Timestamp) -> PstmResult<()> {
+    pub fn awake(&mut self, txn: TxnId, now: Timestamp) -> PstmResult<()> {
         let state = self.txn_mut(txn)?;
         if state.phase != OccPhase::Sleeping {
-            return Err(PstmError::InvalidState { txn, action: "awake", state: phase_name(state.phase) });
+            return Err(PstmError::InvalidState {
+                txn,
+                action: "awake",
+                state: phase_name(state.phase),
+            });
         }
         state.phase = OccPhase::Reading;
+        self.tracer.emit(now, TraceEvent::TxnAwoke { txn });
         Ok(())
     }
 
@@ -328,7 +373,8 @@ mod tests {
         let mut bindings = BindingRegistry::new();
         let mut rs = Vec::new();
         for i in 0..3 {
-            let row = db.insert(boot, table, Row::new(vec![Value::Int(i), Value::Int(100)])).unwrap();
+            let row =
+                db.insert(boot, table, Row::new(vec![Value::Int(i), Value::Int(100)])).unwrap();
             let o = bindings.bind_object(table, row, &[(MemberId::ATOMIC, 1)]).unwrap();
             rs.push(ResourceId::atomic(o));
         }

@@ -1,10 +1,10 @@
 //! Property tests for the optimistic comparator: conservation under
 //! random workloads and abort-rate dominance under rising contention.
 
+use proptest::prelude::*;
 use pstm_occ::OccManager;
 use pstm_types::{ExecOutcome, ResourceId, ScalarOp, Timestamp, TxnId, Value};
 use pstm_workload::counter_world;
-use proptest::prelude::*;
 
 const INITIAL: i64 = 100_000;
 

@@ -1,0 +1,462 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Parses the deriving item directly from the token stream (no `syn` /
+//! `quote` — the build environment has no registry access) and emits
+//! `Serialize` / `Deserialize` impls targeting the shim's `Content`
+//! data model. Supports the shapes this workspace uses: unit / newtype /
+//! tuple / named structs, enums with unit / newtype / tuple / struct
+//! variants, and the `#[serde(skip)]` field attribute. Generics are not
+//! supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: Option<String>,
+    ty: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Item {
+    UnitStruct(String),
+    TupleStruct(String, Vec<Field>),
+    NamedStruct(String, Vec<Field>),
+    Enum(String, Vec<Variant>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => break,
+            _ => i += 1,
+        }
+    }
+    let is_struct = matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "struct");
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found `{other}`"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (deriving `{name}`)");
+    }
+    if is_struct {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct(name, parse_fields(g.stream(), true))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct(name, parse_fields(g.stream(), false))
+            }
+            _ => Item::UnitStruct(name),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(name, parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum `{name}`: {other:?}"),
+        }
+    }
+}
+
+/// Splits a token sequence on commas that sit outside every bracket and
+/// angle-bracket nesting level.
+fn split_top_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Consumes leading `#[...]` attributes, reporting whether one of them
+/// is `#[serde(skip)]`.
+fn strip_attrs(tokens: &mut &[TokenTree]) -> bool {
+    let mut skip = false;
+    while let [TokenTree::Punct(p), TokenTree::Group(g), rest @ ..] = tokens {
+        if p.as_char() != '#' {
+            break;
+        }
+        let attr = g.stream().to_string();
+        if attr.starts_with("serde") && attr.contains("skip") {
+            skip = true;
+        }
+        *tokens = rest;
+    }
+    skip
+}
+
+fn strip_vis(tokens: &mut &[TokenTree]) {
+    if let [TokenTree::Ident(id), rest @ ..] = tokens {
+        if id.to_string() == "pub" {
+            *tokens = rest;
+            if let [TokenTree::Group(g), rest2 @ ..] = tokens {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *tokens = rest2;
+                }
+            }
+        }
+    }
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+fn parse_fields(stream: TokenStream, named: bool) -> Vec<Field> {
+    split_top_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut rest: &[TokenTree] = &tokens;
+            let skip = strip_attrs(&mut rest);
+            strip_vis(&mut rest);
+            if named {
+                let (name, rest2) = match rest {
+                    [TokenTree::Ident(id), TokenTree::Punct(c), rest2 @ ..]
+                        if c.as_char() == ':' =>
+                    {
+                        (id.to_string(), rest2)
+                    }
+                    other => panic!("serde_derive: malformed named field: {other:?}"),
+                };
+                Field { name: Some(name), ty: tokens_to_string(rest2), skip }
+            } else {
+                Field { name: None, ty: tokens_to_string(rest), skip }
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_commas(stream)
+        .into_iter()
+        .map(|tokens| {
+            let mut rest: &[TokenTree] = &tokens;
+            strip_attrs(&mut rest);
+            let name = match rest.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: malformed enum variant: {other:?}"),
+            };
+            let kind = match rest.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantKind::Tuple(parse_fields(g.stream(), false))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantKind::Named(parse_fields(g.stream(), true))
+                }
+                None => VariantKind::Unit,
+                other => panic!("serde_derive: unsupported variant shape: {other:?}"),
+            };
+            Variant { name, kind }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+const IMPL_ATTRS: &str =
+    "#[automatically_derived]\n#[allow(unused_variables, unreachable_patterns, clippy::all)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::UnitStruct(name) => (name, "::serde::Content::Null".to_string()),
+        Item::TupleStruct(name, fields) if fields.len() == 1 => {
+            (name, "::serde::Serialize::to_content(&self.0)".to_string())
+        }
+        Item::TupleStruct(name, fields) => {
+            let elems: Vec<String> = (0..fields.len())
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            (name, format!("::serde::Content::Seq(::std::vec![{}])", elems.join(", ")))
+        }
+        Item::NamedStruct(name, fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                let fname = f.name.as_ref().unwrap();
+                pushes.push_str(&format!(
+                    "__m.push((\"{fname}\".to_string(), \
+                     ::serde::Serialize::to_content(&self.{fname})));\n"
+                ));
+            }
+            (
+                name,
+                format!(
+                    "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+                     ::std::vec::Vec::new();\n{pushes}::serde::Content::Map(__m)"
+                ),
+            )
+        }
+        Item::Enum(name, variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Content::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(fields) if fields.len() == 1 => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::variant_newtype(\"{vname}\", \
+                         ::serde::Serialize::to_content(__f0)),\n"
+                    )),
+                    VariantKind::Tuple(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::variant_seq(\"{vname}\", \
+                             ::std::vec![{}]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone().unwrap()).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| {
+                                format!(
+                                    "(\"{b}\".to_string(), ::serde::Serialize::to_content({b}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::variant_map(\"{vname}\", \
+                             ::std::vec![{}]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}"
+    )
+}
+
+/// The `match` expression extracting one named field from map entries
+/// bound to `__m`.
+fn named_field_expr(owner: &str, f: &Field) -> String {
+    if f.skip {
+        return "::std::default::Default::default()".to_string();
+    }
+    let fname = f.name.as_ref().unwrap();
+    let ty = &f.ty;
+    format!(
+        "match ::serde::map_get(__m, \"{fname}\") {{\n\
+         ::std::option::Option::Some(__v) => <{ty} as ::serde::Deserialize>::from_content(__v)?,\n\
+         ::std::option::Option::None => <{ty} as ::serde::Deserialize>::from_missing()\n\
+         .map_err(|_| ::serde::DeError::custom(\"{owner}: missing field `{fname}`\"))?,\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::UnitStruct(name) => (
+            name,
+            format!(
+                "match __c {{\n\
+                 ::serde::Content::Null => ::std::result::Result::Ok({name}),\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"{name}: expected null\")),\n}}"
+            ),
+        ),
+        Item::TupleStruct(name, fields) if fields.len() == 1 => {
+            let ty = &fields[0].ty;
+            (
+                name,
+                format!(
+                    "::std::result::Result::Ok({name}(\
+                     <{ty} as ::serde::Deserialize>::from_content(__c)?))"
+                ),
+            )
+        }
+        Item::TupleStruct(name, fields) => {
+            let n = fields.len();
+            let elems: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    format!("<{} as ::serde::Deserialize>::from_content(&__s[{i}])?", f.ty)
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "let __s = __c.as_seq().ok_or_else(|| \
+                     ::serde::DeError::custom(\"{name}: expected sequence\"))?;\n\
+                     if __s.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                     \"{name}: wrong tuple length\"));\n}}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    elems.join(", ")
+                ),
+            )
+        }
+        Item::NamedStruct(name, fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {}", f.name.as_ref().unwrap(), named_field_expr(name, f)))
+                .collect();
+            (
+                name,
+                format!(
+                    "let __m = __c.as_map().ok_or_else(|| \
+                     ::serde::DeError::custom(\"{name}: expected map\"))?;\n\
+                     ::std::result::Result::Ok({name} {{\n{}\n}})",
+                    inits.join(",\n")
+                ),
+            )
+        }
+        Item::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(fields) if fields.len() == 1 => {
+                        let ty = &fields[0].ty;
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             <{ty} as ::serde::Deserialize>::from_content(__v)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(fields) => {
+                        let n = fields.len();
+                        let elems: Vec<String> = fields
+                            .iter()
+                            .enumerate()
+                            .map(|(i, f)| {
+                                format!(
+                                    "<{} as ::serde::Deserialize>::from_content(&__s[{i}])?",
+                                    f.ty
+                                )
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __s = __v.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                             \"{name}::{vname}: expected sequence\"))?;\n\
+                             if __s.len() != {n} {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::custom(\
+                             \"{name}::{vname}: wrong tuple length\"));\n}}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n}}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{}: {}",
+                                    f.name.as_ref().unwrap(),
+                                    named_field_expr(&format!("{name}::{vname}"), f)
+                                )
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __m = __v.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                             \"{name}::{vname}: expected map\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n{}\n}})\n}}\n",
+                            inits.join(",\n")
+                        ));
+                    }
+                }
+            }
+            (
+                name,
+                format!(
+                    "match __c {{\n\
+                     ::serde::Content::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"{name}: unknown variant `{{__other}}`\"))),\n}},\n\
+                     ::serde::Content::Map(__map) if __map.len() == 1 => {{\n\
+                     let (__k, __v) = &__map[0];\n\
+                     match __k.as_str() {{\n{payload_arms}\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"{name}: unknown variant `{{__other}}`\"))),\n}}\n}}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     \"{name}: expected variant\")),\n}}"
+                ),
+            )
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(__c: &::serde::Content) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+}

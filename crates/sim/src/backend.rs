@@ -1,6 +1,7 @@
 //! The scheduler-agnostic backend surface and its two adapters.
 
 use pstm_core::gtm::{AwakeResult, CommitResult, Gtm};
+use pstm_obs::Tracer;
 use pstm_twopl::TwoPlManager;
 use pstm_types::{
     AbortReason, ExecOutcome, PstmResult, ResourceId, ScalarOp, StepEffects, Timestamp, TxnId,
@@ -49,6 +50,11 @@ pub trait Backend {
     fn awake(&mut self, txn: TxnId, now: Timestamp) -> PstmResult<(AwakeOutcome, StepEffects)>;
     /// Periodic maintenance (timeouts, deadlock detection).
     fn tick(&mut self, now: Timestamp) -> PstmResult<StepEffects>;
+    /// The backend's tracer handle, so the runner can stamp link events
+    /// into the same stream and callers can read the metrics registry.
+    fn tracer(&self) -> Tracer {
+        Tracer::disabled()
+    }
 }
 
 /// GTM adapter.
@@ -101,6 +107,10 @@ impl Backend for GtmBackend {
 
     fn tick(&mut self, now: Timestamp) -> PstmResult<StepEffects> {
         self.0.tick(now)
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.0.tracer()
     }
 }
 
@@ -156,5 +166,9 @@ impl Backend for TwoPlBackend {
 
     fn tick(&mut self, now: Timestamp) -> PstmResult<StepEffects> {
         self.0.tick(now)
+    }
+
+    fn tracer(&self) -> Tracer {
+        self.0.tracer()
     }
 }

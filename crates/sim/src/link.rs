@@ -156,10 +156,7 @@ mod tests {
     use super::*;
 
     fn model(up: f64, down: f64) -> LinkModel {
-        LinkModel {
-            mean_up: Duration::from_secs_f64(up),
-            mean_down: Duration::from_secs_f64(down),
-        }
+        LinkModel { mean_up: Duration::from_secs_f64(up), mean_down: Duration::from_secs_f64(down) }
     }
 
     #[test]
@@ -194,10 +191,7 @@ mod tests {
         assert!(trace.is_down(Timestamp::from_secs_f64(10.0)));
         assert!(trace.is_down(Timestamp::from_secs_f64(11.9)));
         assert!(!trace.is_down(Timestamp::from_secs_f64(12.0)), "half-open window");
-        assert_eq!(
-            trace.next_up(Timestamp::from_secs_f64(21.0)),
-            Timestamp::from_secs_f64(25.0)
-        );
+        assert_eq!(trace.next_up(Timestamp::from_secs_f64(21.0)), Timestamp::from_secs_f64(25.0));
         assert_eq!(trace.next_up(Timestamp::from_secs_f64(5.0)), Timestamp::from_secs_f64(5.0));
         assert_eq!(
             trace.downtime_until(Timestamp::from_secs_f64(22.0)),
@@ -212,10 +206,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let trace = m.sample_trace(horizon, &mut rng);
         let frac = trace.downtime_until(horizon).as_secs_f64() / horizon.as_secs_f64();
-        assert!(
-            (frac - 0.2).abs() < 0.02,
-            "sampled down fraction {frac} should approximate 0.2"
-        );
+        assert!((frac - 0.2).abs() < 0.02, "sampled down fraction {frac} should approximate 0.2");
     }
 
     #[test]

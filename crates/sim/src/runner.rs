@@ -4,9 +4,8 @@
 use crate::backend::{AwakeOutcome, Backend, CommitOutcome};
 use crate::events::EventQueue;
 use crate::script::{Step, TxnScript};
-use pstm_types::{
-    AbortReason, Duration, ExecOutcome, PstmResult, StepEffects, Timestamp, TxnId,
-};
+use pstm_obs::{TraceEvent, Tracer};
+use pstm_types::{AbortReason, Duration, ExecOutcome, PstmResult, StepEffects, Timestamp, TxnId};
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -118,6 +117,10 @@ pub struct RunReport {
     pub makespan_s: f64,
     /// Per-transaction detail, in transaction-id order.
     pub per_txn: Vec<TxnResult>,
+    /// Handle on the backend's tracer — callers can read the metrics
+    /// registry or drain a ring sink after the run. Not serialized.
+    #[serde(skip)]
+    pub trace: Option<Tracer>,
 }
 
 impl RunReport {
@@ -300,6 +303,7 @@ impl<B: Backend> Runner<B> {
                 }
             }
             Step::Disconnect(d) => {
+                self.backend.tracer().emit(now, TraceEvent::LinkDown { txn });
                 let fx = self.backend.sleep(txn, now)?;
                 self.apply_effects(fx);
                 let c = self.clients.get_mut(&txn).expect("client exists");
@@ -314,9 +318,7 @@ impl<B: Backend> Runner<B> {
                 self.apply_effects(fx);
                 match outcome {
                     CommitOutcome::Committed => self.finish(txn, Outcome::Committed),
-                    CommitOutcome::Aborted(reason) => {
-                        self.finish(txn, Outcome::Aborted(reason))
-                    }
+                    CommitOutcome::Aborted(reason) => self.finish(txn, Outcome::Aborted(reason)),
                 }
             }
             Step::Abort => {
@@ -334,6 +336,7 @@ impl<B: Backend> Runner<B> {
         if c.status != ClientStatus::Sleeping {
             return Ok(()); // aborted while asleep
         }
+        self.backend.tracer().emit(now, TraceEvent::LinkUp { txn });
         let (outcome, fx) = self.backend.awake(txn, now)?;
         self.apply_effects(fx);
         match outcome {
@@ -366,10 +369,8 @@ impl<B: Backend> Runner<B> {
             if c.ever_slept {
                 disconnected_total += 1;
             }
-            let latency = c
-                .finished_at
-                .map(|f| f.since(c.script.arrival).as_secs_f64())
-                .unwrap_or(0.0);
+            let latency =
+                c.finished_at.map(|f| f.since(c.script.arrival).as_secs_f64()).unwrap_or(0.0);
             let outcome_str = match c.outcome {
                 Some(Outcome::Committed) => "committed".to_owned(),
                 Some(Outcome::Aborted(r)) => r.to_string(),
@@ -411,8 +412,16 @@ impl<B: Backend> Runner<B> {
             aborted,
             unfinished,
             aborts_by_reason,
-            mean_exec_committed_s: if committed > 0 { exec_committed / committed as f64 } else { 0.0 },
-            mean_exec_all_s: if finished_count > 0 { exec_all / finished_count as f64 } else { 0.0 },
+            mean_exec_committed_s: if committed > 0 {
+                exec_committed / committed as f64
+            } else {
+                0.0
+            },
+            mean_exec_all_s: if finished_count > 0 {
+                exec_all / finished_count as f64
+            } else {
+                0.0
+            },
             abort_pct: if total > 0 { 100.0 * aborted as f64 / total as f64 } else { 0.0 },
             disconnected_total,
             disconnected_aborted,
@@ -423,6 +432,7 @@ impl<B: Backend> Runner<B> {
             },
             makespan_s: makespan,
             per_txn,
+            trace: Some(self.backend.tracer()),
         }
     }
 }
@@ -432,9 +442,7 @@ mod tests {
     use super::*;
     use crate::backend::{GtmBackend, TwoPlBackend};
     use pstm_core::gtm::{Gtm, GtmConfig};
-    use pstm_storage::{
-        BindingRegistry, ColumnDef, Constraint, Database, Row, TableSchema,
-    };
+    use pstm_storage::{BindingRegistry, ColumnDef, Constraint, Database, Row, TableSchema};
     use pstm_twopl::{TwoPlConfig, TwoPlManager};
     use pstm_types::{MemberId, ResourceId, ScalarOp, Value, ValueKind};
     use std::sync::Arc;
@@ -467,10 +475,7 @@ mod tests {
     }
 
     fn sub_script(txn: u64, arrival_s: f64, r: ResourceId, disconnect: Option<f64>) -> TxnScript {
-        let mut steps = vec![
-            Step::Think(secs(0.2)),
-            Step::Op(r, ScalarOp::Sub(Value::Int(1))),
-        ];
+        let mut steps = vec![Step::Think(secs(0.2)), Step::Op(r, ScalarOp::Sub(Value::Int(1)))];
         if let Some(d) = disconnect {
             steps.push(Step::Disconnect(secs(d)));
         }
@@ -485,8 +490,7 @@ mod tests {
         let gtm = Gtm::new(db.clone(), bindings, GtmConfig::default());
         let scripts: Vec<TxnScript> =
             (1..=20).map(|i| sub_script(i, 0.1 * i as f64, rs[0], None)).collect();
-        let report =
-            Runner::new(GtmBackend(gtm), scripts, RunnerConfig::default()).run().unwrap();
+        let report = Runner::new(GtmBackend(gtm), scripts, RunnerConfig::default()).run().unwrap();
         assert_eq!(report.committed, 20);
         assert_eq!(report.aborted, 0);
         assert_eq!(report.unfinished, 0);
@@ -500,9 +504,8 @@ mod tests {
             (1..=20).map(|i| sub_script(i, 0.1 * i as f64, rs[0], None)).collect();
 
         let gtm = Gtm::new(db.clone(), bindings.clone(), GtmConfig::default());
-        let g = Runner::new(GtmBackend(gtm), scripts.clone(), RunnerConfig::default())
-            .run()
-            .unwrap();
+        let g =
+            Runner::new(GtmBackend(gtm), scripts.clone(), RunnerConfig::default()).run().unwrap();
 
         let (db2, bindings2, rs2) = build_world(1);
         let remap: Vec<TxnScript> = scripts
@@ -541,9 +544,8 @@ mod tests {
         }
 
         let gtm = Gtm::new(db, bindings, GtmConfig::default());
-        let g = Runner::new(GtmBackend(gtm), scripts.clone(), RunnerConfig::default())
-            .run()
-            .unwrap();
+        let g =
+            Runner::new(GtmBackend(gtm), scripts.clone(), RunnerConfig::default()).run().unwrap();
         assert_eq!(g.committed, 10, "compatible sleeper survives under the GTM");
         assert_eq!(g.abort_pct_disconnected, 0.0);
 
@@ -594,8 +596,7 @@ mod tests {
         let (db, bindings, rs) = build_world(1);
         let gtm = Gtm::new(db, bindings, GtmConfig::default());
         let scripts = vec![sub_script(1, 0.0, rs[0], None)];
-        let report =
-            Runner::new(GtmBackend(gtm), scripts, RunnerConfig::default()).run().unwrap();
+        let report = Runner::new(GtmBackend(gtm), scripts, RunnerConfig::default()).run().unwrap();
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"backend\":\"gtm\""));
     }
@@ -607,7 +608,12 @@ mod tests {
             let gtm = Gtm::new(db, bindings, GtmConfig::default());
             let scripts: Vec<TxnScript> = (1..=30)
                 .map(|i| {
-                    sub_script(i, 0.05 * i as f64, rs[(i % 2) as usize], if i % 5 == 0 { Some(3.0) } else { None })
+                    sub_script(
+                        i,
+                        0.05 * i as f64,
+                        rs[(i % 2) as usize],
+                        if i % 5 == 0 { Some(3.0) } else { None },
+                    )
                 })
                 .collect();
             Runner::new(GtmBackend(gtm), scripts, RunnerConfig::default()).run().unwrap()

@@ -97,9 +97,8 @@ mod tests {
     fn bind_object_allocates_sequential_ids() {
         let mut reg = BindingRegistry::new();
         let t = TableId(0);
-        let o1 = reg
-            .bind_object(t, RowId::new(0, 0), &[(MemberId(0), 1), (MemberId(1), 2)])
-            .unwrap();
+        let o1 =
+            reg.bind_object(t, RowId::new(0, 0), &[(MemberId(0), 1), (MemberId(1), 2)]).unwrap();
         let o2 = reg.bind_object(t, RowId::new(0, 1), &[(MemberId(0), 1)]).unwrap();
         assert_eq!(o1, ObjectId(0));
         assert_eq!(o2, ObjectId(1));

@@ -609,10 +609,7 @@ mod tests {
             .collect();
         assert_eq!(open, (96..100).collect::<Vec<_>>());
 
-        assert_eq!(
-            t.range(Bound::Included(&Value::Int(500)), Bound::Unbounded).len(),
-            0
-        );
+        assert_eq!(t.range(Bound::Included(&Value::Int(500)), Bound::Unbounded).len(), 0);
     }
 
     #[test]

@@ -122,10 +122,7 @@ impl Catalog {
 
     /// Looks a table up by name.
     pub fn table_id(&self, name: &str) -> PstmResult<TableId> {
-        self.by_name
-            .get(name)
-            .copied()
-            .ok_or_else(|| PstmError::NotFound(format!("table {name}")))
+        self.by_name.get(name).copied().ok_or_else(|| PstmError::NotFound(format!("table {name}")))
     }
 
     /// Number of tables.
@@ -167,7 +164,8 @@ mod tests {
     #[test]
     fn create_and_lookup() {
         let mut c = Catalog::new();
-        let id = c.create_table(flight_schema(), vec![Constraint::non_negative("free>=0", 1)]).unwrap();
+        let id =
+            c.create_table(flight_schema(), vec![Constraint::non_negative("free>=0", 1)]).unwrap();
         assert_eq!(c.table_id("Flight").unwrap(), id);
         assert_eq!(c.meta(id).unwrap().schema.name, "Flight");
         assert_eq!(c.table_count(), 1);
@@ -186,9 +184,8 @@ mod tests {
     #[test]
     fn constraint_column_validated() {
         let mut c = Catalog::new();
-        let err = c
-            .create_table(flight_schema(), vec![Constraint::non_negative("bad", 9)])
-            .unwrap_err();
+        let err =
+            c.create_table(flight_schema(), vec![Constraint::non_negative("bad", 9)]).unwrap_err();
         assert!(matches!(err, PstmError::Internal(_)));
     }
 

@@ -50,9 +50,7 @@ pub fn encoded_len(v: &Value) -> usize {
 
 /// Decodes one value from `buf` starting at `*pos`, advancing `*pos`.
 pub fn decode_value(buf: &[u8], pos: &mut usize) -> PstmResult<Value> {
-    let tag = *buf
-        .get(*pos)
-        .ok_or_else(|| PstmError::WalCorrupt("truncated value tag".into()))?;
+    let tag = *buf.get(*pos).ok_or_else(|| PstmError::WalCorrupt("truncated value tag".into()))?;
     *pos += 1;
     match tag {
         TAG_NULL => Ok(Value::Null),
@@ -164,7 +162,8 @@ mod tests {
 
     #[test]
     fn row_round_trips() {
-        let row = vec![Value::Int(1), Value::Text("flight".into()), Value::Float(99.5), Value::Null];
+        let row =
+            vec![Value::Int(1), Value::Text("flight".into()), Value::Float(99.5), Value::Null];
         let buf = encode_row(&row);
         assert_eq!(decode_row(&buf).unwrap(), row);
     }

@@ -6,7 +6,7 @@
 //! aborts — the effect the admission-control extension bounds. The engine
 //! enforces these constraints on every write, including SST writes.
 
-use pstm_types::{PstmResult, PstmError, Value};
+use pstm_types::{PstmError, PstmResult, Value};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;

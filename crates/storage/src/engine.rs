@@ -20,6 +20,7 @@ use crate::row::{Row, RowId};
 use crate::schema::TableSchema;
 use crate::wal::{LogRecord, Lsn, Wal};
 use parking_lot::RwLock;
+use pstm_obs::{Ctr, MetricsRegistry, TraceEvent, Tracer};
 use pstm_types::{PstmError, PstmResult, TxnId, Value};
 use std::collections::HashMap;
 use std::ops::Bound;
@@ -138,6 +139,23 @@ pub struct EngineStats {
     pub wal_bytes: usize,
 }
 
+impl EngineStats {
+    /// Projects the engine counters out of an obs registry. `wal_bytes`
+    /// is live state, not a counter — [`Database::stats`] overlays it
+    /// from the log itself.
+    #[must_use]
+    pub fn from_registry(reg: &MetricsRegistry) -> Self {
+        EngineStats {
+            inserts: reg.counter(Ctr::EngineInserts),
+            updates: reg.counter(Ctr::EngineUpdates),
+            deletes: reg.counter(Ctr::EngineDeletes),
+            commits: reg.counter(Ctr::EngineCommits),
+            aborts: reg.counter(Ctr::EngineAborts),
+            wal_bytes: 0,
+        }
+    }
+}
+
 /// The embedded database engine.
 ///
 /// # Example
@@ -167,7 +185,7 @@ pub struct EngineStats {
 /// ```
 pub struct Database {
     inner: RwLock<Inner>,
-    stats: RwLock<EngineStats>,
+    tracer: RwLock<Tracer>,
     /// Pending injected faults for `apply_write_set` (testing/chaos: the
     /// paper's §VII asks what happens when an SST fails; this is how the
     /// middleware's retry/abort path is exercised).
@@ -193,9 +211,16 @@ impl Database {
                 active: HashMap::new(),
                 pending_deletes: HashMap::new(),
             }),
-            stats: RwLock::new(EngineStats::default()),
+            tracer: RwLock::new(Tracer::disabled()),
             injected_faults: RwLock::new(0),
         }
+    }
+
+    /// Routes engine and WAL events to `tracer`. The shared-`Arc` pattern
+    /// above (managers hold `Arc<Database>`) makes this `&self`.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.inner.write().wal.set_tracer(tracer.clone());
+        *self.tracer.write() = tracer;
     }
 
     /// Makes the next `n` calls to [`Database::apply_write_set`] fail with
@@ -269,7 +294,7 @@ impl Database {
             inner.stores[table.0 as usize].heap.purge(row_id)?;
         }
         inner.wal.append(&LogRecord::Commit { txn })?;
-        self.stats.write().commits += 1;
+        self.tracer.read().emit_unclocked(TraceEvent::EngineCommit { txn });
         Ok(())
     }
 
@@ -332,7 +357,7 @@ impl Database {
         }
         inner.pending_deletes.remove(&txn);
         inner.wal.append(&LogRecord::Abort { txn })?;
-        self.stats.write().aborts += 1;
+        self.tracer.read().emit_unclocked(TraceEvent::EngineAbort { txn });
         Ok(())
     }
 
@@ -362,7 +387,7 @@ impl Database {
             }
         }
         inner.wal.append(&LogRecord::Insert { txn, table, row_id: rid, row })?;
-        self.stats.write().inserts += 1;
+        self.tracer.read().emit_unclocked(TraceEvent::EngineInsert { txn });
         Ok(rid)
     }
 
@@ -397,8 +422,15 @@ impl Database {
             store.indexes[i].remove(&before, row_id);
             store.indexes[i].insert(value.clone(), row_id);
         }
-        inner.wal.append(&LogRecord::Update { txn, table, row_id, column, before, after: value })?;
-        self.stats.write().updates += 1;
+        inner.wal.append(&LogRecord::Update {
+            txn,
+            table,
+            row_id,
+            column,
+            before,
+            after: value,
+        })?;
+        self.tracer.read().emit_unclocked(TraceEvent::EngineUpdate { txn });
         Ok(())
     }
 
@@ -421,7 +453,7 @@ impl Database {
         }
         inner.pending_deletes.entry(txn).or_default().push((table, row_id));
         inner.wal.append(&LogRecord::Delete { txn, table, row_id, row })?;
-        self.stats.write().deletes += 1;
+        self.tracer.read().emit_unclocked(TraceEvent::EngineDelete { txn });
         Ok(())
     }
 
@@ -458,7 +490,12 @@ impl Database {
     }
 
     /// Point lookup by column value, via index when one exists, else scan.
-    pub fn lookup_eq(&self, table: TableId, column: usize, value: &Value) -> PstmResult<Vec<RowId>> {
+    pub fn lookup_eq(
+        &self,
+        table: TableId,
+        column: usize,
+        value: &Value,
+    ) -> PstmResult<Vec<RowId>> {
         let inner = self.inner.read();
         let meta = inner.catalog.meta(table)?;
         let store = &inner.stores[table.0 as usize];
@@ -603,15 +640,16 @@ impl Database {
                 active: HashMap::new(),
                 pending_deletes: HashMap::new(),
             }),
-            stats: RwLock::new(EngineStats::default()),
+            tracer: RwLock::new(Tracer::disabled()),
             injected_faults: RwLock::new(0),
         })
     }
 
-    /// Snapshot of the engine counters.
+    /// Snapshot of the engine counters, projected from the obs registry
+    /// with the live WAL size overlaid.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        let mut s = *self.stats.read();
+        let mut s = self.tracer.read().with_registry(EngineStats::from_registry);
         s.wal_bytes = self.inner.read().wal.len_bytes();
         s
     }
@@ -771,9 +809,9 @@ mod tests {
         let rid = db.insert(txn, t, flight(1, 11, 1.0)).unwrap();
         db.commit(txn).unwrap();
         assert_eq!(db.lookup_eq(t, 1, &Value::Int(11)).unwrap(), vec![rid]);
-        let range =
-            db.lookup_range(t, 1, Bound::Excluded(&Value::Int(10)), Bound::Excluded(&Value::Int(12)))
-                .unwrap();
+        let range = db
+            .lookup_range(t, 1, Bound::Excluded(&Value::Int(10)), Bound::Excluded(&Value::Int(12)))
+            .unwrap();
         assert_eq!(range, vec![rid]);
     }
 

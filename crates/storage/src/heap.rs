@@ -58,9 +58,8 @@ impl HeapFile {
             }
         }
         let mut page = Page::new();
-        let slot = page
-            .insert(&rec)
-            .ok_or_else(|| PstmError::internal("fresh page rejected record"))?;
+        let slot =
+            page.insert(&rec).ok_or_else(|| PstmError::internal("fresh page rejected record"))?;
         self.pages.push(page);
         Ok(RowId::new(self.pages.len() as u32 - 1, slot))
     }
@@ -88,10 +87,7 @@ impl HeapFile {
     /// Whether a live row exists at `id`.
     #[must_use]
     pub fn exists(&self, id: RowId) -> bool {
-        self.pages
-            .get(id.page() as usize)
-            .and_then(|p| p.get(id.slot()))
-            .is_some()
+        self.pages.get(id.page() as usize).and_then(|p| p.get(id.slot())).is_some()
     }
 
     /// Rewrites the row at `id` in place. Rows never migrate: the GTM hands
@@ -138,8 +134,7 @@ impl HeapFile {
             .pages
             .get_mut(id.page() as usize)
             .ok_or_else(|| PstmError::NotFound(format!("row {id}")))?;
-        page.delete(id.slot())
-            .map_err(|_| PstmError::NotFound(format!("row {id}")))
+        page.delete(id.slot()).map_err(|_| PstmError::NotFound(format!("row {id}")))
     }
 
     /// Full scan in `RowId` order.

@@ -26,7 +26,11 @@ const MAGIC: &[u8; 8] = b"PSTMDB1\0";
 /// Serializes a checkpoint image (catalog JSON + heap images) to bytes.
 pub(crate) fn encode(catalog_json: &[u8], heaps: &[Vec<u8>]) -> Vec<u8> {
     let mut out = Vec::with_capacity(
-        MAGIC.len() + 8 + catalog_json.len() + 4 + heaps.iter().map(|h| 12 + h.len()).sum::<usize>(),
+        MAGIC.len()
+            + 8
+            + catalog_json.len()
+            + 4
+            + heaps.iter().map(|h| 12 + h.len()).sum::<usize>(),
     );
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&(catalog_json.len() as u32).to_le_bytes());

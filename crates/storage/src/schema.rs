@@ -109,10 +109,9 @@ impl TableSchema {
 
     /// Validates a single-column update.
     pub fn validate_column(&self, index: usize, v: &Value) -> PstmResult<()> {
-        let col = self
-            .columns
-            .get(index)
-            .ok_or_else(|| PstmError::NotFound(format!("column #{index} in table {}", self.name)))?;
+        let col = self.columns.get(index).ok_or_else(|| {
+            PstmError::NotFound(format!("column #{index} in table {}", self.name))
+        })?;
         if col.admits(v) {
             Ok(())
         } else {
@@ -141,8 +140,7 @@ mod tests {
     #[test]
     fn valid_rows_pass() {
         let s = flights();
-        s.validate_row(&[Value::Int(1), Value::Int(100), Value::Float(59.9), Value::Null])
-            .unwrap();
+        s.validate_row(&[Value::Int(1), Value::Int(100), Value::Float(59.9), Value::Null]).unwrap();
         // Int widens into Float columns.
         s.validate_row(&[Value::Int(1), Value::Int(100), Value::Int(60), Value::Text("x".into())])
             .unwrap();
@@ -158,7 +156,12 @@ mod tests {
     fn type_mismatch_fails() {
         let s = flights();
         let err = s
-            .validate_row(&[Value::Int(1), Value::Text("no".into()), Value::Float(1.0), Value::Null])
+            .validate_row(&[
+                Value::Int(1),
+                Value::Text("no".into()),
+                Value::Float(1.0),
+                Value::Null,
+            ])
             .unwrap_err();
         assert!(matches!(err, PstmError::TypeMismatch { expected: ValueKind::Int, .. }));
     }
@@ -166,7 +169,9 @@ mod tests {
     #[test]
     fn null_only_in_nullable_columns() {
         let s = flights();
-        assert!(s.validate_row(&[Value::Null, Value::Int(1), Value::Float(1.0), Value::Null]).is_err());
+        assert!(s
+            .validate_row(&[Value::Null, Value::Int(1), Value::Float(1.0), Value::Null])
+            .is_err());
         s.validate_column(3, &Value::Null).unwrap();
         assert!(s.validate_column(0, &Value::Null).is_err());
     }

@@ -19,6 +19,7 @@
 use crate::catalog::TableId;
 use crate::codec::checksum;
 use crate::row::{Row, RowId};
+use pstm_obs::{TraceEvent, Tracer};
 use pstm_types::{PstmError, PstmResult, TxnId, Value};
 use serde::{Deserialize, Serialize};
 
@@ -136,6 +137,7 @@ pub struct Wal {
     buf: Vec<u8>,
     /// Number of append() calls — exposed for write-amplification stats.
     appended: u64,
+    tracer: Tracer,
 }
 
 impl Wal {
@@ -143,6 +145,11 @@ impl Wal {
     #[must_use]
     pub fn new() -> Self {
         Wal::default()
+    }
+
+    /// Routes the log's flush events to `tracer`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Appends a record, returning its LSN.
@@ -155,6 +162,8 @@ impl Wal {
         self.buf.extend_from_slice(&frame_checksum(&len_bytes, &payload).to_le_bytes());
         self.buf.extend_from_slice(&payload);
         self.appended += 1;
+        self.tracer
+            .emit_unclocked(TraceEvent::WalFlush { lsn: lsn.0, bytes: (payload.len() + 8) as u64 });
         Ok(lsn)
     }
 

@@ -1,6 +1,7 @@
 //! The strict 2PL transaction manager.
 
 use pstm_lock::{LockManager, LockMode, LockOutcome};
+use pstm_obs::{AbortOrigin, Ctr, MetricsRegistry, TraceEvent, Tracer};
 use pstm_storage::{BindingRegistry, Database};
 use pstm_types::{
     AbortReason, Duration, ExecOutcome, PstmError, PstmResult, ResourceId, ScalarOp, StepEffects,
@@ -79,6 +80,24 @@ pub struct TwoPlStats {
     pub ops_waited: u64,
 }
 
+impl TwoPlStats {
+    /// Projects the baseline's counters out of an obs registry — the only
+    /// way 2PL stats are produced, so they cannot drift from the trace.
+    #[must_use]
+    pub fn from_registry(reg: &MetricsRegistry) -> Self {
+        TwoPlStats {
+            begun: reg.counter(Ctr::Begun),
+            committed: reg.counter(Ctr::Committed),
+            aborted: reg.counter(Ctr::Aborted),
+            aborted_sleep_timeout: reg.counter(Ctr::AbortedSleepTimeout),
+            aborted_deadlock: reg.counter(Ctr::AbortedDeadlock),
+            aborted_lock_timeout: reg.counter(Ctr::AbortedLockTimeout),
+            ops_completed: reg.counter(Ctr::OpsCompleted),
+            ops_waited: reg.counter(Ctr::OpsWaited),
+        }
+    }
+}
+
 /// The strict 2PL manager.
 pub struct TwoPlManager {
     db: Arc<Database>,
@@ -86,20 +105,40 @@ pub struct TwoPlManager {
     locks: LockManager,
     txns: BTreeMap<TxnId, TpTxn>,
     config: TwoPlConfig,
-    stats: TwoPlStats,
+    tracer: Tracer,
 }
 
 impl TwoPlManager {
     /// Builds a manager over `db` with the given resource bindings.
     #[must_use]
     pub fn new(db: Arc<Database>, bindings: BindingRegistry, config: TwoPlConfig) -> Self {
-        TwoPlManager { db, bindings, locks: LockManager::new(), txns: BTreeMap::new(), config, stats: TwoPlStats::default() }
+        let tracer = Tracer::disabled();
+        let mut locks = LockManager::new();
+        locks.set_tracer(tracer.clone());
+        TwoPlManager { db, bindings, locks, txns: BTreeMap::new(), config, tracer }
     }
 
-    /// Immutable view of the counters.
+    /// Installs a tracer, shared with the embedded lock manager so
+    /// scheduler and lock events interleave in one trace. Builder-style;
+    /// call before scheduling begins.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.locks.set_tracer(tracer.clone());
+        self.tracer = tracer;
+        self
+    }
+
+    /// The tracer this manager (and its lock table) emits into.
+    #[must_use]
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
+    }
+
+    /// Immutable view of the counters, projected from the tracer's
+    /// registry.
     #[must_use]
     pub fn stats(&self) -> TwoPlStats {
-        self.stats
+        self.tracer.with_registry(TwoPlStats::from_registry)
     }
 
     /// Phase of `txn`, if known.
@@ -135,7 +174,7 @@ impl TwoPlManager {
                 completed_while_asleep: None,
             },
         );
-        self.stats.begun += 1;
+        self.tracer.emit_unclocked(TraceEvent::TxnBegin { txn });
         Ok(())
     }
 
@@ -160,6 +199,8 @@ impl TwoPlManager {
                 state: phase_name(state.phase),
             });
         }
+        let class = op.class();
+        self.tracer.emit(now, TraceEvent::OpRequested { txn, resource, class });
         let mode = if op.is_mutation() { LockMode::Exclusive } else { LockMode::Shared };
         match self.locks.request(txn, resource, mode, now)? {
             LockOutcome::Granted => {
@@ -168,24 +209,43 @@ impl TwoPlManager {
                     Err(PstmError::ConstraintViolation { .. }) => {
                         // A constraint rejection kills the whole
                         // transaction, classical DBMS-style.
-                        let effects = self.abort_internal(txn, AbortReason::Constraint)?;
+                        let effects = self.abort_internal(
+                            txn,
+                            AbortReason::Constraint,
+                            AbortOrigin::Request,
+                            now,
+                        )?;
                         return Ok((ExecOutcome::Aborted(AbortReason::Constraint), effects));
                     }
                     Err(e) => return Err(e),
                 };
-                self.stats.ops_completed += 1;
+                self.tracer.emit(
+                    now,
+                    TraceEvent::OpGranted {
+                        txn,
+                        resource,
+                        class,
+                        shared: false,
+                        bypassed_sleeper: false,
+                    },
+                );
                 Ok((ExecOutcome::Completed(value), StepEffects::none()))
             }
             LockOutcome::Waiting => {
-                self.stats.ops_waited += 1;
+                let queue_depth = self.locks.waiter_count(resource) as u32;
+                self.tracer.emit(now, TraceEvent::OpWaiting { txn, resource, class, queue_depth });
                 let state = self.txn_mut(txn)?;
                 state.phase = TxnPhase::Waiting;
                 state.pending = Some((resource, op));
                 let mut effects = StepEffects::none();
                 if self.config.deadlock_detection {
                     if let Some((victim, _cycle)) = self.locks.detect_deadlock_from(txn) {
-                        self.stats.aborted_deadlock += 1;
-                        let victim_effects = self.abort_internal(victim, AbortReason::Deadlock)?;
+                        let victim_effects = self.abort_internal(
+                            victim,
+                            AbortReason::Deadlock,
+                            AbortOrigin::Request,
+                            now,
+                        )?;
                         if victim == txn {
                             let mut eff = victim_effects;
                             // The requester itself died; it is not also
@@ -197,15 +257,11 @@ impl TwoPlManager {
                         // The victim's release may have granted our lock —
                         // and the granted op may itself have aborted us
                         // (constraint violation in finish_promotions).
-                        if let Some(pos) =
-                            effects.aborted.iter().position(|(t, _)| *t == txn)
-                        {
+                        if let Some(pos) = effects.aborted.iter().position(|(t, _)| *t == txn) {
                             let (_, reason) = effects.aborted.remove(pos);
                             return Ok((ExecOutcome::Aborted(reason), effects));
                         }
-                        if let Some(pos) =
-                            effects.resumed.iter().position(|(t, _)| *t == txn)
-                        {
+                        if let Some(pos) = effects.resumed.iter().position(|(t, _)| *t == txn) {
                             let (_, value) = effects.resumed.remove(pos);
                             return Ok((ExecOutcome::Completed(value), effects));
                         }
@@ -233,7 +289,11 @@ impl TwoPlManager {
     }
 
     /// Completes the stashed operations of promoted transactions.
-    fn finish_promotions(&mut self, promoted: Vec<TxnId>) -> PstmResult<StepEffects> {
+    fn finish_promotions(
+        &mut self,
+        promoted: Vec<TxnId>,
+        now: Timestamp,
+    ) -> PstmResult<StepEffects> {
         let mut effects = StepEffects::none();
         for p in promoted {
             let Some(state) = self.txns.get_mut(&p) else { continue };
@@ -241,7 +301,16 @@ impl TwoPlManager {
             let was_sleeping = state.phase == TxnPhase::Sleeping;
             match self.perform(p, resource, &op) {
                 Ok(value) => {
-                    self.stats.ops_completed += 1;
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::OpGranted {
+                            txn: p,
+                            resource,
+                            class: op.class(),
+                            shared: false,
+                            bypassed_sleeper: false,
+                        },
+                    );
                     let state = self.txn_mut(p)?;
                     if was_sleeping {
                         state.completed_while_asleep = Some(value.clone());
@@ -251,7 +320,12 @@ impl TwoPlManager {
                     effects.resumed.push((p, value));
                 }
                 Err(PstmError::ConstraintViolation { .. }) => {
-                    let sub = self.abort_internal(p, AbortReason::Constraint)?;
+                    let sub = self.abort_internal(
+                        p,
+                        AbortReason::Constraint,
+                        AbortOrigin::Promotion,
+                        now,
+                    )?;
                     effects.merge(sub);
                 }
                 Err(e) => return Err(e),
@@ -262,29 +336,43 @@ impl TwoPlManager {
 
     /// `⟨commit, A⟩` — strict 2PL: apply is already done; release all
     /// locks and let waiters in.
-    pub fn commit(&mut self, txn: TxnId, _now: Timestamp) -> PstmResult<StepEffects> {
+    pub fn commit(&mut self, txn: TxnId, now: Timestamp) -> PstmResult<StepEffects> {
         let state = self.txn_mut(txn)?;
         if state.phase != TxnPhase::Active {
-            return Err(PstmError::InvalidState { txn, action: "commit", state: phase_name(state.phase) });
+            return Err(PstmError::InvalidState {
+                txn,
+                action: "commit",
+                state: phase_name(state.phase),
+            });
         }
         if state.engine_begun {
             self.db.commit(txn)?;
         }
         self.txn_mut(txn)?.phase = TxnPhase::Committed;
-        self.stats.committed += 1;
+        self.tracer.emit(now, TraceEvent::Committed { txn });
         let promoted = self.locks.release_all(txn);
-        self.finish_promotions(promoted)
+        self.finish_promotions(promoted, now)
     }
 
     /// User-requested abort.
-    pub fn abort(&mut self, txn: TxnId, _now: Timestamp) -> PstmResult<StepEffects> {
-        self.abort_internal(txn, AbortReason::User)
+    pub fn abort(&mut self, txn: TxnId, now: Timestamp) -> PstmResult<StepEffects> {
+        self.abort_internal(txn, AbortReason::User, AbortOrigin::User, now)
     }
 
-    fn abort_internal(&mut self, txn: TxnId, reason: AbortReason) -> PstmResult<StepEffects> {
+    fn abort_internal(
+        &mut self,
+        txn: TxnId,
+        reason: AbortReason,
+        origin: AbortOrigin,
+        now: Timestamp,
+    ) -> PstmResult<StepEffects> {
         let state = self.txn_mut(txn)?;
         if matches!(state.phase, TxnPhase::Committed | TxnPhase::Aborted) {
-            return Err(PstmError::InvalidState { txn, action: "abort", state: phase_name(state.phase) });
+            return Err(PstmError::InvalidState {
+                txn,
+                action: "abort",
+                state: phase_name(state.phase),
+            });
         }
         if state.engine_begun {
             self.db.abort(txn)?;
@@ -292,9 +380,9 @@ impl TwoPlManager {
         let state = self.txn_mut(txn)?;
         state.phase = TxnPhase::Aborted;
         state.pending = None;
-        self.stats.aborted += 1;
+        self.tracer.emit(now, TraceEvent::Aborted { txn, reason, origin });
         let promoted = self.locks.release_all(txn);
-        let mut effects = self.finish_promotions(promoted)?;
+        let mut effects = self.finish_promotions(promoted, now)?;
         effects.aborted.push((txn, reason));
         Ok(effects)
     }
@@ -307,9 +395,12 @@ impl TwoPlManager {
             TxnPhase::Active | TxnPhase::Waiting => {
                 state.phase = TxnPhase::Sleeping;
                 state.sleep_since = Some(now);
+                self.tracer.emit(now, TraceEvent::TxnSlept { txn });
                 Ok(())
             }
-            other => Err(PstmError::InvalidState { txn, action: "sleep", state: phase_name(other) }),
+            other => {
+                Err(PstmError::InvalidState { txn, action: "sleep", state: phase_name(other) })
+            }
         }
     }
 
@@ -317,14 +408,19 @@ impl TwoPlManager {
     /// survived the timeout simply resumes; its locks never left. Returns
     /// the result of an operation that completed during the sleep, if
     /// any.
-    pub fn awake(&mut self, txn: TxnId, _now: Timestamp) -> PstmResult<Option<Value>> {
+    pub fn awake(&mut self, txn: TxnId, now: Timestamp) -> PstmResult<Option<Value>> {
         let state = self.txn_mut(txn)?;
         if state.phase != TxnPhase::Sleeping {
-            return Err(PstmError::InvalidState { txn, action: "awake", state: phase_name(state.phase) });
+            return Err(PstmError::InvalidState {
+                txn,
+                action: "awake",
+                state: phase_name(state.phase),
+            });
         }
         state.sleep_since = None;
         let done = state.completed_while_asleep.take();
         state.phase = if state.pending.is_some() { TxnPhase::Waiting } else { TxnPhase::Active };
+        self.tracer.emit(now, TraceEvent::TxnAwoke { txn });
         Ok(done)
     }
 
@@ -346,8 +442,12 @@ impl TwoPlManager {
                 // Re-check per abort: an earlier abort in this loop may
                 // have cascade-aborted this sleeper already.
                 if self.txns.get(&t).is_some_and(|s| s.phase == TxnPhase::Sleeping) {
-                    self.stats.aborted_sleep_timeout += 1;
-                    effects.merge(self.abort_internal(t, AbortReason::SleepTimeout)?);
+                    effects.merge(self.abort_internal(
+                        t,
+                        AbortReason::SleepTimeout,
+                        AbortOrigin::Tick,
+                        now,
+                    )?);
                 }
             }
         }
@@ -357,15 +457,23 @@ impl TwoPlManager {
                 // re-checking per iteration also guards against waiters
                 // promoted (or aborted) by an earlier victim's release.
                 if self.txns.get(&t).is_some_and(|s| s.phase == TxnPhase::Waiting) {
-                    self.stats.aborted_lock_timeout += 1;
-                    effects.merge(self.abort_internal(t, AbortReason::LockTimeout)?);
+                    effects.merge(self.abort_internal(
+                        t,
+                        AbortReason::LockTimeout,
+                        AbortOrigin::Tick,
+                        now,
+                    )?);
                 }
             }
         }
         if self.config.deadlock_detection {
             while let Some((victim, _)) = self.locks.detect_deadlock() {
-                self.stats.aborted_deadlock += 1;
-                effects.merge(self.abort_internal(victim, AbortReason::Deadlock)?);
+                effects.merge(self.abort_internal(
+                    victim,
+                    AbortReason::Deadlock,
+                    AbortOrigin::Tick,
+                    now,
+                )?);
             }
         }
         Ok(effects)
@@ -396,9 +504,8 @@ mod tests {
             vec![ColumnDef::new("id", ValueKind::Int), ColumnDef::new("free", ValueKind::Int)],
         )
         .unwrap();
-        let table = db
-            .create_table(schema, vec![Constraint::non_negative("free >= 0", 1)])
-            .unwrap();
+        let table =
+            db.create_table(schema, vec![Constraint::non_negative("free >= 0", 1)]).unwrap();
         let setup_txn = TxnId(1_000_000);
         db.begin(setup_txn).unwrap();
         let mut bindings = BindingRegistry::new();
@@ -605,4 +712,3 @@ mod tests {
         assert_eq!(m.stats().committed, 2);
     }
 }
-

@@ -2,12 +2,10 @@
 //! must never panic, never corrupt the database (conservation of the
 //! counters), and always leave the engine consistent.
 
+use proptest::prelude::*;
 use pstm_storage::{BindingRegistry, ColumnDef, Constraint, Database, Row, TableSchema};
 use pstm_twopl::{TwoPlConfig, TwoPlManager, TxnPhase};
-use pstm_types::{
-    Duration, MemberId, ResourceId, ScalarOp, Timestamp, TxnId, Value, ValueKind,
-};
-use proptest::prelude::*;
+use pstm_types::{Duration, MemberId, ResourceId, ScalarOp, Timestamp, TxnId, Value, ValueKind};
 use std::sync::Arc;
 
 const INITIAL: i64 = 10_000;
@@ -52,7 +50,8 @@ fn world() -> (TwoPlManager, Vec<ResourceId>, Arc<Database>) {
     let mut bindings = BindingRegistry::new();
     let mut rs = Vec::new();
     for i in 0..2 {
-        let row = db.insert(boot, table, Row::new(vec![Value::Int(i), Value::Int(INITIAL)])).unwrap();
+        let row =
+            db.insert(boot, table, Row::new(vec![Value::Int(i), Value::Int(INITIAL)])).unwrap();
         let o = bindings.bind_object(table, row, &[(MemberId::ATOMIC, 1)]).unwrap();
         rs.push(ResourceId::atomic(o));
     }

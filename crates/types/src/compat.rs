@@ -303,7 +303,11 @@ mod tests {
 
     #[test]
     fn with_overrides_symmetrically() {
-        let m = CompatMatrix::read_write_only().with(OpClass::UpdateAddSub, OpClass::UpdateAddSub, true);
+        let m = CompatMatrix::read_write_only().with(
+            OpClass::UpdateAddSub,
+            OpClass::UpdateAddSub,
+            true,
+        );
         assert!(m.compatible(OpClass::UpdateAddSub, OpClass::UpdateAddSub));
         assert!(m.is_symmetric());
     }

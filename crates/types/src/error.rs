@@ -163,16 +163,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = PstmError::TypeMismatch {
-            expected: ValueKind::Int,
-            found: ValueKind::Text,
-        };
+        let e = PstmError::TypeMismatch { expected: ValueKind::Int, found: ValueKind::Text };
         assert_eq!(e.to_string(), "type mismatch: expected INT, found TEXT");
 
-        let e = PstmError::LockTimeout {
-            txn: TxnId(3),
-            resource: ResourceId::atomic(ObjectId(1)),
-        };
+        let e = PstmError::LockTimeout { txn: TxnId(3), resource: ResourceId::atomic(ObjectId(1)) };
         assert!(e.to_string().contains("T3"));
         assert!(e.to_string().contains("X1.m0"));
     }

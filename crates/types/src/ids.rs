@@ -105,10 +105,7 @@ impl ResourceId {
     /// Resource id for an atomic (single-member) object.
     #[must_use]
     pub fn atomic(object: ObjectId) -> Self {
-        ResourceId {
-            object,
-            member: MemberId::ATOMIC,
-        }
+        ResourceId { object, member: MemberId::ATOMIC }
     }
 }
 

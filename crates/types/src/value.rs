@@ -72,10 +72,7 @@ impl Value {
     pub fn as_int(&self) -> PstmResult<i64> {
         match self {
             Value::Int(v) => Ok(*v),
-            other => Err(PstmError::TypeMismatch {
-                expected: ValueKind::Int,
-                found: other.kind(),
-            }),
+            other => Err(PstmError::TypeMismatch { expected: ValueKind::Int, found: other.kind() }),
         }
     }
 
@@ -84,10 +81,9 @@ impl Value {
         match self {
             Value::Float(v) => Ok(*v),
             Value::Int(v) => Ok(*v as f64),
-            other => Err(PstmError::TypeMismatch {
-                expected: ValueKind::Float,
-                found: other.kind(),
-            }),
+            other => {
+                Err(PstmError::TypeMismatch { expected: ValueKind::Float, found: other.kind() })
+            }
         }
     }
 
@@ -95,10 +91,9 @@ impl Value {
     pub fn as_bool(&self) -> PstmResult<bool> {
         match self {
             Value::Bool(v) => Ok(*v),
-            other => Err(PstmError::TypeMismatch {
-                expected: ValueKind::Bool,
-                found: other.kind(),
-            }),
+            other => {
+                Err(PstmError::TypeMismatch { expected: ValueKind::Bool, found: other.kind() })
+            }
         }
     }
 
@@ -106,10 +101,9 @@ impl Value {
     pub fn as_text(&self) -> PstmResult<&str> {
         match self {
             Value::Text(v) => Ok(v),
-            other => Err(PstmError::TypeMismatch {
-                expected: ValueKind::Text,
-                found: other.kind(),
-            }),
+            other => {
+                Err(PstmError::TypeMismatch { expected: ValueKind::Text, found: other.kind() })
+            }
         }
     }
 

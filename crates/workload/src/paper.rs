@@ -124,11 +124,7 @@ impl PaperWorkload {
     /// outage lengths follow the link's sojourn distribution (bursty,
     /// not fixed).
     #[must_use]
-    pub fn scripts_with_link(
-        &self,
-        resources: &[ResourceId],
-        link: LinkModel,
-    ) -> Vec<TxnScript> {
+    pub fn scripts_with_link(&self, resources: &[ResourceId], link: LinkModel) -> Vec<TxnScript> {
         assert!(!resources.is_empty(), "workload needs at least one resource");
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut scripts = Vec::with_capacity(self.n_txns);
@@ -140,8 +136,8 @@ impl PaperWorkload {
             let steps = if is_subtraction {
                 // Sample this client's link over a generous session
                 // horizon, then place the outage where the booking lands.
-                let horizon = Timestamp::ZERO
-                    + Duration::from_secs_f64(self.think.as_secs_f64() * 20.0);
+                let horizon =
+                    Timestamp::ZERO + Duration::from_secs_f64(self.think.as_secs_f64() * 20.0);
                 let trace = link.sample_trace_stationary(horizon, &mut rng);
                 let t1 = jitter(self.think, &mut rng);
                 let t2 = jitter(self.think, &mut rng);
@@ -202,9 +198,7 @@ mod tests {
             let w = PaperWorkload { n_txns: 2000, alpha, beta: 0.0, ..PaperWorkload::default() };
             w.scripts(&resources(5))
                 .iter()
-                .filter(|s| {
-                    s.steps.iter().any(|st| matches!(st, Step::Op(_, ScalarOp::Sub(_))))
-                })
+                .filter(|s| s.steps.iter().any(|st| matches!(st, Step::Op(_, ScalarOp::Sub(_)))))
                 .count()
         };
         assert_eq!(make(0.0), 0);
@@ -291,10 +285,7 @@ mod link_tests {
     #[test]
     fn perfect_link_never_disconnects() {
         let w = PaperWorkload { n_txns: 300, alpha: 1.0, ..PaperWorkload::default() };
-        let link = LinkModel {
-            mean_up: Duration::from_secs_f64(1e9),
-            mean_down: Duration::ZERO,
-        };
+        let link = LinkModel { mean_up: Duration::from_secs_f64(1e9), mean_down: Duration::ZERO };
         let scripts = w.scripts_with_link(&resources(3), link);
         assert!(scripts.iter().all(|s| !s.disconnects));
     }
@@ -317,6 +308,9 @@ mod link_tests {
             mean_up: Duration::from_secs_f64(5.0),
             mean_down: Duration::from_secs_f64(1.0),
         };
-        assert_eq!(w.scripts_with_link(&resources(3), link), w.scripts_with_link(&resources(3), link));
+        assert_eq!(
+            w.scripts_with_link(&resources(3), link),
+            w.scripts_with_link(&resources(3), link)
+        );
     }
 }

@@ -59,7 +59,8 @@ impl TravelWorld {
                     table,
                     Row::new(vec![Value::Int(i as i64), Value::Int(initial_free), Value::Int(100)]),
                 )?;
-                let obj = bindings.bind_object(table, row, &[(MemberId(0), 1), (MemberId(1), 2)])?;
+                let obj =
+                    bindings.bind_object(table, row, &[(MemberId(0), 1), (MemberId(1), 2)])?;
                 categories[ci].push(ResourceId::new(obj, MemberId(0)));
             }
         }

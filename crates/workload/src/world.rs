@@ -33,7 +33,8 @@ pub fn counter_world(n_objects: usize, initial: i64) -> PstmResult<World> {
     let mut bindings = BindingRegistry::new();
     let mut resources = Vec::with_capacity(n_objects);
     for i in 0..n_objects {
-        let row = db.insert(BOOT_TXN, table, Row::new(vec![Value::Int(i as i64), Value::Int(initial)]))?;
+        let row =
+            db.insert(BOOT_TXN, table, Row::new(vec![Value::Int(i as i64), Value::Int(initial)]))?;
         let obj = bindings.bind_object(table, row, &[(MemberId::ATOMIC, 1)])?;
         resources.push(ResourceId::atomic(obj));
     }

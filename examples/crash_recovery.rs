@@ -8,19 +8,14 @@
 //!
 //! Run with: `cargo run --example crash_recovery`
 
-use preserial::storage::{
-    ColumnDef, Constraint, Database, Row, TableSchema, WriteOp, WriteSet,
-};
+use preserial::storage::{ColumnDef, Constraint, Database, Row, TableSchema, WriteOp, WriteSet};
 use pstm_types::{TxnId, Value, ValueKind};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = Database::new();
     let schema = TableSchema::new(
         "Flight",
-        vec![
-            ColumnDef::new("id", ValueKind::Int),
-            ColumnDef::new("free_tickets", ValueKind::Int),
-        ],
+        vec![ColumnDef::new("id", ValueKind::Int), ColumnDef::new("free_tickets", ValueKind::Int)],
     )?;
     let table = db.create_table(schema, vec![Constraint::non_negative("free_tickets >= 0", 1)])?;
     db.create_index(table, 0)?;

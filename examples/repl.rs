@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut gtm = Gtm::new(world.db.clone(), world.bindings.clone(), GtmConfig::default());
     let mut clock: u64 = 0;
 
-    println!("pre-serialization middleware shell — {OBJECTS} objects (X0..X{}) at {INITIAL}, CHECK >= 0", OBJECTS - 1);
+    println!(
+        "pre-serialization middleware shell — {OBJECTS} objects (X0..X{}) at {INITIAL}, CHECK >= 0",
+        OBJECTS - 1
+    );
     println!("type `help` for commands, `quit` to exit");
 
     let stdin = std::io::stdin();
@@ -76,11 +79,7 @@ fn dispatch(
     let parse_obj = |w: &str| -> Result<pstm_types::ResourceId, PstmError> {
         let i: usize =
             w.parse().map_err(|_| PstmError::internal(format!("bad object index {w}")))?;
-        world
-            .resources
-            .get(i)
-            .copied()
-            .ok_or_else(|| PstmError::NotFound(format!("object #{i}")))
+        world.resources.get(i).copied().ok_or_else(|| PstmError::NotFound(format!("object #{i}")))
     };
     let parse_const = |w: &str| -> Result<Value, PstmError> {
         if let Ok(i) = w.parse::<i64>() {

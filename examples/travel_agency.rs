@@ -10,25 +10,26 @@
 //! Run with: `cargo run --release --example travel_agency`
 
 use preserial::gtm::{Gtm, GtmConfig};
+use preserial::obs::Tracer;
 use preserial::sim::{GtmBackend, RunReport, Runner, RunnerConfig, TwoPlBackend};
 use preserial::twopl::{TwoPlConfig, TwoPlManager};
 use preserial::workload::travel::{TravelWorkload, TravelWorld};
 use pstm_types::Duration;
 
-fn run_gtm(workload: &TravelWorkload) -> RunReport {
+fn run_gtm(workload: &TravelWorkload, tracer: Tracer) -> RunReport {
     let world = TravelWorld::build(4, 60).expect("world");
+    world.world.db.set_tracer(tracer.clone());
     let scripts = workload.scripts(&world);
-    let gtm = Gtm::new(world.world.db.clone(), world.world.bindings, GtmConfig::default());
+    let gtm = Gtm::new(world.world.db.clone(), world.world.bindings, GtmConfig::default())
+        .with_tracer(tracer);
     Runner::new(GtmBackend(gtm), scripts, RunnerConfig::default()).run().expect("run")
 }
 
 fn run_twopl(workload: &TravelWorkload) -> RunReport {
     let world = TravelWorld::build(4, 60).expect("world");
     let scripts = workload.scripts(&world);
-    let config = TwoPlConfig {
-        sleep_timeout: Some(Duration::from_secs_f64(5.0)),
-        ..TwoPlConfig::default()
-    };
+    let config =
+        TwoPlConfig { sleep_timeout: Some(Duration::from_secs_f64(5.0)), ..TwoPlConfig::default() };
     let tp = TwoPlManager::new(world.world.db.clone(), world.world.bindings, config);
     Runner::new(TwoPlBackend(tp), scripts, RunnerConfig::default()).run().expect("run")
 }
@@ -66,18 +67,26 @@ fn main() {
     );
 
     println!("— pre-serialization GTM —");
-    let g = run_gtm(&workload);
+    // PSTM_TRACE=1 persists the full event stream of the GTM run and
+    // validates the artifact by replaying it against the live counters.
+    let tracer = pstm_bench::tracer_from_env("travel_agency");
+    let g = run_gtm(&workload, tracer.clone());
     show(&g);
+    if tracer.is_enabled() {
+        match pstm_bench::verify_trace(&pstm_bench::trace_path("travel_agency"), &tracer) {
+            Ok(n) => {
+                println!("  trace                : {n} events; replay matches live counters ✓")
+            }
+            Err(e) => eprintln!("  trace verification failed: {e}"),
+        }
+    }
 
     println!("\n— strict 2PL (sleep timeout 5 s) —");
     let t = run_twopl(&workload);
     show(&t);
 
     println!("\ncomparison:");
-    println!(
-        "  abort rate   : GTM {:.1}%  vs  2PL {:.1}%",
-        g.abort_pct, t.abort_pct
-    );
+    println!("  abort rate   : GTM {:.1}%  vs  2PL {:.1}%", g.abort_pct, t.abort_pct);
     println!(
         "  mean latency : GTM {:.2} s  vs  2PL {:.2} s",
         g.mean_exec_committed_s, t.mean_exec_committed_s

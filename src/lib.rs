@@ -40,6 +40,12 @@ pub mod model {
     pub use pstm_model::*;
 }
 
+/// Tracing & metrics: trace events, sinks, histograms, the registry the
+/// per-manager `*Stats` are derived from, and the waits-for DOT exporter.
+pub mod obs {
+    pub use pstm_obs::*;
+}
+
 /// The discrete-event simulator.
 pub mod sim {
     pub use pstm_sim::*;

@@ -20,9 +20,8 @@ fn committed_workload_survives_crash() {
     };
     let scripts = workload.scripts(&world.resources);
     let gtm = Gtm::new(world.db.clone(), world.bindings.clone(), GtmConfig::default());
-    let (report, backend) = Runner::new(GtmBackend(gtm), scripts, RunnerConfig::default())
-        .run_with_backend()
-        .unwrap();
+    let (report, backend) =
+        Runner::new(GtmBackend(gtm), scripts, RunnerConfig::default()).run_with_backend().unwrap();
     assert!(report.committed > 0);
 
     // Snapshot the values the SSTs left.

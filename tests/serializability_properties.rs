@@ -23,10 +23,7 @@ fn run_and_verify(workload: &PaperWorkload, config: GtmConfig) {
     // Conservation law: with only subtractions committing against large
     // counters, each committed subtraction removes exactly one unit.
     let committed_subs = backend.0.history().replay_serial().expect("replay");
-    let total: i64 = committed_subs
-        .values()
-        .map(|v| v.as_int().unwrap_or(0))
-        .sum();
+    let total: i64 = committed_subs.values().map(|v| v.as_int().unwrap_or(0)).sum();
     assert!(total <= 50_000, "counters can only shrink from 5 × 10000");
 }
 

@@ -1,0 +1,51 @@
+//! Observability end-to-end checks: the virtual-clock event stream is
+//! bit-for-bit deterministic, and a persisted JSONL trace is a faithful
+//! artifact — replaying it reproduces the live run's counters exactly.
+
+use preserial::gtm::GtmConfig;
+use preserial::obs::{parse_jsonl, replay, Ctr, JsonlSink, Tracer};
+use preserial::workload::PaperWorkload;
+use pstm_bench::{run_emulation_traced, Scheduler};
+
+fn traced_run(scheduler: Scheduler) -> (Vec<u8>, Tracer) {
+    let (sink, buf) = JsonlSink::shared_buffer();
+    let tracer = Tracer::with_sink(Box::new(sink));
+    let workload = PaperWorkload { n_txns: 60, beta: 0.2, ..PaperWorkload::default() };
+    let report = run_emulation_traced(scheduler, &workload, GtmConfig::default(), tracer.clone())
+        .expect("emulation runs");
+    assert_eq!(report.total, 60);
+    tracer.flush();
+    let bytes = buf.lock().clone();
+    (bytes, tracer)
+}
+
+#[test]
+fn same_seed_runs_produce_byte_identical_traces() {
+    let (a, _) = traced_run(Scheduler::Gtm);
+    let (b, _) = traced_run(Scheduler::Gtm);
+    assert!(!a.is_empty(), "the trace must contain events");
+    assert_eq!(a, b, "GTM trace must be byte-identical across same-seed runs");
+
+    let (a, _) = traced_run(Scheduler::TwoPl);
+    let (b, _) = traced_run(Scheduler::TwoPl);
+    assert_eq!(a, b, "2PL trace must be byte-identical across same-seed runs");
+}
+
+#[test]
+fn jsonl_trace_replay_matches_live_counters() {
+    let (bytes, tracer) = traced_run(Scheduler::Gtm);
+    let text = String::from_utf8(bytes).expect("JSONL is UTF-8");
+    let records = parse_jsonl(&text).expect("every line parses");
+    assert!(!records.is_empty());
+
+    // The stream covers the whole stack: scheduler, engine, WAL, link.
+    let rebuilt = replay(&records);
+    let live = tracer.snapshot();
+    for c in Ctr::ALL {
+        assert_eq!(rebuilt.counter(*c), live.counter(*c), "counter {} diverged", c.name());
+    }
+    assert!(rebuilt.counter(Ctr::Begun) > 0);
+    assert!(rebuilt.counter(Ctr::EngineCommits) > 0, "engine events must be in the trace");
+    assert!(rebuilt.counter(Ctr::WalFlushes) > 0, "WAL events must be in the trace");
+    assert!(rebuilt.counter(Ctr::LinkDowns) > 0, "link events must be in the trace");
+}
