@@ -1,0 +1,129 @@
+//! Concurrency benchmark for the sharded front-end: the paper's additive
+//! booking workload driven by real OS threads, swept over thread counts.
+//!
+//! Each client session models a (shortened) interactive transaction:
+//! think, book a seat on one resource, think, book on a second resource
+//! on a different shard, commit. Think times are wall-clock sleeps —
+//! exactly the idle time the pre-serialization GTM is designed to
+//! overlap — so throughput should scale with threads until shard locks
+//! or the shared engine saturate.
+//!
+//! Writes `results/BENCH_concurrency.json`:
+//! `[{threads, shards, sessions, think_us, committed, aborted, wall_s,
+//! throughput_tps}]`, one row per swept thread count.
+
+use pstm_bench::{print_header, write_results};
+use pstm_core::gtm::CommitResult;
+use pstm_front::{FrontConfig, SessionOutcome, ShardedFront};
+use pstm_types::{ResourceId, ScalarOp, Value};
+use pstm_workload::counter_world;
+use serde::Serialize;
+use std::time::Instant;
+
+const OBJECTS: usize = 16;
+const SHARDS: usize = 8;
+const INITIAL: i64 = 10_000_000;
+
+#[derive(Serialize)]
+struct Row {
+    threads: usize,
+    shards: usize,
+    sessions: usize,
+    think_us: u64,
+    committed: u64,
+    aborted: u64,
+    wall_s: f64,
+    throughput_tps: f64,
+}
+
+/// One closed-loop client: think → book → think → book → commit.
+fn run_session(
+    front: &ShardedFront,
+    resources: &[ResourceId],
+    k: usize,
+    think: std::time::Duration,
+) -> bool {
+    let mut session = front.session();
+    let (a, b) = (k % OBJECTS, (k + SHARDS + 1) % OBJECTS);
+    for r in [a, b] {
+        std::thread::sleep(think);
+        match session.execute(resources[r], ScalarOp::Sub(Value::Int(1))) {
+            Ok(SessionOutcome::Value(_)) => {}
+            Ok(SessionOutcome::Aborted(_)) => return false,
+            Err(e) => panic!("execute failed: {e}"),
+        }
+    }
+    matches!(session.commit().expect("commit failed"), CommitResult::Committed)
+}
+
+fn sweep_point(threads: usize, sessions: usize, think_us: u64) -> Row {
+    let world = counter_world(OBJECTS, INITIAL).expect("world");
+    let config = FrontConfig { shards: SHARDS, ..FrontConfig::default() };
+    let front = ShardedFront::new(world.db.clone(), world.bindings.clone(), config);
+    let think = std::time::Duration::from_micros(think_us);
+    let per_thread = sessions / threads;
+
+    let start = Instant::now();
+    let mut committed = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let front = front.clone();
+            let resources = world.resources.clone();
+            handles.push(scope.spawn(move || {
+                let mut ok = 0u64;
+                for j in 0..per_thread {
+                    if run_session(&front, &resources, t * per_thread + j, think) {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        for h in handles {
+            committed += h.join().expect("worker panicked");
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    front.check_invariants().expect("invariants");
+    front.verify_serializable().expect("serializable");
+    let ran = (per_thread * threads) as u64;
+    Row {
+        threads,
+        shards: SHARDS,
+        sessions: per_thread * threads,
+        think_us,
+        committed,
+        aborted: ran - committed,
+        wall_s,
+        throughput_tps: committed as f64 / wall_s,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sessions = if quick { 64 } else { 512 };
+    let think_us = if quick { 200 } else { 500 };
+
+    print_header(
+        "BENCH concurrency — sharded front-end",
+        &["threads", "sessions", "committed", "wall_s", "tps"],
+    );
+    let mut rows = Vec::new();
+    for threads in [1, 2, 4, 8] {
+        let row = sweep_point(threads, sessions, think_us);
+        println!(
+            "{}\t{}\t{}\t{:.3}\t{:.1}",
+            row.threads, row.sessions, row.committed, row.wall_s, row.throughput_tps
+        );
+        rows.push(row);
+    }
+
+    let one = rows[0].throughput_tps;
+    let four = rows[2].throughput_tps;
+    assert!(four > one, "4-thread throughput ({four:.1} tps) must exceed 1-thread ({one:.1} tps)");
+
+    let path = write_results("BENCH_concurrency", &rows).expect("write results");
+    println!("\nwrote {}", path.display());
+}

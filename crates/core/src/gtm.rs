@@ -70,6 +70,12 @@ pub struct GtmConfig {
     /// immediately fatal to the transaction. The §VII open problem on
     /// SST failure recovery is answered by setting this above zero.
     pub sst_retries: u32,
+    /// Virtual time charged for each SST retry attempt (the back-off the
+    /// LDBS needs before the write set is resubmitted). The committing
+    /// transaction pays this — retries are not free — and the total shows
+    /// up in [`StepEffects::sst_busy`] so the scheduler can delay the
+    /// commit completion accordingly.
+    pub sst_retry_delay: Duration,
 }
 
 impl Default for GtmConfig {
@@ -82,6 +88,7 @@ impl Default for GtmConfig {
             wait_timeout: None,
             elder_priority: false,
             sst_retries: 0,
+            sst_retry_delay: Duration::ZERO,
         }
     }
 }
@@ -175,6 +182,21 @@ pub enum CommitResult {
     /// The SST was rejected (CHECK constraint) and the transaction
     /// aborted — the paper's §VII reconciliation-abort case.
     Aborted(AbortReason),
+}
+
+/// Result of the local-commit phase ([`Gtm::commit_local`], Algorithm 3)
+/// when commit is driven in phases by an external coordinator — the
+/// sharded front-end's cross-shard commit folds several shards'
+/// `Prepared` writes into one SST.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LocalCommit {
+    /// Every touched resource reconciled; these writes await a global
+    /// commit. The transaction is parked in `Committing` until the
+    /// coordinator calls [`Gtm::commit_finish`] or [`Gtm::commit_abort`].
+    Prepared(Vec<(ResourceId, Value)>),
+    /// A local commit failed (reconciliation overflow, zero snapshot,
+    /// engine read error); the transaction was aborted and cleaned up.
+    Aborted(AbortReason, StepEffects),
 }
 
 /// Result of [`Gtm::awake`].
@@ -648,11 +670,77 @@ impl Gtm {
     /// Commits `txn`: local commit on every touched resource
     /// (reconciliation, Algorithm 3), then the global commit (Algorithm
     /// 4) — the SST flushes every `X_new` to the LDBS atomically.
+    ///
+    /// Transient SST failures (I/O) are retried per
+    /// [`GtmConfig::sst_retries`], each attempt charged
+    /// [`GtmConfig::sst_retry_delay`] of virtual time; the total charge is
+    /// reported in [`StepEffects::sst_busy`] and commit-side bookkeeping
+    /// (committed timestamps, promotions) happens at the delayed instant.
     pub fn commit(
         &mut self,
         txn: TxnId,
         now: Timestamp,
     ) -> PstmResult<(CommitResult, StepEffects)> {
+        let writes = match self.commit_local(txn, now)? {
+            LocalCommit::Prepared(writes) => writes,
+            LocalCommit::Aborted(reason, effects) => {
+                return Ok((CommitResult::Aborted(reason), effects));
+            }
+        };
+
+        // Global commit: one SST for all writes. Transient failures
+        // (I/O) are retried per the recovery policy; constraint
+        // violations are permanent.
+        let write_count = writes.len() as u32;
+        let sst = Sst::new(txn, writes);
+        self.tracer.emit(now, TraceEvent::SstAttempt { txn, writes: write_count });
+        let mut at = now;
+        let mut sst_result = sst.execute(&self.db, &self.bindings);
+        let mut attempts = 0;
+        while attempts < self.config.sst_retries && matches!(sst_result, Err(PstmError::Io(_))) {
+            attempts += 1;
+            // The retry is not free: the LDBS needs its back-off before
+            // the write set is resubmitted, and the committer pays it.
+            at += self.config.sst_retry_delay;
+            self.tracer.emit(at, TraceEvent::SstRetry { txn, attempt: attempts });
+            sst_result = sst.execute(&self.db, &self.bindings);
+        }
+        let busy = at.since(now);
+        let (result, mut effects) = match sst_result {
+            Ok(()) => {
+                if !sst.is_empty() {
+                    self.tracer.emit(at, TraceEvent::SstApplied { txn });
+                }
+                (CommitResult::Committed, self.commit_finish(txn, at)?)
+            }
+            Err(PstmError::ConstraintViolation { .. }) | Err(PstmError::TypeMismatch { .. }) => {
+                // §VII problem 2: reconciliation violated an integrity
+                // constraint (or produced a value the column's declared
+                // type rejects) — the transaction aborts.
+                let reason = AbortReason::Constraint;
+                (CommitResult::Aborted(reason), self.commit_abort(txn, reason, at)?)
+            }
+            Err(PstmError::Io(_)) => {
+                // Persistent SST failure: §VII's open problem. Nothing
+                // reached the database (the write set is all-or-nothing),
+                // so cleanup is pure bookkeeping.
+                let reason = AbortReason::SstFailure;
+                (CommitResult::Aborted(reason), self.commit_abort(txn, reason, at)?)
+            }
+            Err(e) => return Err(e),
+        };
+        effects.sst_busy = busy;
+        Ok((result, effects))
+    }
+
+    /// Phase one of a coordinated commit (Algorithm 3): moves the
+    /// transaction to `Committing`, reconciles every touched resource and
+    /// returns the writes the global commit must flush. On success the
+    /// transaction is *parked* — the coordinator owns it until it calls
+    /// [`Gtm::commit_finish`] (SST applied) or [`Gtm::commit_abort`] (SST
+    /// failed). A local failure aborts the transaction immediately — it
+    /// must never strand in `Committing`.
+    pub fn commit_local(&mut self, txn: TxnId, now: Timestamp) -> PstmResult<LocalCommit> {
         let record = self.txn_mut(txn)?;
         if record.state != TxnState::Active {
             return Err(PstmError::InvalidState {
@@ -667,7 +755,7 @@ impl Gtm {
 
         // Local commits: move pending → committing, reconcile. Any error
         // here (a reconciliation overflow, an engine read failure) aborts
-        // the transaction — it must never strand in `Committing`.
+        // the transaction.
         let local_result: PstmResult<Vec<(ResourceId, Value)>> = (|| {
             let mut writes = Vec::new();
             for (resource, class) in &touched {
@@ -694,66 +782,75 @@ impl Gtm {
             }
             Ok(writes)
         })();
-        let writes = match local_result {
-            Ok(w) => w,
-            Err(PstmError::Arithmetic(_)) => {
-                // Reconciliation failed in the value domain (overflow,
-                // zero snapshot for mul/div): the transaction dies.
-                return self.finish_failed_commit(txn, &touched, AbortReason::Constraint, now);
+        let reason = match local_result {
+            Ok(writes) => return Ok(LocalCommit::Prepared(writes)),
+            // Reconciliation failed in the value domain (overflow, zero
+            // snapshot for mul/div, a result the column type rejects):
+            // the transaction dies.
+            Err(PstmError::Arithmetic(_)) | Err(PstmError::TypeMismatch { .. }) => {
+                AbortReason::Constraint
             }
-            Err(PstmError::Io(_)) => {
-                return self.finish_failed_commit(txn, &touched, AbortReason::SstFailure, now);
-            }
+            Err(PstmError::Io(_)) => AbortReason::SstFailure,
             Err(e) => return Err(e),
         };
+        let (_, effects) = self.finish_failed_commit(txn, &touched, reason, now)?;
+        Ok(LocalCommit::Aborted(reason, effects))
+    }
 
-        // Global commit: one SST for all writes. Transient failures
-        // (I/O) are retried per the recovery policy; constraint
-        // violations are permanent.
-        let write_count = writes.len() as u32;
-        let sst = Sst::new(txn, writes);
-        self.tracer.emit(now, TraceEvent::SstAttempt { txn, writes: write_count });
-        let mut sst_result = sst.execute(&self.db, &self.bindings);
-        let mut attempts = 0;
-        while attempts < self.config.sst_retries && matches!(sst_result, Err(PstmError::Io(_))) {
-            attempts += 1;
-            self.tracer.emit(now, TraceEvent::SstRetry { txn, attempt: attempts });
-            sst_result = sst.execute(&self.db, &self.bindings);
+    /// Phase two (success) of a coordinated commit (Algorithm 4's tail):
+    /// the coordinator's SST applied, so mark the transaction committed,
+    /// record history and run promotions. Requires the transaction to be
+    /// parked in `Committing` by a prior [`Gtm::commit_local`].
+    pub fn commit_finish(&mut self, txn: TxnId, now: Timestamp) -> PstmResult<StepEffects> {
+        let record = self.txn_mut(txn)?;
+        if record.state != TxnState::Committing {
+            return Err(PstmError::InvalidState {
+                txn,
+                action: "commit-finish",
+                state: record.state.name(),
+            });
         }
-        match sst_result {
-            Ok(()) => {
-                if !sst.is_empty() {
-                    self.tracer.emit(now, TraceEvent::SstApplied { txn });
-                }
-                for (resource, class) in &touched {
-                    let rs = self.resources.entry(*resource).or_default();
-                    rs.committing.remove(&txn);
-                    rs.new.remove(&txn);
-                    rs.committed.push((txn, *class, now));
-                }
-                let record = self.txns.get_mut(&txn).expect("committing txn exists");
-                record.state = TxnState::Committed;
-                record.t_sleep = None;
-                record.t_wait.clear();
-                let ops = record.op_log.clone();
-                self.history.record_commit(txn, ops);
-                self.tracer.emit(now, TraceEvent::Committed { txn });
-                let effects = self.promote_all(touched.iter().map(|(r, _)| *r).collect(), now)?;
-                Ok((CommitResult::Committed, effects))
-            }
-            Err(PstmError::ConstraintViolation { .. }) => {
-                // §VII problem 2: reconciliation violated an integrity
-                // constraint — the transaction aborts.
-                self.finish_failed_commit(txn, &touched, AbortReason::Constraint, now)
-            }
-            Err(PstmError::Io(_)) => {
-                // Persistent SST failure: §VII's open problem. Nothing
-                // reached the database (the write set is all-or-nothing),
-                // so cleanup is pure bookkeeping.
-                self.finish_failed_commit(txn, &touched, AbortReason::SstFailure, now)
-            }
-            Err(e) => Err(e),
+        let touched: Vec<(ResourceId, OpClass)> =
+            record.classes.iter().map(|(r, c)| (*r, *c)).collect();
+        for (resource, class) in &touched {
+            let rs = self.resources.entry(*resource).or_default();
+            rs.committing.remove(&txn);
+            rs.new.remove(&txn);
+            rs.committed.push((txn, *class, now));
         }
+        let record = self.txns.get_mut(&txn).expect("committing txn exists");
+        record.state = TxnState::Committed;
+        record.t_sleep = None;
+        record.t_wait.clear();
+        let ops = record.op_log.clone();
+        self.history.record_commit(txn, ops);
+        self.tracer.emit(now, TraceEvent::Committed { txn });
+        self.promote_all(touched.iter().map(|(r, _)| *r).collect(), now)
+    }
+
+    /// Phase two (failure) of a coordinated commit: the coordinator's SST
+    /// failed, so clear the committing marks and abort. Requires the
+    /// transaction to be parked in `Committing` by a prior
+    /// [`Gtm::commit_local`]. The transaction's own fate is *not* in the
+    /// returned effects — the coordinator already knows it.
+    pub fn commit_abort(
+        &mut self,
+        txn: TxnId,
+        reason: AbortReason,
+        now: Timestamp,
+    ) -> PstmResult<StepEffects> {
+        let record = self.txn_mut(txn)?;
+        if record.state != TxnState::Committing {
+            return Err(PstmError::InvalidState {
+                txn,
+                action: "commit-abort",
+                state: record.state.name(),
+            });
+        }
+        let touched: Vec<(ResourceId, OpClass)> =
+            record.classes.iter().map(|(r, c)| (*r, *c)).collect();
+        let (_, effects) = self.finish_failed_commit(txn, &touched, reason, now)?;
+        Ok(effects)
     }
 
     /// Common tail of every failed global commit: clear the committing

@@ -35,6 +35,7 @@ pub mod sst;
 pub mod state;
 
 pub use dependence::DependenceMap;
-pub use gtm::{Gtm, GtmConfig, GtmStats};
+pub use gtm::{CommitResult, Gtm, GtmConfig, GtmStats, LocalCommit};
 pub use policy::{AdmissionPolicy, StarvationPolicy};
+pub use sst::Sst;
 pub use state::TxnState;

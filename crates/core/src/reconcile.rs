@@ -52,12 +52,19 @@ pub fn reconcile(
             Ok(Some(v))
         }
         OpClass::UpdateMulDiv => {
-            // eq. (2): temp / read * permanent. Guard the zero snapshot:
-            // a mul/div transaction whose snapshot was 0 cannot express
-            // its factor (0·c = 0) — the paper implicitly assumes a
-            // nonzero base; we surface it as an arithmetic error.
-            let ratio = temp.checked_div(read)?;
-            let v = ratio.checked_mul(permanent)?;
+            // eq. (2): temp / read * permanent, fused so the rational
+            // arithmetic stays exact: evaluating the ratio first promotes
+            // any inexact Int/Int division to float and the result no
+            // longer fits the Int column it came from. Guard the zero
+            // snapshot: a mul/div transaction whose snapshot was 0 cannot
+            // express its factor (0·c = 0) — the paper implicitly assumes
+            // a nonzero base; we surface it as an arithmetic error.
+            if matches!(read, Value::Int(0)) || matches!(read, Value::Float(f) if *f == 0.0) {
+                return Err(PstmError::arithmetic(format!(
+                    "mul/div reconciliation against zero snapshot: {temp} / {read}"
+                )));
+            }
+            let v = temp.checked_mul_div(permanent, read)?;
             Ok(Some(v))
         }
         OpClass::Insert | OpClass::Delete => {
@@ -114,6 +121,20 @@ mod tests {
                 .unwrap()
                 .unwrap();
         assert_eq!(new, Value::Int(600));
+    }
+
+    #[test]
+    fn multiplicative_reconciliation_stays_integral_with_inexact_ratio() {
+        // A halves X (temp 50 from snapshot 100); a compatible ×3 committed
+        // meanwhile (permanent 300). The ratio 50/100 is inexact in the
+        // integers, but eq. 2 as a whole is: 50 · 300 / 100 = 150. The old
+        // ratio-first evaluation produced Float(150.0), which an Int column
+        // rejects at SST time.
+        let new =
+            reconcile(OpClass::UpdateMulDiv, &Value::Int(50), &Value::Int(100), &Value::Int(300))
+                .unwrap()
+                .unwrap();
+        assert_eq!(new, Value::Int(150));
     }
 
     #[test]

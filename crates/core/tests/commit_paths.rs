@@ -1,0 +1,252 @@
+//! Commit-path coverage: the eq. 2 exactness regression, the phased
+//! commit API the sharded front-end drives, and failure-path bookkeeping
+//! (mid-loop reconciliation errors, admission headroom after SST aborts).
+
+use pstm_core::gtm::{CommitResult, Gtm, GtmConfig, LocalCommit};
+use pstm_core::policy::AdmissionPolicy;
+use pstm_core::sst::Sst;
+use pstm_core::TxnState;
+use pstm_storage::{BindingRegistry, ColumnDef, Constraint, Database, Row, TableSchema};
+use pstm_types::{
+    AbortReason, ExecOutcome, MemberId, PstmError, ResourceId, ScalarOp, Timestamp, TxnId, Value,
+    ValueKind,
+};
+use std::sync::Arc;
+
+fn t(i: u64) -> TxnId {
+    TxnId(i)
+}
+
+fn ts(secs: f64) -> Timestamp {
+    Timestamp::from_secs_f64(secs)
+}
+
+const T0: Timestamp = Timestamp(0);
+
+/// `n` atomic Int counters with the given initial value and a `>= 0`
+/// CHECK — the booking-counter shape of the paper's evaluation.
+fn setup(n: usize, initial: i64, config: GtmConfig) -> (Gtm, Vec<ResourceId>) {
+    let db = Arc::new(Database::new());
+    let schema = TableSchema::new(
+        "Counter",
+        vec![ColumnDef::new("id", ValueKind::Int), ColumnDef::new("value", ValueKind::Int)],
+    )
+    .unwrap();
+    let table = db.create_table(schema, vec![Constraint::non_negative("value >= 0", 1)]).unwrap();
+    let boot = TxnId(1 << 40);
+    db.begin(boot).unwrap();
+    let mut bindings = BindingRegistry::new();
+    let mut resources = Vec::new();
+    for i in 0..n {
+        let row = db
+            .insert(boot, table, Row::new(vec![Value::Int(i as i64), Value::Int(initial)]))
+            .unwrap();
+        let obj = bindings.bind_object(table, row, &[(MemberId::ATOMIC, 1)]).unwrap();
+        resources.push(ResourceId::atomic(obj));
+    }
+    db.commit(boot).unwrap();
+    (Gtm::new(db, bindings, config), resources)
+}
+
+fn value_of(gtm: &Gtm, r: ResourceId) -> Value {
+    let b = gtm.bindings().resolve(r).unwrap();
+    gtm.database().get_col(b.table, b.row, b.column).unwrap()
+}
+
+#[test]
+fn eq2_with_inexact_ratio_commits_exactly_into_int_column() {
+    // Regression (eq. 2 type drift): A halves X while a compatible ×3
+    // committed in between. The intermediate ratio 50/100 is inexact, so
+    // the old ratio-first evaluation produced Float(150.0) — which the
+    // Int column rejected at SST time, turning a perfectly consistent
+    // commit into a spurious failure. Eq. 2 evaluated in the rational
+    // domain yields Int(150) and the commit succeeds.
+    let (mut gtm, res) = setup(1, 100, GtmConfig::default());
+    let x = res[0];
+
+    gtm.begin(t(1), T0).unwrap(); // A: ÷2
+    gtm.begin(t(2), T0).unwrap(); // B: ×3
+    let (o, _) = gtm.execute(t(1), x, ScalarOp::Div(Value::Int(2)), T0).unwrap();
+    assert_eq!(o, ExecOutcome::Completed(Value::Int(50)));
+    let (o, _) = gtm.execute(t(2), x, ScalarOp::Mul(Value::Int(3)), T0).unwrap();
+    assert_eq!(o, ExecOutcome::Completed(Value::Int(300)), "mul/div shares the member");
+
+    let (r, _) = gtm.commit(t(2), ts(1.0)).unwrap();
+    assert_eq!(r, CommitResult::Committed);
+    assert_eq!(value_of(&gtm, x), Value::Int(300));
+
+    // A's reconciliation: 50 · 300 / 100 = 150, exactly.
+    let (r, _) = gtm.commit(t(1), ts(2.0)).unwrap();
+    assert_eq!(r, CommitResult::Committed, "inexact ratio must not poison an exact result");
+    assert_eq!(value_of(&gtm, x), Value::Int(150));
+    gtm.verify_serializable().unwrap();
+    gtm.check_invariants().unwrap();
+}
+
+#[test]
+fn truly_inexact_eq2_result_aborts_as_constraint_not_hard_error() {
+    // When the reconciled value genuinely cannot be represented in the
+    // column (5 · 300 / 2 is exact, but 5 / 2 of an odd permanent isn't
+    // always), the commit must abort the transaction — never surface a
+    // type error to the caller as a scheduler failure.
+    let (mut gtm, res) = setup(1, 5, GtmConfig::default());
+    let x = res[0];
+    gtm.begin(t(1), T0).unwrap(); // A: ÷2 → temp 2.5 is float already
+    gtm.begin(t(2), T0).unwrap(); // B: ×3
+    let (o, _) = gtm.execute(t(1), x, ScalarOp::Div(Value::Int(2)), T0).unwrap();
+    assert_eq!(o, ExecOutcome::Completed(Value::Float(2.5)));
+    let (o, _) = gtm.execute(t(2), x, ScalarOp::Mul(Value::Int(3)), T0).unwrap();
+    assert_eq!(o, ExecOutcome::Completed(Value::Int(15)));
+    let (r, _) = gtm.commit(t(2), ts(1.0)).unwrap();
+    assert_eq!(r, CommitResult::Committed);
+
+    // A reconciles to 2.5 · 15 / 5 = Float(7.5): not admissible in an
+    // Int column, so the SST rejects it — a Constraint abort, cleanly.
+    let (r, _) = gtm.commit(t(1), ts(2.0)).unwrap();
+    assert_eq!(r, CommitResult::Aborted(AbortReason::Constraint));
+    assert_eq!(gtm.state(t(1)), Some(TxnState::Aborted));
+    assert_eq!(value_of(&gtm, x), Value::Int(15), "failed commit left the LDBS untouched");
+    gtm.check_invariants().unwrap();
+}
+
+#[test]
+fn phased_commit_local_sst_finish_round_trip() {
+    // The front-end's cross-shard path: commit_local parks the txn in
+    // Committing and hands back the writes; the coordinator runs the SST
+    // itself; commit_finish completes bookkeeping and promotions.
+    let (mut gtm, res) = setup(1, 100, GtmConfig::default());
+    gtm.begin(t(1), T0).unwrap();
+    gtm.execute(t(1), res[0], ScalarOp::Sub(Value::Int(1)), T0).unwrap();
+
+    let writes = match gtm.commit_local(t(1), ts(1.0)).unwrap() {
+        LocalCommit::Prepared(w) => w,
+        other => panic!("expected Prepared, got {other:?}"),
+    };
+    assert_eq!(writes, vec![(res[0], Value::Int(99))]);
+    assert_eq!(gtm.state(t(1)), Some(TxnState::Committing));
+
+    // While parked, neither commit_finish-after-terminal nor a second
+    // commit_local is possible.
+    assert!(matches!(
+        gtm.commit_local(t(1), ts(1.0)),
+        Err(PstmError::InvalidState { action: "commit", .. })
+    ));
+
+    let sst = Sst::new(t(1), writes);
+    sst.execute(gtm.database(), gtm.bindings()).unwrap();
+    let fx = gtm.commit_finish(t(1), ts(1.0)).unwrap();
+    assert!(fx.is_empty());
+    assert_eq!(gtm.state(t(1)), Some(TxnState::Committed));
+    assert_eq!(value_of(&gtm, res[0]), Value::Int(99));
+    gtm.verify_serializable().unwrap();
+    gtm.check_invariants().unwrap();
+}
+
+#[test]
+fn phased_commit_abort_releases_and_promotes() {
+    // A parked transaction whose coordinator's SST failed must release
+    // its resources to waiters when commit_abort cleans it up.
+    let (mut gtm, res) = setup(1, 100, GtmConfig::default());
+    gtm.begin(t(1), T0).unwrap();
+    gtm.execute(t(1), res[0], ScalarOp::Assign(Value::Int(7)), T0).unwrap();
+    gtm.begin(t(2), T0).unwrap();
+    let (o, _) = gtm.execute(t(2), res[0], ScalarOp::Assign(Value::Int(8)), T0).unwrap();
+    assert_eq!(o, ExecOutcome::Waiting);
+
+    match gtm.commit_local(t(1), ts(1.0)).unwrap() {
+        LocalCommit::Prepared(_) => {}
+        other => panic!("expected Prepared, got {other:?}"),
+    }
+    let fx = gtm.commit_abort(t(1), AbortReason::SstFailure, ts(1.0)).unwrap();
+    assert_eq!(gtm.state(t(1)), Some(TxnState::Aborted));
+    assert!(!fx.aborted.iter().any(|(x, _)| *x == t(1)), "own fate is not a side effect");
+    assert_eq!(fx.resumed.len(), 1, "the waiter takes over the released resource");
+    assert_eq!(fx.resumed[0].0, t(2));
+    assert_eq!(value_of(&gtm, res[0]), Value::Int(100), "nothing reached the LDBS");
+    gtm.check_invariants().unwrap();
+
+    // commit_abort outside the Committing window is an invalid state.
+    assert!(matches!(
+        gtm.commit_abort(t(2), AbortReason::SstFailure, ts(2.0)),
+        Err(PstmError::InvalidState { action: "commit-abort", .. })
+    ));
+}
+
+#[test]
+fn midloop_reconciliation_error_strands_no_resource() {
+    // A touches two resources; the first reconciles fine, the second
+    // overflows (a compatible committer moved the permanent value so the
+    // eq. 1 sum exceeds i64). The whole commit must unwind: no resource
+    // left with the txn in pending/committing, waiters resumed, and the
+    // cross-structure invariants intact.
+    let (mut gtm, res) = setup(2, 100, GtmConfig::default());
+    let (r0, r1) = (res[0], res[1]);
+
+    gtm.begin(t(1), T0).unwrap();
+    gtm.execute(t(1), r0, ScalarOp::Add(Value::Int(5)), T0).unwrap();
+    gtm.execute(t(1), r1, ScalarOp::Add(Value::Int(i64::MAX - 200)), T0).unwrap();
+
+    // B moves r1's permanent value up so A's reconciliation overflows.
+    gtm.begin(t(2), T0).unwrap();
+    gtm.execute(t(2), r1, ScalarOp::Add(Value::Int(200)), T0).unwrap();
+    let (r, _) = gtm.commit(t(2), ts(1.0)).unwrap();
+    assert_eq!(r, CommitResult::Committed);
+
+    // C waits on r0 behind A (incompatible class) — it must be resumed
+    // once A's failed commit releases r0.
+    gtm.begin(t(3), T0).unwrap();
+    let (o, _) = gtm.execute(t(3), r0, ScalarOp::Assign(Value::Int(1)), T0).unwrap();
+    assert_eq!(o, ExecOutcome::Waiting);
+
+    // A's commit: r0 reconciles (105 + 100 − 100), then r1 overflows
+    // mid-loop. The paper's Algorithm 3 has no partial-commit state — the
+    // transaction dies and every resource is released.
+    let (r, fx) = gtm.commit(t(1), ts(2.0)).unwrap();
+    assert_eq!(r, CommitResult::Aborted(AbortReason::Constraint));
+    assert_eq!(gtm.state(t(1)), Some(TxnState::Aborted));
+    assert_eq!(value_of(&gtm, r0), Value::Int(100), "r0's reconciled write must not survive");
+    assert_eq!(value_of(&gtm, r1), Value::Int(300), "only B's commit is durable");
+    assert_eq!(fx.resumed.len(), 1, "the waiter on the *first* resource is freed too");
+    assert_eq!(fx.resumed[0].0, t(3));
+    gtm.check_invariants().unwrap();
+    gtm.verify_serializable().unwrap();
+}
+
+#[test]
+fn sst_constraint_abort_restores_admission_headroom() {
+    // Admission bounds concurrent subtractors by the resource value; a
+    // holder whose SST is rejected by the CHECK must *give back* its
+    // admission slot, or the denied waiter would starve on a free
+    // resource.
+    let config = GtmConfig {
+        admission: Some(AdmissionPolicy { unit: 1, max_holders: 1 }),
+        ..GtmConfig::default()
+    };
+    let (mut gtm, res) = setup(1, 100, config);
+    let x = res[0];
+
+    // A takes the only admission slot and will violate `value >= 0`.
+    gtm.begin(t(1), T0).unwrap();
+    let (o, _) = gtm.execute(t(1), x, ScalarOp::Sub(Value::Int(150)), T0).unwrap();
+    assert_eq!(o, ExecOutcome::Completed(Value::Int(-50)), "virtual copies are unchecked");
+
+    // B is admission-denied while A holds the slot.
+    gtm.begin(t(2), T0).unwrap();
+    let (o, _) = gtm.execute(t(2), x, ScalarOp::Sub(Value::Int(1)), T0).unwrap();
+    assert_eq!(o, ExecOutcome::Waiting);
+    assert_eq!(gtm.stats().admission_denials, 1);
+
+    // A's SST violates the CHECK → Constraint abort → B admitted.
+    let (r, fx) = gtm.commit(t(1), ts(1.0)).unwrap();
+    assert_eq!(r, CommitResult::Aborted(AbortReason::Constraint));
+    assert_eq!(fx.resumed.len(), 1, "headroom returned to the waiter");
+    assert_eq!(fx.resumed[0].0, t(2));
+    assert_eq!(fx.resumed[0].1, Value::Int(99));
+    gtm.check_invariants().unwrap();
+
+    // And B can now commit its booking.
+    let (r, _) = gtm.commit(t(2), ts(2.0)).unwrap();
+    assert_eq!(r, CommitResult::Committed);
+    assert_eq!(value_of(&gtm, x), Value::Int(99));
+    gtm.verify_serializable().unwrap();
+}

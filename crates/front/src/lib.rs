@@ -1,0 +1,583 @@
+//! # pstm-front — a thread-safe sharded front-end over the GTM
+//!
+//! The core [`Gtm`] is single-threaded by design: the paper's algorithms
+//! are specified against one manager mediating every invocation, and the
+//! simulator drives it from a deterministic event loop. Real mobile
+//! infrastructure terminates many concurrent client sessions at once, so
+//! this crate partitions the resource space across `N` independent GTM
+//! *shards* — each its own [`Mutex<Gtm>`] over the shared LDBS — and
+//! exposes a blocking, session-oriented API
+//! ([`Session::execute`] / [`Session::sleep`] / [`Session::awake`] /
+//! [`Session::commit`] / [`Session::abort`]) safe to call from any OS
+//! thread.
+//!
+//! Design points:
+//!
+//! - **Deterministic routing.** A resource lives on exactly one shard:
+//!   `shard_of(r) = r.object.0 % N`. All scheduling state for a resource
+//!   (pending/committing sets, wait queues, read snapshots) is owned by
+//!   that shard, so the paper's per-resource algorithms run unchanged.
+//! - **Cross-shard commit.** A session touching several shards commits
+//!   through the phased API: shards are locked in ascending index order
+//!   (no lock cycles between committers), [`Gtm::commit_local`] reconciles
+//!   each shard's resources, and the per-shard write sets are folded into
+//!   **one** [`Sst`] against the shared [`Database`] — the global commit
+//!   stays atomic across shards because the SST applies its write set
+//!   all-or-nothing. [`Gtm::commit_finish`] / [`Gtm::commit_abort`] then
+//!   settle each shard's bookkeeping.
+//! - **Wall-clock bridge.** Shards speak the virtual-clock
+//!   [`Timestamp`]; the front-end stamps every call with microseconds
+//!   elapsed since construction, sampled *while holding the shard lock*
+//!   so per-shard timestamps stay monotone.
+//! - **Waits block the thread.** Where the simulator parks a transaction
+//!   and replays it on a resume event, a [`Session`] blocks its calling
+//!   thread: resume/abort notifications produced by *other* sessions'
+//!   effects are deposited in a mailbox, and the waiter polls it,
+//!   periodically ticking its shard so wait timeouts and deadlock
+//!   detection fire even on an otherwise idle shard. Deadlocks *across*
+//!   shards are invisible to any single shard's waits-for graph —
+//!   configure [`GtmConfig::wait_timeout`] (the default here) to bound
+//!   them.
+
+#![warn(missing_docs)]
+
+use parking_lot::{Mutex, MutexGuard};
+use pstm_core::gtm::{CommitResult, Gtm, GtmConfig, GtmStats, LocalCommit};
+use pstm_core::sst::Sst;
+use pstm_obs::Tracer;
+use pstm_storage::{BindingRegistry, Database};
+use pstm_types::{
+    AbortReason, Duration, ExecOutcome, PstmError, PstmResult, ResourceId, ScalarOp, StepEffects,
+    Timestamp, TxnId, Value,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration of the sharded front-end.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontConfig {
+    /// Number of GTM shards (must be ≥ 1).
+    pub shards: usize,
+    /// Per-shard GTM configuration. The default enables
+    /// [`GtmConfig::wait_timeout`]: per-shard deadlock detection cannot
+    /// see wait cycles spanning shards, so unbounded waits must not be
+    /// allowed when sessions touch multiple shards.
+    pub gtm: GtmConfig,
+    /// How long a blocked session sleeps between mailbox polls.
+    pub poll_interval: std::time::Duration,
+}
+
+impl Default for FrontConfig {
+    fn default() -> Self {
+        FrontConfig {
+            shards: 4,
+            gtm: GtmConfig {
+                wait_timeout: Some(Duration::from_secs_f64(2.0)),
+                ..GtmConfig::default()
+            },
+            poll_interval: std::time::Duration::from_micros(100),
+        }
+    }
+}
+
+/// A resume or abort notification for a blocked session, produced by
+/// another session's step effects.
+#[derive(Clone, Debug)]
+enum Signal {
+    /// The queued operation was granted; carries its result value.
+    Resumed(Value),
+    /// The transaction was aborted while waiting (deadlock victim, wait
+    /// timeout, or released by an incompatible commit).
+    Aborted(AbortReason),
+}
+
+/// Result of a blocking [`Session`] operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionOutcome {
+    /// The operation completed (immediately or after a wait) with this
+    /// value — for mutations, the new virtual-copy value.
+    Value(Value),
+    /// The transaction was aborted while the operation was queued; the
+    /// session is finished and every shard has been cleaned up.
+    Aborted(AbortReason),
+}
+
+/// Result of [`Session::awake`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum AwakeOutcome {
+    /// Every shard resumed the transaction; any operations granted while
+    /// it slept carry their values here (shard order).
+    Resumed(Vec<Value>),
+    /// Some shard saw incompatible activity while the transaction slept
+    /// (Algorithm 9, third branch); it has been aborted everywhere.
+    Aborted,
+}
+
+struct FrontInner {
+    db: Arc<Database>,
+    bindings: BindingRegistry,
+    shards: Vec<Mutex<Gtm>>,
+    config: FrontConfig,
+    next_txn: AtomicU64,
+    epoch: Instant,
+    mail: Mutex<BTreeMap<TxnId, Signal>>,
+}
+
+/// The sharded, thread-safe GTM front-end. Cheap to clone; clones share
+/// the shards.
+#[derive(Clone)]
+pub struct ShardedFront {
+    inner: Arc<FrontInner>,
+}
+
+impl ShardedFront {
+    /// Builds a front-end of `config.shards` GTM shards over the shared
+    /// engine, with tracing disabled.
+    #[must_use]
+    pub fn new(db: Arc<Database>, bindings: BindingRegistry, config: FrontConfig) -> Self {
+        Self::with_shard_tracers(db, bindings, config, |_| Tracer::disabled())
+    }
+
+    /// [`ShardedFront::new`] with a tracer per shard. Give each shard its
+    /// *own* tracer: a tracer is a shared mutex, so one tracer across all
+    /// shards would serialize exactly the work the sharding parallelizes.
+    /// Records still interleave coherently offline — every record carries
+    /// the emitting thread's tag.
+    #[must_use]
+    pub fn with_shard_tracers(
+        db: Arc<Database>,
+        bindings: BindingRegistry,
+        config: FrontConfig,
+        mut tracer_for: impl FnMut(usize) -> Tracer,
+    ) -> Self {
+        assert!(config.shards >= 1, "a front-end needs at least one shard");
+        let shards = (0..config.shards)
+            .map(|i| {
+                Mutex::new(
+                    Gtm::new(Arc::clone(&db), bindings.clone(), config.gtm)
+                        .with_tracer(tracer_for(i)),
+                )
+            })
+            .collect();
+        ShardedFront {
+            inner: Arc::new(FrontInner {
+                db,
+                bindings,
+                shards,
+                config,
+                next_txn: AtomicU64::new(1),
+                epoch: Instant::now(),
+                mail: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The shard owning `resource`. Deterministic: routing depends only
+    /// on the object id and the shard count.
+    #[must_use]
+    pub fn shard_of(&self, resource: ResourceId) -> usize {
+        resource.object.0 as usize % self.inner.shards.len()
+    }
+
+    /// Microseconds of wall time since the front-end was built, as the
+    /// virtual-clock timestamp the shards understand.
+    #[must_use]
+    pub fn now(&self) -> Timestamp {
+        Timestamp(u64::try_from(self.inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX))
+    }
+
+    /// Opens a new session (allocates its transaction id). The session
+    /// begins lazily on each shard it touches.
+    #[must_use]
+    pub fn session(&self) -> Session {
+        Session {
+            front: self.clone(),
+            id: TxnId(self.inner.next_txn.fetch_add(1, Ordering::Relaxed)),
+            begun: BTreeSet::new(),
+            finished: false,
+        }
+    }
+
+    /// The tracer of shard `i` (clones share the registry).
+    #[must_use]
+    pub fn shard_tracer(&self, i: usize) -> Tracer {
+        self.inner.shards[i].lock().tracer()
+    }
+
+    /// Per-shard stats, shard order.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<GtmStats> {
+        self.inner.shards.iter().map(|s| s.lock().stats()).collect()
+    }
+
+    /// Stats summed across shards.
+    #[must_use]
+    pub fn stats(&self) -> GtmStats {
+        sum_stats(self.shard_stats())
+    }
+
+    /// Runs every shard's internal-invariant check; the error names the
+    /// offending shard.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            shard.lock().check_invariants().map_err(|e| format!("shard {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Replays every shard's committed history through the serial checker;
+    /// the error names the offending shard.
+    pub fn verify_serializable(&self) -> Result<(), String> {
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            shard.lock().verify_serializable().map_err(|e| format!("shard {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Reads a resource's current permanent value from the LDBS.
+    pub fn resource_value(&self, resource: ResourceId) -> PstmResult<Value> {
+        let b = self.inner.bindings.resolve(resource)?;
+        self.inner.db.get_col(b.table, b.row, b.column)
+    }
+
+    /// Locks shard `i`, beginning transaction `id` on it first if `begun`
+    /// doesn't record it yet.
+    fn lock_shard_for(
+        &self,
+        i: usize,
+        id: TxnId,
+        begun: &mut BTreeSet<usize>,
+    ) -> PstmResult<MutexGuard<'_, Gtm>> {
+        let mut gtm = self.inner.shards[i].lock();
+        if begun.insert(i) {
+            let now = self.now();
+            gtm.begin(id, now)?;
+        }
+        Ok(gtm)
+    }
+
+    /// Deposits resume/abort notifications for *other* sessions.
+    fn deposit(&self, fx: &StepEffects) {
+        if fx.resumed.is_empty() && fx.aborted.is_empty() {
+            return;
+        }
+        let mut mail = self.inner.mail.lock();
+        for (txn, value) in &fx.resumed {
+            mail.insert(*txn, Signal::Resumed(value.clone()));
+        }
+        for (txn, reason) in &fx.aborted {
+            mail.insert(*txn, Signal::Aborted(*reason));
+        }
+    }
+}
+
+/// One client transaction bound to a calling thread. Obtained from
+/// [`ShardedFront::session`]; not `Clone` — a session is driven by one
+/// thread at a time, which is what lets `execute` block.
+pub struct Session {
+    front: ShardedFront,
+    id: TxnId,
+    begun: BTreeSet<usize>,
+    finished: bool,
+}
+
+impl Session {
+    /// This session's transaction id (the same id on every shard).
+    #[must_use]
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// True once the session committed or aborted.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    fn ensure_open(&self) -> PstmResult<()> {
+        if self.finished {
+            return Err(PstmError::InvalidState {
+                txn: self.id,
+                action: "session",
+                state: "finished",
+            });
+        }
+        Ok(())
+    }
+
+    /// Executes one operation, blocking the calling thread while the
+    /// invocation is queued behind incompatible work. Returns the
+    /// operation's value, or [`SessionOutcome::Aborted`] if the
+    /// transaction died while waiting (deadlock victim, wait timeout) —
+    /// in that case the session is finished and cleaned up on all shards.
+    pub fn execute(&mut self, resource: ResourceId, op: ScalarOp) -> PstmResult<SessionOutcome> {
+        self.ensure_open()?;
+        let shard = self.front.shard_of(resource);
+        let outcome = {
+            let mut gtm = self.front.lock_shard_for(shard, self.id, &mut self.begun)?;
+            let now = self.front.now();
+            let (outcome, fx) = gtm.execute(self.id, resource, op, now)?;
+            drop(gtm);
+            self.front.deposit(&fx);
+            outcome
+        };
+        match outcome {
+            ExecOutcome::Completed(v) => Ok(SessionOutcome::Value(v)),
+            ExecOutcome::Aborted(reason) => {
+                self.finish_aborted(Some(shard))?;
+                Ok(SessionOutcome::Aborted(reason))
+            }
+            ExecOutcome::Waiting => match self.wait_for_signal(shard) {
+                Signal::Resumed(v) => Ok(SessionOutcome::Value(v)),
+                Signal::Aborted(reason) => {
+                    self.finish_aborted(Some(shard))?;
+                    Ok(SessionOutcome::Aborted(reason))
+                }
+            },
+        }
+    }
+
+    /// Parks the calling thread until another session's effects resume or
+    /// abort this transaction. Ticks the owning shard each poll so wait
+    /// timeouts and deadlock detection advance even on an idle shard.
+    fn wait_for_signal(&mut self, shard: usize) -> Signal {
+        loop {
+            if let Some(signal) = self.front.inner.mail.lock().remove(&self.id) {
+                return signal;
+            }
+            {
+                let mut gtm = self.front.inner.shards[shard].lock();
+                let now = self.front.now();
+                if let Ok(fx) = gtm.tick(now) {
+                    self.front.deposit(&fx);
+                }
+            }
+            std::thread::sleep(self.front.inner.config.poll_interval);
+        }
+    }
+
+    /// Disconnection: puts the transaction to sleep on every shard it has
+    /// touched (paper ⟨sleep, A⟩, broadcast).
+    pub fn sleep(&mut self) -> PstmResult<()> {
+        self.ensure_open()?;
+        for &shard in &self.begun.clone() {
+            let mut gtm = self.front.inner.shards[shard].lock();
+            let now = self.front.now();
+            let fx = gtm.sleep(self.id, now)?;
+            self.front.deposit(&fx);
+        }
+        Ok(())
+    }
+
+    /// Reconnection: awakens the transaction on every touched shard. If
+    /// any shard aborted it (incompatible activity while asleep), the
+    /// remaining shards are cleaned up and the session finishes.
+    pub fn awake(&mut self) -> PstmResult<AwakeOutcome> {
+        self.ensure_open()?;
+        let mut granted = Vec::new();
+        for &shard in &self.begun.clone() {
+            let result = {
+                let mut gtm = self.front.inner.shards[shard].lock();
+                let now = self.front.now();
+                let (result, fx) = gtm.awake(self.id, now)?;
+                self.front.deposit(&fx);
+                result
+            };
+            match result {
+                pstm_core::gtm::AwakeResult::Resumed(value) => granted.extend(value),
+                pstm_core::gtm::AwakeResult::Aborted => {
+                    self.finish_aborted(Some(shard))?;
+                    return Ok(AwakeOutcome::Aborted);
+                }
+            }
+        }
+        Ok(AwakeOutcome::Resumed(granted))
+    }
+
+    /// Commits the session. One-shard sessions take the GTM's own commit
+    /// path (local reconcile + SST + retries); multi-shard sessions run
+    /// the coordinated path: lock every touched shard in ascending index
+    /// order, `commit_local` each, fold all write sets into **one** SST
+    /// against the shared engine, then `commit_finish`/`commit_abort`
+    /// per shard.
+    pub fn commit(&mut self) -> PstmResult<CommitResult> {
+        self.ensure_open()?;
+        self.finished = true;
+        let shards: Vec<usize> = self.begun.iter().copied().collect();
+        match shards.len() {
+            // A session that never touched a resource has nothing to do.
+            0 => Ok(CommitResult::Committed),
+            1 => {
+                let mut gtm = self.front.inner.shards[shards[0]].lock();
+                let now = self.front.now();
+                let (result, fx) = gtm.commit(self.id, now)?;
+                drop(gtm);
+                self.front.deposit(&fx);
+                self.clear_mail();
+                Ok(result)
+            }
+            _ => {
+                let result = self.commit_across(&shards);
+                self.clear_mail();
+                result
+            }
+        }
+    }
+
+    /// The coordinated cross-shard commit. `shards` is ascending.
+    fn commit_across(&mut self, shards: &[usize]) -> PstmResult<CommitResult> {
+        let inner = &self.front.inner;
+        let mut guards: Vec<MutexGuard<'_, Gtm>> =
+            shards.iter().map(|&s| inner.shards[s].lock()).collect();
+        let now = self.front.now();
+
+        // Phase one: reconcile on every shard (Algorithm 3 per shard).
+        let mut writes = Vec::new();
+        let mut failed_at: Option<(usize, AbortReason)> = None;
+        for (i, gtm) in guards.iter_mut().enumerate() {
+            match gtm.commit_local(self.id, now)? {
+                LocalCommit::Prepared(w) => writes.extend(w),
+                LocalCommit::Aborted(reason, fx) => {
+                    self.front.deposit(&fx);
+                    failed_at = Some((i, reason));
+                    break;
+                }
+            }
+        }
+        if let Some((k, reason)) = failed_at {
+            // Shard k already aborted the transaction itself. Earlier
+            // shards are parked in Committing; later shards never started.
+            for (i, gtm) in guards.iter_mut().enumerate() {
+                let fx = match i.cmp(&k) {
+                    std::cmp::Ordering::Less => gtm.commit_abort(self.id, reason, now)?,
+                    std::cmp::Ordering::Equal => continue,
+                    std::cmp::Ordering::Greater => gtm.abort(self.id, now)?,
+                };
+                self.front.deposit(&fx);
+            }
+            return Ok(CommitResult::Aborted(reason));
+        }
+
+        // Phase two: one SST carries every shard's writes — atomic across
+        // shards because the engine applies a write set all-or-nothing.
+        // Transient (I/O) failures are retried per the shards' shared
+        // config; here the back-off is real wall time.
+        let config = &inner.config.gtm;
+        let sst = Sst::new(self.id, writes);
+        let mut sst_result = sst.execute(&inner.db, &inner.bindings);
+        let mut attempts = 0;
+        while attempts < config.sst_retries && matches!(sst_result, Err(PstmError::Io(_))) {
+            attempts += 1;
+            if config.sst_retry_delay > Duration::ZERO {
+                std::thread::sleep(std::time::Duration::from_micros(config.sst_retry_delay.0));
+            }
+            sst_result = sst.execute(&inner.db, &inner.bindings);
+        }
+
+        // Phase three: settle every shard's bookkeeping.
+        let settled_at = self.front.now();
+        let reason = match sst_result {
+            Ok(()) => {
+                for gtm in &mut guards {
+                    let fx = gtm.commit_finish(self.id, settled_at)?;
+                    self.front.deposit(&fx);
+                }
+                return Ok(CommitResult::Committed);
+            }
+            Err(PstmError::ConstraintViolation { .. }) | Err(PstmError::TypeMismatch { .. }) => {
+                AbortReason::Constraint
+            }
+            Err(PstmError::Io(_)) => AbortReason::SstFailure,
+            Err(e) => {
+                // Unexpected engine failure: unpark every shard before
+                // propagating, so nothing strands in Committing.
+                for gtm in &mut guards {
+                    let fx = gtm.commit_abort(self.id, AbortReason::SstFailure, settled_at)?;
+                    self.front.deposit(&fx);
+                }
+                return Err(e);
+            }
+        };
+        for gtm in &mut guards {
+            let fx = gtm.commit_abort(self.id, reason, settled_at)?;
+            self.front.deposit(&fx);
+        }
+        Ok(CommitResult::Aborted(reason))
+    }
+
+    /// Aborts the session on every shard it has touched.
+    pub fn abort(&mut self) -> PstmResult<()> {
+        self.ensure_open()?;
+        self.finish_aborted(None)
+    }
+
+    /// Cleans up after an abort: shard `already_dead` (if any) aborted the
+    /// transaction itself; every other begun shard still holds an active
+    /// record that must be released.
+    fn finish_aborted(&mut self, already_dead: Option<usize>) -> PstmResult<()> {
+        self.finished = true;
+        for &shard in &self.begun.clone() {
+            if Some(shard) == already_dead {
+                continue;
+            }
+            let mut gtm = self.front.inner.shards[shard].lock();
+            let now = self.front.now();
+            let fx = gtm.abort(self.id, now)?;
+            self.front.deposit(&fx);
+        }
+        self.clear_mail();
+        Ok(())
+    }
+
+    /// Drops any residual signal addressed to this session, so the
+    /// mailbox cannot accumulate entries for finished transactions.
+    fn clear_mail(&self) {
+        self.front.inner.mail.lock().remove(&self.id);
+    }
+}
+
+/// Folds per-shard [`GtmStats`] into workload-wide totals.
+#[must_use]
+pub fn sum_stats(stats: impl IntoIterator<Item = GtmStats>) -> GtmStats {
+    stats.into_iter().fold(GtmStats::default(), |mut acc, s| {
+        acc.begun += s.begun;
+        acc.committed += s.committed;
+        acc.aborted += s.aborted;
+        acc.aborted_sleep_conflict += s.aborted_sleep_conflict;
+        acc.aborted_deadlock += s.aborted_deadlock;
+        acc.aborted_constraint += s.aborted_constraint;
+        acc.aborted_wait_timeout += s.aborted_wait_timeout;
+        acc.ops_completed += s.ops_completed;
+        acc.ops_waited += s.ops_waited;
+        acc.shared_grants += s.shared_grants;
+        acc.bypassed_sleepers += s.bypassed_sleepers;
+        acc.reconciliations += s.reconciliations;
+        acc.ssts_executed += s.ssts_executed;
+        acc.starvation_denials += s.starvation_denials;
+        acc.admission_denials += s.admission_denials;
+        acc.sst_retries += s.sst_retries;
+        acc.aborted_sst_failure += s.aborted_sst_failure;
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn front_and_sessions_cross_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<ShardedFront>();
+        assert_send::<Session>();
+    }
+}

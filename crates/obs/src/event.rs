@@ -231,6 +231,10 @@ pub struct TraceRecord {
     pub seq: u64,
     /// Virtual timestamp of the event.
     pub at: Timestamp,
+    /// Emitting OS thread, as a small process-local tag (threads are
+    /// numbered in first-emission order). `None` in traces persisted
+    /// before tagging existed; single-threaded runs always show one tag.
+    pub thread: Option<u64>,
     /// The event itself.
     pub event: TraceEvent,
 }

@@ -37,4 +37,4 @@ pub use hist::Histogram;
 pub use registry::{Ctr, MetricsRegistry};
 pub use replay::{load_jsonl, parse_jsonl, replay};
 pub use sink::{JsonlSink, NullSink, RingHandle, RingSink, Sink};
-pub use tracer::Tracer;
+pub use tracer::{current_thread_tag, Tracer};

@@ -92,6 +92,17 @@ mod tests {
     }
 
     #[test]
+    fn pre_thread_tag_traces_still_parse() {
+        // Traces persisted before thread tagging lack the `thread` field;
+        // they must load as `None` rather than fail.
+        let line = r#"{"seq":0,"at":7,"event":{"TxnBegin":{"txn":3}}}"#;
+        let records = parse_jsonl(line).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].thread, None);
+        assert_eq!(records[0].at, Timestamp(7));
+    }
+
+    #[test]
     fn malformed_line_is_reported_with_its_number() {
         let err = parse_jsonl("{\"not\": \"a record\"}").unwrap_err();
         assert!(err.starts_with("line 1:"), "{err}");

@@ -200,6 +200,7 @@ mod tests {
         TraceRecord {
             seq,
             at: Timestamp(seq * 10),
+            thread: None,
             event: TraceEvent::TxnBegin { txn: TxnId(seq) },
         }
     }

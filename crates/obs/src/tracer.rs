@@ -10,7 +10,24 @@ use crate::registry::{Ctr, MetricsRegistry};
 use crate::sink::Sink;
 use parking_lot::Mutex;
 use pstm_types::Timestamp;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Next process-wide thread tag; threads draw one lazily on their first
+/// emission, so tags are dense, and a single-threaded run carries one
+/// uniform tag throughout.
+static NEXT_THREAD_TAG: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_TAG: u64 = NEXT_THREAD_TAG.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The small per-thread tag stamped on [`TraceRecord`]s emitted from the
+/// calling thread. Stable for the thread's lifetime.
+#[must_use]
+pub fn current_thread_tag() -> u64 {
+    THREAD_TAG.with(|t| *t)
+}
 
 struct TracerInner {
     registry: MetricsRegistry,
@@ -80,7 +97,7 @@ impl Tracer {
         let mut inner = self.inner.lock();
         inner.registry.apply(at, &event);
         if inner.sink.is_some() {
-            let rec = TraceRecord { seq: inner.seq, at, event };
+            let rec = TraceRecord { seq: inner.seq, at, thread: Some(current_thread_tag()), event };
             inner.seq += 1;
             if let Some(sink) = inner.sink.as_mut() {
                 sink.record(&rec);
@@ -152,6 +169,28 @@ mod tests {
         assert_eq!(recs.len(), 2);
         assert_eq!((recs[0].seq, recs[0].at), (0, Timestamp(5)));
         assert_eq!((recs[1].seq, recs[1].at), (1, Timestamp(9)));
+    }
+
+    #[test]
+    fn records_carry_the_emitting_thread_tag() {
+        let ring = RingSink::new(16);
+        let handle = ring.handle();
+        let t = Tracer::with_sink(Box::new(ring));
+        t.emit(Timestamp(1), TraceEvent::TxnBegin { txn: TxnId(1) });
+        let t2 = t.clone();
+        std::thread::spawn(move || {
+            t2.emit(Timestamp(2), TraceEvent::TxnBegin { txn: TxnId(2) });
+        })
+        .join()
+        .unwrap();
+        t.emit(Timestamp(3), TraceEvent::Committed { txn: TxnId(1) });
+        let recs = handle.snapshot();
+        assert_eq!(recs.len(), 3);
+        let mine = current_thread_tag();
+        assert_eq!(recs[0].thread, Some(mine));
+        assert_eq!(recs[2].thread, Some(mine), "tag is stable per thread");
+        assert_ne!(recs[1].thread, Some(mine), "other threads get their own tag");
+        assert!(recs[1].thread.is_some());
     }
 
     #[test]

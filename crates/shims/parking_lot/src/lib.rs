@@ -4,7 +4,11 @@
 //! non-poisoning API: a panicking holder does not poison the lock for
 //! everyone else, which is the behaviour the storage engine relies on.
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self, RwLockReadGuard, RwLockWriteGuard};
+
+// parking_lot names its guard types publicly; callers holding a guard
+// across scopes need the name.
+pub use std::sync::MutexGuard;
 
 /// A reader-writer lock whose guards never poison.
 #[derive(Debug, Default)]

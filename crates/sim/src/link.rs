@@ -58,23 +58,42 @@ impl LinkModel {
     }
 
     fn sample(&self, horizon: Timestamp, rng: &mut StdRng, start_down: bool) -> LinkTrace {
-        let mut down = Vec::new();
+        let mut down: Vec<(Timestamp, Timestamp)> = Vec::new();
         let mut t = Timestamp::ZERO;
+        // Degenerate parameters: with no sojourn mass in either state the
+        // loop below could never advance `t` — treat the link as always
+        // up, matching `down_fraction`'s 0/0 convention.
+        if self.mean_up == Duration::ZERO && self.mean_down == Duration::ZERO {
+            return LinkTrace { down };
+        }
         let exp = |mean: Duration, rng: &mut StdRng| -> Duration {
             let m = mean.as_secs_f64();
             if m <= 0.0 {
                 return Duration::ZERO;
             }
             // Inverse transform; clamp the uniform away from 0 so ln is
-            // finite.
+            // finite, and the result up to the 1µs tick so a
+            // positive-mean sojourn always advances time (sub-tick
+            // samples round to zero and would stall the loop).
             let u: f64 = rng.gen_range(1e-12..1.0);
-            Duration::from_secs_f64(-m * u.ln())
+            Duration::from_secs_f64(-m * u.ln()).max(Duration::from_micros(1))
         };
+        // An up-sojourn of zero (mean_up == 0) makes consecutive down
+        // windows touch; fold them into one so the trace stays a list of
+        // disjoint windows with real gaps and `next_up` reports the true
+        // reconnection instant.
+        fn push_window(down: &mut Vec<(Timestamp, Timestamp)>, s: Timestamp, e: Timestamp) {
+            if e <= s {
+                return;
+            }
+            match down.last_mut() {
+                Some((_, prev_end)) if *prev_end == s => *prev_end = e,
+                _ => down.push((s, e)),
+            }
+        }
         if start_down {
             let d = exp(self.mean_down, rng);
-            if d > Duration::ZERO {
-                down.push((t, t + d));
-            }
+            push_window(&mut down, t, t + d);
             t += d;
         }
         while t < horizon {
@@ -83,9 +102,7 @@ impl LinkModel {
                 break;
             }
             let d = exp(self.mean_down, rng);
-            if d > Duration::ZERO {
-                down.push((t, t + d));
-            }
+            push_window(&mut down, t, t + d);
             t += d;
         }
         LinkTrace { down }
@@ -207,6 +224,54 @@ mod tests {
         let trace = m.sample_trace(horizon, &mut rng);
         let frac = trace.downtime_until(horizon).as_secs_f64() / horizon.as_secs_f64();
         assert!((frac - 0.2).abs() < 0.02, "sampled down fraction {frac} should approximate 0.2");
+    }
+
+    #[test]
+    fn degenerate_zero_means_terminate_as_always_up() {
+        // Regression: both means zero used to spin forever (t never
+        // advanced past the horizon). The degenerate link is always up.
+        let mut rng = StdRng::seed_from_u64(5);
+        let trace = model(0.0, 0.0).sample_trace(Timestamp::from_secs_f64(100.0), &mut rng);
+        assert_eq!(trace, LinkTrace::always_up());
+        let trace =
+            model(0.0, 0.0).sample_trace_stationary(Timestamp::from_secs_f64(100.0), &mut rng);
+        assert_eq!(trace, LinkTrace::always_up());
+    }
+
+    #[test]
+    fn zero_up_sojourns_merge_into_disjoint_windows_with_gaps() {
+        // Regression: mean_up == 0 samples zero-length connected sojourns,
+        // which used to emit touching down windows — `next_up` then lied
+        // about the reconnection instant. Merged, an always-down link is
+        // one window covering the horizon.
+        let mut rng = StdRng::seed_from_u64(9);
+        let horizon = Timestamp::from_secs_f64(50.0);
+        let trace = model(0.0, 2.0).sample_trace(horizon, &mut rng);
+        let mut prev_end = None;
+        for (s, e) in &trace.down {
+            assert!(e > s);
+            if let Some(p) = prev_end {
+                assert!(*s > p, "windows must be separated by a real gap, got {p:?} then {s:?}");
+            }
+            prev_end = Some(*e);
+        }
+        assert_eq!(trace.outage_count(), 1, "touching windows must fold into one");
+        assert!(trace.is_down(Timestamp::ZERO));
+        assert!(trace.next_up(Timestamp::ZERO) >= horizon, "down until past the horizon");
+    }
+
+    #[test]
+    fn sub_tick_means_still_terminate() {
+        // Sojourn samples below the 1µs tick are clamped up so the loop
+        // always advances.
+        let mut rng = StdRng::seed_from_u64(13);
+        let trace = model(1e-9, 1e-9).sample_trace(Timestamp::from_secs_f64(0.01), &mut rng);
+        let mut prev_end = Timestamp::ZERO;
+        for (s, e) in &trace.down {
+            assert!(*s >= prev_end);
+            assert!(e > s);
+            prev_end = *e;
+        }
     }
 
     #[test]

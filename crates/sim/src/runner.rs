@@ -226,13 +226,19 @@ impl<B: Backend> Runner<B> {
     }
 
     fn finish(&mut self, txn: TxnId, outcome: Outcome) {
-        let now = self.now;
+        self.finish_at(txn, outcome, self.now);
+    }
+
+    /// Like [`Runner::finish`] but at an explicit instant — commits whose
+    /// SST retried finish *after* the event that triggered them, since the
+    /// backend charged the retry back-off to the committer.
+    fn finish_at(&mut self, txn: TxnId, outcome: Outcome, at: Timestamp) {
         let Some(c) = self.clients.get_mut(&txn) else { return };
         if c.status == ClientStatus::Finished {
             return;
         }
         c.status = ClientStatus::Finished;
-        c.finished_at = Some(now);
+        c.finished_at = Some(at);
         c.outcome = Some(outcome);
         self.unfinished -= 1;
     }
@@ -315,10 +321,16 @@ impl<B: Backend> Runner<B> {
             }
             Step::Commit => {
                 let (outcome, fx) = self.backend.commit(txn, now)?;
+                // SST retries are charged to the committer: its terminal
+                // instant moves past `now` by the back-off the backend
+                // reported.
+                let done_at = now + fx.sst_busy;
                 self.apply_effects(fx);
                 match outcome {
-                    CommitOutcome::Committed => self.finish(txn, Outcome::Committed),
-                    CommitOutcome::Aborted(reason) => self.finish(txn, Outcome::Aborted(reason)),
+                    CommitOutcome::Committed => self.finish_at(txn, Outcome::Committed, done_at),
+                    CommitOutcome::Aborted(reason) => {
+                        self.finish_at(txn, Outcome::Aborted(reason), done_at);
+                    }
                 }
             }
             Step::Abort => {
@@ -589,6 +601,35 @@ mod tests {
             Runner::new(GtmBackend(gtm), vec![script], RunnerConfig::default()).run().unwrap();
         assert_eq!(report.aborted, 1);
         assert_eq!(report.aborts_by_reason.get("user"), Some(&1));
+    }
+
+    #[test]
+    fn sst_retries_charge_virtual_time_to_the_committer() {
+        // Regression: the retry loop used to re-execute the SST at the
+        // same `now`, so an I/O-faulted run reported the same latency as
+        // a clean one. With a configured back-off, each retry must push
+        // the committer's terminal instant out by the delay.
+        let run = |faults: u32| {
+            let (db, bindings, rs) = build_world(1);
+            db.inject_write_set_faults(faults);
+            let config = GtmConfig {
+                sst_retries: 3,
+                sst_retry_delay: Duration::from_secs_f64(1.0),
+                ..GtmConfig::default()
+            };
+            let gtm = Gtm::new(db, bindings, config);
+            let scripts = vec![sub_script(1, 0.0, rs[0], None)];
+            Runner::new(GtmBackend(gtm), scripts, RunnerConfig::default()).run().unwrap()
+        };
+        let clean = run(0);
+        let faulted = run(2);
+        assert_eq!(clean.committed, 1);
+        assert_eq!(faulted.committed, 1);
+        let charged = faulted.mean_exec_committed_s - clean.mean_exec_committed_s;
+        assert!(
+            (charged - 2.0).abs() < 1e-6,
+            "two retries at 1s back-off must cost 2s of latency, got {charged}"
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! simulator can schedule follow-ups.
 
 use crate::ids::TxnId;
+use crate::time::Duration;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -77,6 +78,11 @@ pub struct StepEffects {
     pub resumed: Vec<(TxnId, Value)>,
     /// Transactions the system aborted, with the reason.
     pub aborted: Vec<(TxnId, AbortReason)>,
+    /// Time the manager itself spent on blocking back-end work while
+    /// handling the event (SST retries, durability stalls) — the scheduler
+    /// should charge this to the requesting transaction on top of the
+    /// event's service time.
+    pub sst_busy: Duration,
 }
 
 impl StepEffects {
@@ -89,13 +95,14 @@ impl StepEffects {
     /// Whether anything happened.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.resumed.is_empty() && self.aborted.is_empty()
+        self.resumed.is_empty() && self.aborted.is_empty() && self.sst_busy == Duration::ZERO
     }
 
-    /// Merges another effect set into this one.
+    /// Merges another effect set into this one. Busy time accumulates.
     pub fn merge(&mut self, other: StepEffects) {
         self.resumed.extend(other.resumed);
         self.aborted.extend(other.aborted);
+        self.sst_busy += other.sst_busy;
     }
 }
 
@@ -110,11 +117,23 @@ mod tests {
         a.merge(StepEffects {
             resumed: vec![(TxnId(1), Value::Int(5))],
             aborted: vec![(TxnId(2), AbortReason::Deadlock)],
+            sst_busy: Duration::from_micros(3),
         });
-        a.merge(StepEffects { resumed: vec![(TxnId(3), Value::Int(6))], aborted: vec![] });
+        a.merge(StepEffects {
+            resumed: vec![(TxnId(3), Value::Int(6))],
+            aborted: vec![],
+            sst_busy: Duration::from_micros(4),
+        });
         assert_eq!(a.resumed.len(), 2);
         assert_eq!(a.aborted.len(), 1);
+        assert_eq!(a.sst_busy, Duration::from_micros(7));
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn busy_time_alone_makes_effects_non_empty() {
+        let fx = StepEffects { sst_busy: Duration::from_micros(1), ..StepEffects::none() };
+        assert!(!fx.is_empty());
     }
 
     #[test]

@@ -54,6 +54,12 @@ impl Duration {
     /// The zero-length span.
     pub const ZERO: Duration = Duration(0);
 
+    /// Builds a duration from whole microseconds (the native tick).
+    #[must_use]
+    pub fn from_micros(us: u64) -> Self {
+        Duration(us)
+    }
+
     /// Builds a duration from whole milliseconds.
     #[must_use]
     pub fn from_millis(ms: u64) -> Self {

@@ -179,6 +179,49 @@ impl Value {
         }
     }
 
+    /// Checked fused multiply-divide: `self * mul / div`, evaluated as one
+    /// rational operation. For all-integer operands the product is formed in
+    /// 128-bit space, so eq. 2 reconciliations (`(temp / read) * permanent`)
+    /// stay exact whenever the result is an integer — even when the
+    /// intermediate ratio `temp / read` is not. An inexact integer result
+    /// promotes to float (matching [`Value::checked_div`]); any float operand
+    /// evaluates in float space.
+    pub fn checked_mul_div(&self, mul: &Value, div: &Value) -> PstmResult<Value> {
+        match (self, mul, div) {
+            (Value::Int(a), Value::Int(b), Value::Int(d)) => {
+                if *d == 0 {
+                    return Err(PstmError::arithmetic(format!("division by zero: {a} * {b} / 0")));
+                }
+                let num = i128::from(*a) * i128::from(*b);
+                let d = i128::from(*d);
+                if num % d == 0 {
+                    i64::try_from(num / d).map(Value::Int).map_err(|_| {
+                        PstmError::arithmetic(format!("integer overflow: {num} / {d}"))
+                    })
+                } else {
+                    let r = num as f64 / d as f64;
+                    if r.is_finite() {
+                        Ok(Value::Float(r))
+                    } else {
+                        Err(PstmError::arithmetic(format!("non-finite result: {num} / {d}")))
+                    }
+                }
+            }
+            _ => {
+                let (a, b, d) = (self.as_f64()?, mul.as_f64()?, div.as_f64()?);
+                if d == 0.0 {
+                    return Err(PstmError::arithmetic(format!("division by zero: {a} * {b} / 0")));
+                }
+                let r = a * b / d;
+                if r.is_finite() {
+                    Ok(Value::Float(r))
+                } else {
+                    Err(PstmError::arithmetic(format!("non-finite result: {a} * {b} / {d}")))
+                }
+            }
+        }
+    }
+
     /// Total ordering usable for index keys: NULL < Bool < Int/Float < Text,
     /// with numeric values compared numerically across Int/Float.
     #[must_use]
@@ -280,6 +323,34 @@ mod tests {
     fn inexact_int_division_promotes_to_float() {
         let v = Value::Int(5).checked_div(&Value::Int(2)).unwrap();
         assert_eq!(v, Value::Float(2.5));
+    }
+
+    #[test]
+    fn mul_div_is_exact_even_when_the_ratio_is_not() {
+        // 50 / 100 is inexact, but 50 * 300 / 100 is the integer 150:
+        // the fused form must not drift into float space (eq. 2).
+        let v = Value::Int(50).checked_mul_div(&Value::Int(300), &Value::Int(100)).unwrap();
+        assert_eq!(v, Value::Int(150));
+        // Intermediate products beyond i64 still reduce exactly via i128.
+        let big = Value::Int(i64::MAX / 3);
+        let v = big.checked_mul_div(&Value::Int(6), &Value::Int(2)).unwrap();
+        assert_eq!(v, Value::Int((i64::MAX / 3) * 3));
+    }
+
+    #[test]
+    fn mul_div_inexact_result_promotes_and_zero_divisor_errors() {
+        let v = Value::Int(5).checked_mul_div(&Value::Int(3), &Value::Int(2)).unwrap();
+        assert_eq!(v, Value::Float(7.5));
+        assert!(Value::Int(5).checked_mul_div(&Value::Int(3), &Value::Int(0)).is_err());
+        assert!(Value::Float(5.0).checked_mul_div(&Value::Int(3), &Value::Float(0.0)).is_err());
+        let v = Value::Float(5.0).checked_mul_div(&Value::Int(3), &Value::Int(2)).unwrap();
+        assert_eq!(v, Value::Float(7.5));
+    }
+
+    #[test]
+    fn mul_div_overflowing_integer_result_is_an_error() {
+        let err = Value::Int(i64::MAX).checked_mul_div(&Value::Int(4), &Value::Int(2)).unwrap_err();
+        assert!(matches!(err, PstmError::Arithmetic(_)));
     }
 
     #[test]
