@@ -11,10 +11,16 @@
 //! Writes `results/BENCH_concurrency.json`:
 //! `[{threads, shards, sessions, think_us, committed, aborted, wall_s,
 //! throughput_tps}]`, one row per swept thread count.
+//!
+//! With `PSTM_TRACE=1`, the 4-thread point additionally writes one JSONL
+//! trace per shard (`results/trace_bench_concurrency_shard<i>.jsonl`) and
+//! verifies each against the live registry (replay == live). Feed those
+//! files to `pstm_top` for the contention profile.
 
-use pstm_bench::{print_header, write_results};
+use pstm_bench::{print_header, trace_path, verify_trace, write_results};
 use pstm_core::gtm::CommitResult;
 use pstm_front::{FrontConfig, SessionOutcome, ShardedFront};
+use pstm_obs::{JsonlSink, Tracer};
 use pstm_types::{ResourceId, ScalarOp, Value};
 use pstm_workload::counter_world;
 use serde::Serialize;
@@ -56,10 +62,25 @@ fn run_session(
     matches!(session.commit().expect("commit failed"), CommitResult::Committed)
 }
 
-fn sweep_point(threads: usize, sessions: usize, think_us: u64) -> Row {
+/// Label of the per-shard trace file for shard `i`.
+fn shard_label(i: usize) -> String {
+    format!("bench_concurrency_shard{i}")
+}
+
+fn sweep_point(threads: usize, sessions: usize, think_us: u64, traced: bool) -> Row {
     let world = counter_world(OBJECTS, INITIAL).expect("world");
     let config = FrontConfig { shards: SHARDS, ..FrontConfig::default() };
-    let front = ShardedFront::new(world.db.clone(), world.bindings.clone(), config);
+    let front = if traced {
+        std::fs::create_dir_all("results").expect("results dir");
+        ShardedFront::with_shard_tracers(world.db.clone(), world.bindings.clone(), config, |i| {
+            let path = trace_path(&shard_label(i));
+            let sink =
+                JsonlSink::create(&path).unwrap_or_else(|e| panic!("open {}: {e}", path.display()));
+            Tracer::with_sink(Box::new(sink))
+        })
+    } else {
+        ShardedFront::new(world.db.clone(), world.bindings.clone(), config)
+    };
     let think = std::time::Duration::from_micros(think_us);
     let per_thread = sessions / threads;
 
@@ -88,6 +109,16 @@ fn sweep_point(threads: usize, sessions: usize, think_us: u64) -> Row {
 
     front.check_invariants().expect("invariants");
     front.verify_serializable().expect("serializable");
+    if traced {
+        // The artifact-validity check: each shard's persisted trace must
+        // replay to that shard's live registry.
+        for i in 0..SHARDS {
+            let path = trace_path(&shard_label(i));
+            let events = verify_trace(&path, &front.shard_tracer(i))
+                .unwrap_or_else(|e| panic!("shard {i} trace invalid: {e}"));
+            println!("shard {i}: {events} events verified in {}", path.display());
+        }
+    }
     let ran = (per_thread * threads) as u64;
     Row {
         threads,
@@ -105,6 +136,7 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let sessions = if quick { 64 } else { 512 };
     let think_us = if quick { 200 } else { 500 };
+    let trace = std::env::var("PSTM_TRACE").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
 
     print_header(
         "BENCH concurrency — sharded front-end",
@@ -112,7 +144,9 @@ fn main() {
     );
     let mut rows = Vec::new();
     for threads in [1, 2, 4, 8] {
-        let row = sweep_point(threads, sessions, think_us);
+        // Tracing is scoped to the 4-thread point — the one `pstm_top`
+        // profiles — so the other sweep points stay overhead-free.
+        let row = sweep_point(threads, sessions, think_us, trace && threads == 4);
         println!(
             "{}\t{}\t{}\t{:.3}\t{:.1}",
             row.threads, row.sessions, row.committed, row.wall_s, row.throughput_tps

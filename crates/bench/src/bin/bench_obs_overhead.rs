@@ -1,0 +1,151 @@
+//! Tracing-overhead benchmark: the `bench_concurrency` booking workload
+//! on 4 threads, run with tracing disabled and with a per-shard ring
+//! sink attached, interleaved best-of-N to damp scheduler noise.
+//!
+//! Writes `results/BENCH_obs_overhead.json` and asserts the acceptance
+//! criterion: tracing-enabled throughput within 10% of disabled.
+//! Think-time sleeps dominate the session, exactly as in production use,
+//! so the emit path (one short mutex section plus a ring push) must
+//! disappear into the idle time.
+
+use pstm_bench::{print_header, write_results};
+use pstm_core::gtm::CommitResult;
+use pstm_front::{FrontConfig, SessionOutcome, ShardedFront};
+use pstm_obs::{RingSink, Tracer};
+use pstm_types::{ResourceId, ScalarOp, Value};
+use pstm_workload::counter_world;
+use serde::Serialize;
+use std::time::Instant;
+
+const OBJECTS: usize = 16;
+const SHARDS: usize = 8;
+const INITIAL: i64 = 10_000_000;
+const THREADS: usize = 4;
+const RUNS: usize = 3;
+
+#[derive(Serialize)]
+struct Report {
+    threads: usize,
+    shards: usize,
+    sessions: usize,
+    think_us: u64,
+    runs_per_mode: usize,
+    tps_off: f64,
+    tps_on: f64,
+    overhead_pct: f64,
+    events_traced: u64,
+    trace_dropped: u64,
+}
+
+/// One closed-loop client, same shape as `bench_concurrency`.
+fn run_session(
+    front: &ShardedFront,
+    resources: &[ResourceId],
+    k: usize,
+    think: std::time::Duration,
+) -> bool {
+    let mut session = front.session();
+    let (a, b) = (k % OBJECTS, (k + SHARDS + 1) % OBJECTS);
+    for r in [a, b] {
+        std::thread::sleep(think);
+        match session.execute(resources[r], ScalarOp::Sub(Value::Int(1))) {
+            Ok(SessionOutcome::Value(_)) => {}
+            Ok(SessionOutcome::Aborted(_)) => return false,
+            Err(e) => panic!("execute failed: {e}"),
+        }
+    }
+    matches!(session.commit().expect("commit failed"), CommitResult::Committed)
+}
+
+/// Runs one measured point; returns `(tps, events_traced, dropped)`.
+fn run_point(sessions: usize, think_us: u64, traced: bool) -> (f64, u64, u64) {
+    let world = counter_world(OBJECTS, INITIAL).expect("world");
+    let config = FrontConfig { shards: SHARDS, ..FrontConfig::default() };
+    let front = if traced {
+        ShardedFront::with_shard_tracers(world.db.clone(), world.bindings.clone(), config, |_| {
+            Tracer::with_sink(Box::new(RingSink::new(1 << 16)))
+        })
+    } else {
+        ShardedFront::new(world.db.clone(), world.bindings.clone(), config)
+    };
+    let think = std::time::Duration::from_micros(think_us);
+    let per_thread = sessions / THREADS;
+
+    let start = Instant::now();
+    let mut committed = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let front = front.clone();
+            let resources = world.resources.clone();
+            handles.push(scope.spawn(move || {
+                let mut ok = 0u64;
+                for j in 0..per_thread {
+                    if run_session(&front, &resources, t * per_thread + j, think) {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        for h in handles {
+            committed += h.join().expect("worker panicked");
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    front.check_invariants().expect("invariants");
+    assert_eq!(committed, (per_thread * THREADS) as u64, "workload must be abort-free");
+
+    let (events, dropped) = if traced {
+        let snap = front.fleet_snapshot();
+        (snap.registry.counter(pstm_obs::Ctr::SpansOpened), snap.trace_dropped)
+    } else {
+        (0, 0)
+    };
+    (committed as f64 / wall_s, events, dropped)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sessions = if quick { 64 } else { 256 };
+    let think_us = if quick { 200 } else { 500 };
+
+    print_header("BENCH obs overhead — tracing on vs off", &["mode", "run", "tps"]);
+    // Interleave off/on runs so drift (thermal, noisy neighbors) hits
+    // both modes equally; keep the best of each.
+    let (mut tps_off, mut tps_on) = (0f64, 0f64);
+    let (mut events, mut dropped) = (0u64, 0u64);
+    for run in 0..RUNS {
+        let (off, ..) = run_point(sessions, think_us, false);
+        println!("off\t{run}\t{off:.1}");
+        tps_off = tps_off.max(off);
+        let (on, ev, dr) = run_point(sessions, think_us, true);
+        println!("on\t{run}\t{on:.1}");
+        tps_on = tps_on.max(on);
+        (events, dropped) = (ev, dr);
+    }
+
+    let overhead_pct = 100.0 * (tps_off - tps_on) / tps_off;
+    println!("\nbest off {tps_off:.1} tps, best on {tps_on:.1} tps, overhead {overhead_pct:.2}%");
+
+    let report = Report {
+        threads: THREADS,
+        shards: SHARDS,
+        sessions,
+        think_us,
+        runs_per_mode: RUNS,
+        tps_off,
+        tps_on,
+        overhead_pct,
+        events_traced: events,
+        trace_dropped: dropped,
+    };
+    let path = write_results("BENCH_obs_overhead", &report).expect("write results");
+    println!("wrote {}", path.display());
+
+    assert!(
+        tps_on >= tps_off * 0.90,
+        "tracing overhead {overhead_pct:.2}% exceeds the 10% budget \
+         ({tps_on:.1} tps on vs {tps_off:.1} tps off)"
+    );
+}

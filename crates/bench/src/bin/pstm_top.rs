@@ -1,0 +1,71 @@
+//! `pstm_top` — the contention profiler CLI.
+//!
+//! Tails one or more JSONL traces (e.g. the per-shard files written by
+//! `bench_concurrency` under `PSTM_TRACE=1`), merges them into one
+//! virtual-time timeline, and prints the contention profile: per-phase
+//! latency, top-K hot objects by blocked time, abort rates by operation
+//! class, and waits-for DOT snapshots over the run (plus the peak).
+//!
+//! ```text
+//! pstm_top [--top K] [--snapshots N] TRACE.jsonl [TRACE.jsonl ...]
+//! ```
+//!
+//! Live rings profile the same way: snapshot them in-process and call
+//! `pstm_bench::profile::profile` on the records — this binary is just
+//! the file front door.
+
+use pstm_bench::profile::{merge_records, profile, render};
+use pstm_obs::load_jsonl;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: pstm_top [--top K] [--snapshots N] TRACE.jsonl [TRACE.jsonl ...]";
+
+fn main() -> ExitCode {
+    let mut top_k = 10usize;
+    let mut n_snapshots = 4usize;
+    let mut files = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" | "--snapshots" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    eprintln!("{arg} needs a number\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if arg == "--top" {
+                    top_k = v;
+                } else {
+                    n_snapshots = v;
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut shards = Vec::new();
+    for file in &files {
+        match load_jsonl(file) {
+            Ok(records) => {
+                eprintln!("{file}: {} record(s)", records.len());
+                shards.push(records);
+            }
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let records = merge_records(shards);
+    print!("{}", render(&profile(&records, top_k, n_snapshots)));
+    ExitCode::SUCCESS
+}

@@ -14,6 +14,8 @@
 //! Each binary prints a human-readable table and writes machine-readable
 //! JSON under `results/`. Criterion microbenchmarks live in `benches/`.
 
+pub mod profile;
+
 use pstm_core::gtm::{Gtm, GtmConfig};
 use pstm_obs::{load_jsonl, Ctr, JsonlSink, Tracer};
 use pstm_sim::{GtmBackend, RunReport, Runner, RunnerConfig, TwoPlBackend, TxnScript};

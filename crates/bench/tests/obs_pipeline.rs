@@ -1,0 +1,119 @@
+//! End-to-end observability pipeline: drive a deliberately contended
+//! front-end workload with per-shard ring sinks, merge the shard traces
+//! the way `pstm_top` does, and check the profile names the known hot
+//! object — the acceptance criterion for the contention profiler.
+
+use pstm_bench::profile::{merge_records, profile, render};
+use pstm_core::gtm::CommitResult;
+use pstm_front::{FrontConfig, ShardedFront};
+use pstm_obs::{RingHandle, RingSink, Tracer};
+use pstm_types::{OpClass, ScalarOp, Value};
+use pstm_workload::counter_world;
+
+const OBJECTS: usize = 8;
+const SHARDS: usize = 4;
+const WAITERS: usize = 3;
+
+#[test]
+fn profile_of_a_hotspot_workload_names_the_hot_object() {
+    let world = counter_world(OBJECTS, 1_000_000).unwrap();
+    let mut handles: Vec<RingHandle> = Vec::new();
+    let front = ShardedFront::with_shard_tracers(
+        world.db.clone(),
+        world.bindings.clone(),
+        FrontConfig { shards: SHARDS, ..FrontConfig::default() },
+        |_| {
+            let ring = RingSink::new(1 << 16);
+            handles.push(ring.handle());
+            Tracer::with_sink(Box::new(ring))
+        },
+    );
+    let hot = world.resources[0];
+
+    // The hotspot: one session holds an exclusive Assign on `hot` while
+    // three threads pile up behind it; the holder commits after a real
+    // delay, so every waiter accumulates blocked time on `hot`.
+    let mut holder = front.session();
+    holder.execute(hot, ScalarOp::Assign(Value::Int(1))).unwrap();
+    std::thread::scope(|scope| {
+        for _ in 0..WAITERS {
+            let front = front.clone();
+            scope.spawn(move || {
+                let mut s = front.session();
+                s.execute(hot, ScalarOp::Assign(Value::Int(2))).unwrap();
+                assert_eq!(s.commit().unwrap(), CommitResult::Committed);
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(holder.commit().unwrap(), CommitResult::Committed);
+    });
+
+    // Background traffic on every other object: compatible subtractions,
+    // no blocking — the profiler must not rank these above the hotspot.
+    for k in 1..OBJECTS {
+        let mut s = front.session();
+        s.execute(world.resources[k], ScalarOp::Sub(Value::Int(1))).unwrap();
+        assert_eq!(s.commit().unwrap(), CommitResult::Committed);
+    }
+    front.check_invariants().unwrap();
+
+    // The pstm_top pipeline, minus the files: snapshot each shard's ring,
+    // merge into one timeline, profile.
+    let records = merge_records(handles.iter().map(|h| h.snapshot()).collect());
+    let p = profile(&records, 3, 4);
+
+    assert_eq!(p.hot_source, "blocked spans");
+    assert_eq!(p.hot[0].resource, hot, "the contended object must rank first");
+    assert!(p.hot[0].us > 0);
+    if let Some(runner_up) = p.hot.get(1) {
+        assert!(p.hot[0].us >= runner_up.us);
+    }
+
+    let blocked = p.phases.iter().find(|r| r.phase == "blocked").expect("waiters blocked");
+    assert_eq!(blocked.count, WAITERS as u64);
+    assert!(p.phases.iter().any(|r| r.phase == "session"));
+
+    // Every session finished; the Assign class saw the contention but
+    // nothing aborted.
+    let sessions = (1 + WAITERS + OBJECTS - 1) as u64;
+    assert_eq!(p.registry.counter(pstm_obs::Ctr::Committed), sessions);
+    let assign = p.classes.iter().find(|c| c.class == OpClass::UpdateAssign).unwrap();
+    assert_eq!((assign.committed, assign.aborted), (1 + WAITERS as u64, 0));
+
+    // Someone waited, so the waits-for graph had an edge at its peak.
+    let peak = p.peak.as_ref().expect("contention must show in waits-for");
+    assert!(peak.edges >= 1);
+
+    // The rendered report names the hot object for the operator.
+    let report = render(&p);
+    assert!(report.contains(&hot.to_string()), "report must name the hot object:\n{report}");
+    assert!(report.contains("blocked"));
+}
+
+/// The merged profile is reproducible: profiling the same merged records
+/// twice renders byte-identical reports (determinism of the pipeline,
+/// not of the threaded run that produced the trace).
+#[test]
+fn profiling_is_deterministic_over_a_fixed_trace() {
+    let world = counter_world(2, 1_000).unwrap();
+    let mut handles: Vec<RingHandle> = Vec::new();
+    let front = ShardedFront::with_shard_tracers(
+        world.db.clone(),
+        world.bindings.clone(),
+        FrontConfig { shards: 2, ..FrontConfig::default() },
+        |_| {
+            let ring = RingSink::new(1 << 12);
+            handles.push(ring.handle());
+            Tracer::with_sink(Box::new(ring))
+        },
+    );
+    for k in 0..4 {
+        let mut s = front.session();
+        s.execute(world.resources[k % 2], ScalarOp::Sub(Value::Int(1))).unwrap();
+        s.commit().unwrap();
+    }
+    let records = merge_records(handles.iter().map(|h| h.snapshot()).collect());
+    let a = render(&profile(&records, 5, 3));
+    let b = render(&profile(&records, 5, 3));
+    assert_eq!(a, b);
+}

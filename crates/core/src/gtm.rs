@@ -479,7 +479,8 @@ impl Gtm {
             });
         }
         let denied = self.grant_denied(txn, resource, class, &op, now)?;
-        if !denied && !self.blocked(txn, resource, class) {
+        let blocked = self.blocked(txn, resource, class);
+        if !denied && !blocked {
             return self
                 .grant(txn, resource, op, class, is_upgrade, now)
                 .map(|v| (ExecOutcome::Completed(v), StepEffects::none()));
@@ -487,6 +488,10 @@ impl Gtm {
         // Queue (Algorithm 2, second branch).
         self.enqueue_wait(txn, resource, op, class, now, is_upgrade);
         let mut effects = self.post_wait_checks(txn, now)?;
+        // The wait is policy-made, not contention-made: the grant was
+        // free under the compatibility matrix and a §VII policy denied
+        // it. Front-ends account it as admission wait.
+        effects.denied_admission |= denied && !blocked;
         match Self::extract_requester(&mut effects, txn) {
             Some(outcome) => Ok((outcome, effects)),
             None => Ok((ExecOutcome::Waiting, effects)),
@@ -730,6 +735,11 @@ impl Gtm {
             Err(e) => return Err(e),
         };
         effects.sst_busy = busy;
+        // Phase boundaries for span-emitting coordinators: reconciliation
+        // runs entirely at `now` in virtual time; the SST phase covers the
+        // first attempt through the last retry.
+        effects.reconcile_span = Some((now, now));
+        effects.sst_span = Some((now, at));
         Ok((result, effects))
     }
 
@@ -793,7 +803,9 @@ impl Gtm {
             Err(PstmError::Io(_)) => AbortReason::SstFailure,
             Err(e) => return Err(e),
         };
-        let (_, effects) = self.finish_failed_commit(txn, &touched, reason, now)?;
+        let (_, mut effects) = self.finish_failed_commit(txn, &touched, reason, now)?;
+        // Reconciliation ran (and failed) at `now`.
+        effects.reconcile_span = Some((now, now));
         Ok(LocalCommit::Aborted(reason, effects))
     }
 

@@ -38,13 +38,22 @@
 //!   shards are invisible to any single shard's waits-for graph —
 //!   configure [`GtmConfig::wait_timeout`] (the default here) to bound
 //!   them.
+//! - **Spans.** Every session emits a span tree into its *home* shard's
+//!   tracer (the first shard it touched): a `session` root whose leaves
+//!   (`work` / `blocked{object}` / `admission_wait` / `sleep`) partition
+//!   its lifetime, and a `commit` phase with `reconcile` and
+//!   `sst_attempt{n}` children. Spans carry the virtual timestamp *and*
+//!   a wall-clock field; see `pstm_obs::span`.
+//! - **Fleet view.** [`ShardedFront::fleet_snapshot`] merges every shard
+//!   registry (plus sink drop counts) into one [`FleetSnapshot`],
+//!   renderable in Prometheus text format.
 
 #![warn(missing_docs)]
 
 use parking_lot::{Mutex, MutexGuard};
 use pstm_core::gtm::{CommitResult, Gtm, GtmConfig, GtmStats, LocalCommit};
 use pstm_core::sst::Sst;
-use pstm_obs::Tracer;
+use pstm_obs::{expo, MetricsRegistry, SpanKind, TraceEvent, Tracer};
 use pstm_storage::{BindingRegistry, Database};
 use pstm_types::{
     AbortReason, Duration, ExecOutcome, PstmError, PstmResult, ResourceId, ScalarOp, StepEffects,
@@ -115,10 +124,38 @@ pub enum AwakeOutcome {
     Aborted,
 }
 
+/// Fleet-wide metrics: every shard's registry merged into one, kept next
+/// to the per-shard views and the total trace loss. Produced by
+/// [`ShardedFront::fleet_snapshot`]; rendered for scrapers by
+/// [`FleetSnapshot::prometheus`].
+#[derive(Clone, Debug)]
+pub struct FleetSnapshot {
+    /// All shard registries merged ([`MetricsRegistry::merge`]).
+    pub registry: MetricsRegistry,
+    /// Each shard's registry, shard order.
+    pub per_shard: Vec<MetricsRegistry>,
+    /// Trace records dropped across all shard sinks (ring eviction) —
+    /// non-zero means the persisted trace is incomplete even though the
+    /// merged registry is not.
+    pub trace_dropped: u64,
+}
+
+impl FleetSnapshot {
+    /// Renders the merged view in Prometheus text exposition format.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        expo::render(&self.registry, self.trace_dropped)
+    }
+}
+
 struct FrontInner {
     db: Arc<Database>,
     bindings: BindingRegistry,
     shards: Vec<Mutex<Gtm>>,
+    /// Shard tracers, shard order — clones of the tracers inside the
+    /// shards, kept outside the shard mutexes so sessions can emit span
+    /// events and snapshots can read registries without locking a shard.
+    tracers: Vec<Tracer>,
     config: FrontConfig,
     next_txn: AtomicU64,
     epoch: Instant,
@@ -145,6 +182,10 @@ impl ShardedFront {
     /// shards would serialize exactly the work the sharding parallelizes.
     /// Records still interleave coherently offline — every record carries
     /// the emitting thread's tag.
+    ///
+    /// # Panics
+    /// In debug builds, if `tracer_for` hands the same tracer (clones
+    /// included) to two different shards.
     #[must_use]
     pub fn with_shard_tracers(
         db: Arc<Database>,
@@ -153,11 +194,24 @@ impl ShardedFront {
         mut tracer_for: impl FnMut(usize) -> Tracer,
     ) -> Self {
         assert!(config.shards >= 1, "a front-end needs at least one shard");
-        let shards = (0..config.shards)
-            .map(|i| {
+        let tracers: Vec<Tracer> = (0..config.shards).map(&mut tracer_for).collect();
+        if cfg!(debug_assertions) {
+            for (i, a) in tracers.iter().enumerate() {
+                for (j, b) in tracers.iter().enumerate().skip(i + 1) {
+                    assert!(
+                        !a.same_registry(b),
+                        "shards {i} and {j} share one tracer; a tracer is a shared \
+                         mutex, so sharing it serializes all shards on it — give \
+                         each shard its own"
+                    );
+                }
+            }
+        }
+        let shards = tracers
+            .iter()
+            .map(|t| {
                 Mutex::new(
-                    Gtm::new(Arc::clone(&db), bindings.clone(), config.gtm)
-                        .with_tracer(tracer_for(i)),
+                    Gtm::new(Arc::clone(&db), bindings.clone(), config.gtm).with_tracer(t.clone()),
                 )
             })
             .collect();
@@ -166,6 +220,7 @@ impl ShardedFront {
                 db,
                 bindings,
                 shards,
+                tracers,
                 config,
                 next_txn: AtomicU64::new(1),
                 epoch: Instant::now(),
@@ -203,13 +258,34 @@ impl ShardedFront {
             id: TxnId(self.inner.next_txn.fetch_add(1, Ordering::Relaxed)),
             begun: BTreeSet::new(),
             finished: false,
+            home: None,
+            leaf: None,
         }
     }
 
     /// The tracer of shard `i` (clones share the registry).
     #[must_use]
     pub fn shard_tracer(&self, i: usize) -> Tracer {
-        self.inner.shards[i].lock().tracer()
+        self.inner.tracers[i].clone()
+    }
+
+    /// One consistent fleet-wide view: every shard registry merged, plus
+    /// the total trace loss across shard sinks. Shard registries are
+    /// snapshotted one at a time (a fleet-wide freeze would serialize the
+    /// shards this crate exists to parallelize), so counters that span
+    /// shards — a cross-shard commit's per-shard `Committed` events — may
+    /// be caught mid-flight; each shard's own numbers are internally
+    /// consistent.
+    #[must_use]
+    pub fn fleet_snapshot(&self) -> FleetSnapshot {
+        let per_shard: Vec<MetricsRegistry> =
+            self.inner.tracers.iter().map(Tracer::snapshot).collect();
+        let trace_dropped = self.inner.tracers.iter().map(Tracer::dropped).sum();
+        let mut registry = MetricsRegistry::new();
+        for shard in &per_shard {
+            registry.merge(shard);
+        }
+        FleetSnapshot { registry, per_shard, trace_dropped }
     }
 
     /// Per-shard stats, shard order.
@@ -287,6 +363,15 @@ pub struct Session {
     id: TxnId,
     begun: BTreeSet<usize>,
     finished: bool,
+    /// The first shard this session touched. All of the session's span
+    /// events go to the home shard's tracer so the span tree stays in one
+    /// trace; `None` until the first `execute` (a session that never
+    /// touches a resource emits no spans).
+    home: Option<usize>,
+    /// The currently open leaf phase (`work`/`blocked`/`admission_wait`/
+    /// `sleep`), closed before the next phase opens so the leaves
+    /// partition the session's lifetime.
+    leaf: Option<SpanKind>,
 }
 
 impl Session {
@@ -313,6 +398,70 @@ impl Session {
         Ok(())
     }
 
+    // ------------------------------------------------------------------
+    // Span emission (see `pstm_obs::span` for the model)
+    // ------------------------------------------------------------------
+
+    /// Wall-clock microseconds since the Unix epoch — the second clock
+    /// every front-emitted span carries next to the virtual timestamp.
+    fn wall_now_us() -> Option<u64> {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .ok()
+            .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+    }
+
+    /// Emits an event into the home shard's tracer (no-op before the
+    /// first `execute` assigns a home).
+    fn emit_home(&self, event: TraceEvent) {
+        if let Some(home) = self.home {
+            self.front.inner.tracers[home].emit(self.front.now(), event);
+        }
+    }
+
+    fn open_span(&self, kind: SpanKind) {
+        self.emit_home(TraceEvent::SpanOpen { txn: self.id, kind, wall_us: Self::wall_now_us() });
+    }
+
+    fn close_span(&self, kind: SpanKind) {
+        self.emit_home(TraceEvent::SpanClose { txn: self.id, kind, wall_us: Self::wall_now_us() });
+    }
+
+    /// Opens `kind` as the current leaf phase.
+    fn open_leaf(&mut self, kind: SpanKind) {
+        self.open_span(kind);
+        self.leaf = Some(kind);
+    }
+
+    /// Closes the current leaf phase, if one is open.
+    fn close_leaf(&mut self) {
+        if let Some(kind) = self.leaf.take() {
+            self.close_span(kind);
+        }
+    }
+
+    /// First-touch bookkeeping: the first executed resource's shard
+    /// becomes the session's span home, and the `session` root plus the
+    /// initial `work` leaf open.
+    fn ensure_home(&mut self, shard: usize) {
+        if self.home.is_none() {
+            self.home = Some(shard);
+            self.open_span(SpanKind::Session);
+            self.open_leaf(SpanKind::Work);
+        }
+    }
+
+    /// Terminal span sequence for a session that did not commit: close
+    /// the open leaf, drop a zero-width `abort` marker, close the root.
+    fn close_session_aborted(&mut self) {
+        self.close_leaf();
+        if self.home.is_some() {
+            self.open_span(SpanKind::Abort);
+            self.close_span(SpanKind::Abort);
+            self.close_span(SpanKind::Session);
+        }
+    }
+
     /// Executes one operation, blocking the calling thread while the
     /// invocation is queued behind incompatible work. Returns the
     /// operation's value, or [`SessionOutcome::Aborted`] if the
@@ -321,13 +470,15 @@ impl Session {
     pub fn execute(&mut self, resource: ResourceId, op: ScalarOp) -> PstmResult<SessionOutcome> {
         self.ensure_open()?;
         let shard = self.front.shard_of(resource);
-        let outcome = {
+        self.ensure_home(shard);
+        let (outcome, denied_admission) = {
             let mut gtm = self.front.lock_shard_for(shard, self.id, &mut self.begun)?;
             let now = self.front.now();
             let (outcome, fx) = gtm.execute(self.id, resource, op, now)?;
             drop(gtm);
+            let denied = fx.denied_admission;
             self.front.deposit(&fx);
-            outcome
+            (outcome, denied)
         };
         match outcome {
             ExecOutcome::Completed(v) => Ok(SessionOutcome::Value(v)),
@@ -335,13 +486,27 @@ impl Session {
                 self.finish_aborted(Some(shard))?;
                 Ok(SessionOutcome::Aborted(reason))
             }
-            ExecOutcome::Waiting => match self.wait_for_signal(shard) {
-                Signal::Resumed(v) => Ok(SessionOutcome::Value(v)),
-                Signal::Aborted(reason) => {
-                    self.finish_aborted(Some(shard))?;
-                    Ok(SessionOutcome::Aborted(reason))
+            ExecOutcome::Waiting => {
+                // The leaf flips from `work` to the wait's cause: object
+                // contention, or a §VII policy denial (admission wait).
+                self.close_leaf();
+                self.open_leaf(if denied_admission {
+                    SpanKind::AdmissionWait
+                } else {
+                    SpanKind::Blocked { resource }
+                });
+                match self.wait_for_signal(shard) {
+                    Signal::Resumed(v) => {
+                        self.close_leaf();
+                        self.open_leaf(SpanKind::Work);
+                        Ok(SessionOutcome::Value(v))
+                    }
+                    Signal::Aborted(reason) => {
+                        self.finish_aborted(Some(shard))?;
+                        Ok(SessionOutcome::Aborted(reason))
+                    }
                 }
-            },
+            }
         }
     }
 
@@ -372,8 +537,11 @@ impl Session {
             let mut gtm = self.front.inner.shards[shard].lock();
             let now = self.front.now();
             let fx = gtm.sleep(self.id, now)?;
+            drop(gtm);
             self.front.deposit(&fx);
         }
+        self.close_leaf();
+        self.open_leaf(SpanKind::Sleep);
         Ok(())
     }
 
@@ -399,47 +567,41 @@ impl Session {
                 }
             }
         }
+        self.close_leaf();
+        self.open_leaf(SpanKind::Work);
         Ok(AwakeOutcome::Resumed(granted))
     }
 
-    /// Commits the session. One-shard sessions take the GTM's own commit
-    /// path (local reconcile + SST + retries); multi-shard sessions run
-    /// the coordinated path: lock every touched shard in ascending index
-    /// order, `commit_local` each, fold all write sets into **one** SST
-    /// against the shared engine, then `commit_finish`/`commit_abort`
-    /// per shard.
+    /// Commits the session through the coordinated phased path, whatever
+    /// the shard count: lock every touched shard in ascending index
+    /// order, `commit_local` each (reconciliation), fold all write sets
+    /// into **one** SST against the shared engine, then
+    /// `commit_finish`/`commit_abort` per shard. Running one-shard
+    /// commits through the same path keeps the SST accounting and the
+    /// `commit` span's `reconcile`/`sst_attempt` children uniform.
     pub fn commit(&mut self) -> PstmResult<CommitResult> {
         self.ensure_open()?;
         self.finished = true;
         let shards: Vec<usize> = self.begun.iter().copied().collect();
-        match shards.len() {
+        if shards.is_empty() {
             // A session that never touched a resource has nothing to do.
-            0 => Ok(CommitResult::Committed),
-            1 => {
-                let mut gtm = self.front.inner.shards[shards[0]].lock();
-                let now = self.front.now();
-                let (result, fx) = gtm.commit(self.id, now)?;
-                drop(gtm);
-                self.front.deposit(&fx);
-                self.clear_mail();
-                Ok(result)
-            }
-            _ => {
-                let result = self.commit_across(&shards);
-                self.clear_mail();
-                result
-            }
+            return Ok(CommitResult::Committed);
         }
+        let result = self.commit_across(&shards);
+        self.clear_mail();
+        result
     }
 
-    /// The coordinated cross-shard commit. `shards` is ascending.
+    /// The coordinated commit. `shards` is ascending and non-empty.
     fn commit_across(&mut self, shards: &[usize]) -> PstmResult<CommitResult> {
-        let inner = &self.front.inner;
+        self.close_leaf();
+        self.open_span(SpanKind::Commit);
         let mut guards: Vec<MutexGuard<'_, Gtm>> =
-            shards.iter().map(|&s| inner.shards[s].lock()).collect();
+            shards.iter().map(|&s| self.front.inner.shards[s].lock()).collect();
         let now = self.front.now();
 
         // Phase one: reconcile on every shard (Algorithm 3 per shard).
+        self.open_span(SpanKind::Reconcile);
         let mut writes = Vec::new();
         let mut failed_at: Option<(usize, AbortReason)> = None;
         for (i, gtm) in guards.iter_mut().enumerate() {
@@ -452,6 +614,7 @@ impl Session {
                 }
             }
         }
+        self.close_span(SpanKind::Reconcile);
         if let Some((k, reason)) = failed_at {
             // Shard k already aborted the transaction itself. Earlier
             // shards are parked in Committing; later shards never started.
@@ -463,33 +626,51 @@ impl Session {
                 };
                 self.front.deposit(&fx);
             }
+            drop(guards);
+            self.close_span(SpanKind::Commit);
+            self.close_session_aborted();
             return Ok(CommitResult::Aborted(reason));
         }
 
         // Phase two: one SST carries every shard's writes — atomic across
         // shards because the engine applies a write set all-or-nothing.
         // Transient (I/O) failures are retried per the shards' shared
-        // config; here the back-off is real wall time.
-        let config = &inner.config.gtm;
+        // config; here the back-off is real wall time. Attempt events and
+        // spans go to the home shard's tracer — the whole commit is
+        // accounted there, never split across shard registries.
+        let config = self.front.inner.config.gtm;
+        let write_count = writes.len() as u32;
         let sst = Sst::new(self.id, writes);
-        let mut sst_result = sst.execute(&inner.db, &inner.bindings);
+        self.emit_home(TraceEvent::SstAttempt { txn: self.id, writes: write_count });
+        self.open_span(SpanKind::SstAttempt { attempt: 1 });
+        let mut sst_result = sst.execute(&self.front.inner.db, &self.front.inner.bindings);
+        self.close_span(SpanKind::SstAttempt { attempt: 1 });
         let mut attempts = 0;
         while attempts < config.sst_retries && matches!(sst_result, Err(PstmError::Io(_))) {
             attempts += 1;
             if config.sst_retry_delay > Duration::ZERO {
                 std::thread::sleep(std::time::Duration::from_micros(config.sst_retry_delay.0));
             }
-            sst_result = sst.execute(&inner.db, &inner.bindings);
+            self.emit_home(TraceEvent::SstRetry { txn: self.id, attempt: attempts });
+            self.open_span(SpanKind::SstAttempt { attempt: attempts + 1 });
+            sst_result = sst.execute(&self.front.inner.db, &self.front.inner.bindings);
+            self.close_span(SpanKind::SstAttempt { attempt: attempts + 1 });
         }
 
         // Phase three: settle every shard's bookkeeping.
         let settled_at = self.front.now();
         let reason = match sst_result {
             Ok(()) => {
+                if !sst.is_empty() {
+                    self.emit_home(TraceEvent::SstApplied { txn: self.id });
+                }
                 for gtm in &mut guards {
                     let fx = gtm.commit_finish(self.id, settled_at)?;
                     self.front.deposit(&fx);
                 }
+                drop(guards);
+                self.close_span(SpanKind::Commit);
+                self.close_span(SpanKind::Session);
                 return Ok(CommitResult::Committed);
             }
             Err(PstmError::ConstraintViolation { .. }) | Err(PstmError::TypeMismatch { .. }) => {
@@ -503,6 +684,9 @@ impl Session {
                     let fx = gtm.commit_abort(self.id, AbortReason::SstFailure, settled_at)?;
                     self.front.deposit(&fx);
                 }
+                drop(guards);
+                self.close_span(SpanKind::Commit);
+                self.close_session_aborted();
                 return Err(e);
             }
         };
@@ -510,6 +694,9 @@ impl Session {
             let fx = gtm.commit_abort(self.id, reason, settled_at)?;
             self.front.deposit(&fx);
         }
+        drop(guards);
+        self.close_span(SpanKind::Commit);
+        self.close_session_aborted();
         Ok(CommitResult::Aborted(reason))
     }
 
@@ -531,9 +718,11 @@ impl Session {
             let mut gtm = self.front.inner.shards[shard].lock();
             let now = self.front.now();
             let fx = gtm.abort(self.id, now)?;
+            drop(gtm);
             self.front.deposit(&fx);
         }
         self.clear_mail();
+        self.close_session_aborted();
         Ok(())
     }
 

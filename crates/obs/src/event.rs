@@ -6,6 +6,7 @@
 //! a single sink can carry an interleaved system-wide trace; each layer
 //! simply never emits the variants that do not apply to it.
 
+use crate::span::SpanKind;
 use pstm_types::{AbortReason, OpClass, ResourceId, Timestamp, TxnId};
 use serde::{Deserialize, Serialize};
 
@@ -207,6 +208,30 @@ pub enum TraceEvent {
         lsn: u64,
         /// Bytes appended (frame + payload).
         bytes: u64,
+    },
+    /// A phase span opened for a transaction (see [`crate::span`]).
+    ///
+    /// `wall_us` is wall-clock microseconds on the emitter's epoch when
+    /// the emitting layer has a real clock (the sharded front-end), and
+    /// `None` in purely virtual-time layers. Determinism comparisons must
+    /// ignore it — see [`crate::span::records_eq_ignoring_wall`].
+    SpanOpen {
+        /// The transaction the span belongs to.
+        txn: TxnId,
+        /// What the span covers.
+        kind: SpanKind,
+        /// Wall clock at open, when the emitter has one.
+        wall_us: Option<u64>,
+    },
+    /// The matching close of a [`TraceEvent::SpanOpen`].
+    SpanClose {
+        /// The transaction the span belongs to.
+        txn: TxnId,
+        /// What the span covered (matched against the open's kind,
+        /// payload included).
+        kind: SpanKind,
+        /// Wall clock at close, when the emitter has one.
+        wall_us: Option<u64>,
     },
     /// The simulated client link went down (a `Disconnect` step began).
     LinkDown {

@@ -1,0 +1,193 @@
+//! Prometheus text exposition of a [`MetricsRegistry`].
+//!
+//! Renders the version-0.0.4 text format scrapers and humans both read:
+//! `# HELP`/`# TYPE` headers, counters suffixed `_total`, histograms as
+//! *cumulative* `_bucket{le="…"}` series plus `_sum`/`_count`. All
+//! series share the `pstm_` prefix. Output is deterministic: counters
+//! appear in [`Ctr::ALL`] order and labeled series in `BTreeMap` order,
+//! so identical registries render byte-identical pages.
+
+use crate::hist::Histogram;
+use crate::registry::{Ctr, MetricsRegistry};
+use std::fmt::Write as _;
+
+/// Renders `reg` as a Prometheus text-format page.
+///
+/// `trace_dropped` is the number of trace records lost to sink
+/// backpressure (ring eviction), exposed as
+/// `pstm_trace_dropped_total` — it lives outside the registry because
+/// drops are a property of the sink, not of the event stream (replayed
+/// registries must stay equal to live ones).
+#[must_use]
+pub fn render(reg: &MetricsRegistry, trace_dropped: u64) -> String {
+    let mut out = String::with_capacity(4096);
+    for c in Ctr::ALL {
+        let name = c.name();
+        let _ = writeln!(out, "# HELP pstm_{name}_total Event counter `{name}`.");
+        let _ = writeln!(out, "# TYPE pstm_{name}_total counter");
+        let _ = writeln!(out, "pstm_{name}_total {}", reg.counter(*c));
+    }
+    let _ =
+        writeln!(out, "# HELP pstm_trace_dropped_total Trace records lost to sink backpressure.");
+    let _ = writeln!(out, "# TYPE pstm_trace_dropped_total counter");
+    let _ = writeln!(out, "pstm_trace_dropped_total {trace_dropped}");
+
+    let _ = writeln!(
+        out,
+        "# HELP pstm_phase_time_us_total Virtual microseconds spent in each span phase."
+    );
+    let _ = writeln!(out, "# TYPE pstm_phase_time_us_total counter");
+    for (phase, us) in reg.phase_time() {
+        let _ = writeln!(out, "pstm_phase_time_us_total{{phase=\"{phase}\"}} {us}");
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP pstm_blocked_time_us_total Virtual microseconds of `blocked` spans per resource."
+    );
+    let _ = writeln!(out, "# TYPE pstm_blocked_time_us_total counter");
+    for (res, us) in reg.blocked_by_resource() {
+        let _ = writeln!(
+            out,
+            "pstm_blocked_time_us_total{{resource=\"{}\"}} {us}",
+            escape_label(&res.to_string())
+        );
+    }
+
+    let _ = writeln!(
+        out,
+        "# HELP pstm_wait_time_by_resource_us_total Virtual microseconds of completed \
+         enqueue-to-grant waits per resource."
+    );
+    let _ = writeln!(out, "# TYPE pstm_wait_time_by_resource_us_total counter");
+    for (res, us) in reg.wait_by_resource() {
+        let _ = writeln!(
+            out,
+            "pstm_wait_time_by_resource_us_total{{resource=\"{}\"}} {us}",
+            escape_label(&res.to_string())
+        );
+    }
+
+    render_histogram(
+        &mut out,
+        "pstm_wait_time_us",
+        "Virtual microseconds between queuing an operation and its grant.",
+        reg.wait_time(),
+    );
+    render_histogram(
+        &mut out,
+        "pstm_commit_latency_us",
+        "Virtual microseconds between begin and commit.",
+        reg.commit_latency(),
+    );
+    render_histogram(
+        &mut out,
+        "pstm_queue_depth",
+        "Queue depth sampled at every enqueue.",
+        reg.queue_depth(),
+    );
+    out
+}
+
+/// Writes one histogram as cumulative `_bucket` series plus `_sum` and
+/// `_count`. The registry's dedicated zero bucket becomes `le="0"`; the
+/// overflow bucket folds into `le="+Inf"` (which always equals the total
+/// observation count, as the format requires).
+fn render_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let counts = h.counts();
+    let mut cumulative = counts[0];
+    let _ = writeln!(out, "{name}_bucket{{le=\"0\"}} {cumulative}");
+    for (i, bound) in h.bounds().iter().enumerate() {
+        cumulative += counts[i + 1];
+        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.total());
+    let _ = writeln!(out, "{name}_sum {}", h.sum());
+    let _ = writeln!(out, "{name}_count {}", h.total());
+}
+
+/// Escapes a label value per the exposition format (`\`, `"`, newline).
+fn escape_label(raw: &str) -> String {
+    let mut esc = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '\\' => esc.push_str("\\\\"),
+            '"' => esc.push_str("\\\""),
+            '\n' => esc.push_str("\\n"),
+            other => esc.push(other),
+        }
+    }
+    esc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use crate::span::SpanKind;
+    use pstm_types::{ObjectId, ResourceId, Timestamp, TxnId};
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let t = TxnId(1);
+        let r = ResourceId::atomic(ObjectId(3));
+        reg.apply(Timestamp(0), &TraceEvent::TxnBegin { txn: t });
+        reg.apply(
+            Timestamp(0),
+            &TraceEvent::SpanOpen {
+                txn: t,
+                kind: SpanKind::Blocked { resource: r },
+                wall_us: None,
+            },
+        );
+        reg.apply(
+            Timestamp(250),
+            &TraceEvent::SpanClose {
+                txn: t,
+                kind: SpanKind::Blocked { resource: r },
+                wall_us: None,
+            },
+        );
+        reg.apply(Timestamp(500), &TraceEvent::Committed { txn: t });
+        reg
+    }
+
+    #[test]
+    fn page_has_typed_counters_and_drop_series() {
+        let page = render(&sample_registry(), 7);
+        assert!(page.contains("# TYPE pstm_committed_total counter"));
+        assert!(page.contains("pstm_committed_total 1"));
+        assert!(page.contains("# HELP pstm_begun_total"));
+        assert!(page.contains("pstm_trace_dropped_total 7"));
+        assert!(page.contains("pstm_phase_time_us_total{phase=\"blocked\"} 250"));
+        assert!(page.contains("pstm_blocked_time_us_total{resource=\"X3.m0\"} 250"));
+        assert!(page.ends_with('\n'));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let page = render(&sample_registry(), 0);
+        // One commit at latency 500 µs → cumulative counts 0,0,1,… and
+        // +Inf equals _count.
+        assert!(page.contains("# TYPE pstm_commit_latency_us histogram"));
+        assert!(page.contains("pstm_commit_latency_us_bucket{le=\"100\"} 0"));
+        assert!(page.contains("pstm_commit_latency_us_bucket{le=\"1000\"} 1"));
+        assert!(page.contains("pstm_commit_latency_us_bucket{le=\"1000000000\"} 1"));
+        assert!(page.contains("pstm_commit_latency_us_bucket{le=\"+Inf\"} 1"));
+        assert!(page.contains("pstm_commit_latency_us_sum 500"));
+        assert!(page.contains("pstm_commit_latency_us_count 1"));
+    }
+
+    #[test]
+    fn label_values_escape_quotes_and_backslashes() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let reg = sample_registry();
+        assert_eq!(render(&reg, 3), render(&reg, 3));
+    }
+}

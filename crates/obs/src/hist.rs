@@ -62,6 +62,21 @@ impl Histogram {
         Histogram::new(vec![1, 2, 4, 8, 16, 32, 64])
     }
 
+    /// Adds another histogram's observations to this one.
+    ///
+    /// # Panics
+    /// If the bucket layouts differ — merging only makes sense between
+    /// histograms built from the same constructor.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "cannot merge histograms with different buckets");
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// Records one value.
     pub fn record(&mut self, value: u64) {
         let idx = if value == 0 {
@@ -177,5 +192,29 @@ mod tests {
     #[should_panic(expected = "strictly increase")]
     fn non_monotone_bounds_rejected() {
         let _ = Histogram::new(vec![10, 10]);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union() {
+        let mut a = Histogram::new(vec![10, 100]);
+        let mut b = Histogram::new(vec![10, 100]);
+        let mut both = Histogram::new(vec![10, 100]);
+        for v in [0, 3, 50] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [7, 200] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    #[should_panic(expected = "different buckets")]
+    fn merge_rejects_mismatched_buckets() {
+        let mut a = Histogram::new(vec![10]);
+        a.merge(&Histogram::new(vec![20]));
     }
 }

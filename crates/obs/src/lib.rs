@@ -25,10 +25,12 @@
 
 pub mod dot;
 pub mod event;
+pub mod expo;
 pub mod hist;
 pub mod registry;
 pub mod replay;
 pub mod sink;
+pub mod span;
 pub mod tracer;
 
 pub use dot::waits_for_dot;
@@ -37,4 +39,5 @@ pub use hist::Histogram;
 pub use registry::{Ctr, MetricsRegistry};
 pub use replay::{load_jsonl, parse_jsonl, replay};
 pub use sink::{JsonlSink, NullSink, RingHandle, RingSink, Sink};
+pub use span::{build_span_trees, records_eq_ignoring_wall, strip_wall, SpanKind, SpanNode};
 pub use tracer::{current_thread_tag, Tracer};

@@ -55,6 +55,8 @@ pub enum Ctr {
     WalBytes,
     LinkDowns,
     LinkUps,
+    SpansOpened,
+    SpansClosed,
 }
 
 impl Ctr {
@@ -102,6 +104,8 @@ impl Ctr {
         Ctr::WalBytes,
         Ctr::LinkDowns,
         Ctr::LinkUps,
+        Ctr::SpansOpened,
+        Ctr::SpansClosed,
     ];
 
     /// Stable snake_case name, used as the key in exported counter maps.
@@ -147,6 +151,8 @@ impl Ctr {
             Ctr::WalBytes => "wal_bytes",
             Ctr::LinkDowns => "link_downs",
             Ctr::LinkUps => "link_ups",
+            Ctr::SpansOpened => "spans_opened",
+            Ctr::SpansClosed => "spans_closed",
         }
     }
 }
@@ -166,6 +172,18 @@ pub struct MetricsRegistry {
     begin_at: BTreeMap<TxnId, Timestamp>,
     /// Open waits: enqueue timestamps awaiting their grant.
     wait_since: BTreeMap<(TxnId, ResourceId), Timestamp>,
+    /// Open spans: open timestamps awaiting their close, keyed by
+    /// `(txn, phase)` — phases nest but never self-nest, so the phase
+    /// label uniquely identifies the open span within a transaction.
+    span_open: BTreeMap<(TxnId, &'static str), Timestamp>,
+    /// Total virtual µs spent in each closed span phase.
+    phase_time: BTreeMap<&'static str, u64>,
+    /// Virtual µs of closed `blocked` spans, attributed to the contended
+    /// resource — the span-sourced hot-object signal.
+    blocked_by_resource: BTreeMap<ResourceId, u64>,
+    /// Virtual µs of completed enqueue→grant waits per resource — the
+    /// event-sourced hot-object signal for traces without spans.
+    wait_by_resource: BTreeMap<ResourceId, u64>,
     /// Timestamp of the most recently applied event — the clock
     /// unclocked layers (the storage engine) stamp their events with.
     last_at: Timestamp,
@@ -188,6 +206,10 @@ impl MetricsRegistry {
             queue_depth: Histogram::queue_depth(),
             begin_at: BTreeMap::new(),
             wait_since: BTreeMap::new(),
+            span_open: BTreeMap::new(),
+            phase_time: BTreeMap::new(),
+            blocked_by_resource: BTreeMap::new(),
+            wait_by_resource: BTreeMap::new(),
             last_at: Timestamp::ZERO,
         }
     }
@@ -226,6 +248,68 @@ impl MetricsRegistry {
     #[must_use]
     pub fn counters_map(&self) -> BTreeMap<&'static str, u64> {
         Ctr::ALL.iter().map(|c| (c.name(), self.counter(*c))).collect()
+    }
+
+    /// Total virtual µs spent in each closed span phase.
+    #[must_use]
+    pub fn phase_time(&self) -> &BTreeMap<&'static str, u64> {
+        &self.phase_time
+    }
+
+    /// Virtual µs of closed `blocked` spans per contended resource.
+    #[must_use]
+    pub fn blocked_by_resource(&self) -> &BTreeMap<ResourceId, u64> {
+        &self.blocked_by_resource
+    }
+
+    /// Virtual µs of completed enqueue→grant waits per resource.
+    #[must_use]
+    pub fn wait_by_resource(&self) -> &BTreeMap<ResourceId, u64> {
+        &self.wait_by_resource
+    }
+
+    /// Folds another registry into this one — the shard-aggregation
+    /// primitive behind fleet snapshots.
+    ///
+    /// Counters, histograms, and per-phase/per-resource accumulators sum;
+    /// `last_at` takes the later clock; open-transaction and open-wait
+    /// state unions (shards partition transactions and resources, so the
+    /// key sets are disjoint in practice — on a key collision the later
+    /// timestamp wins, keeping the merge commutative enough for
+    /// monitoring use).
+    ///
+    /// # Panics
+    /// If the two registries were built with different histogram bucket
+    /// layouts (cannot happen for registries made by `new`).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (mine, theirs) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *mine += theirs;
+        }
+        self.wait_time.merge(&other.wait_time);
+        self.commit_latency.merge(&other.commit_latency);
+        self.queue_depth.merge(&other.queue_depth);
+        for (txn, at) in &other.begin_at {
+            let slot = self.begin_at.entry(*txn).or_insert(*at);
+            *slot = (*slot).max(*at);
+        }
+        for (key, at) in &other.wait_since {
+            let slot = self.wait_since.entry(*key).or_insert(*at);
+            *slot = (*slot).max(*at);
+        }
+        for (key, at) in &other.span_open {
+            let slot = self.span_open.entry(*key).or_insert(*at);
+            *slot = (*slot).max(*at);
+        }
+        for (phase, us) in &other.phase_time {
+            *self.phase_time.entry(phase).or_insert(0) += us;
+        }
+        for (res, us) in &other.blocked_by_resource {
+            *self.blocked_by_resource.entry(*res).or_insert(0) += us;
+        }
+        for (res, us) in &other.wait_by_resource {
+            *self.wait_by_resource.entry(*res).or_insert(0) += us;
+        }
+        self.last_at = self.last_at.max(other.last_at);
     }
 
     /// Rebuilds a registry by replaying `records` in order.
@@ -269,7 +353,9 @@ impl MetricsRegistry {
                     self.bump(Ctr::BypassedSleepers);
                 }
                 if let Some(since) = self.wait_since.remove(&(*txn, *resource)) {
-                    self.wait_time.record(at.since(since).0);
+                    let waited = at.since(since).0;
+                    self.wait_time.record(waited);
+                    *self.wait_by_resource.entry(*resource).or_insert(0) += waited;
                 }
             }
             TraceEvent::OpWaiting { txn, resource, queue_depth, .. } => {
@@ -336,6 +422,20 @@ impl MetricsRegistry {
             }
             TraceEvent::LinkDown { .. } => self.bump(Ctr::LinkDowns),
             TraceEvent::LinkUp { .. } => self.bump(Ctr::LinkUps),
+            TraceEvent::SpanOpen { txn, kind, .. } => {
+                self.bump(Ctr::SpansOpened);
+                self.span_open.insert((*txn, kind.phase()), at);
+            }
+            TraceEvent::SpanClose { txn, kind, .. } => {
+                self.bump(Ctr::SpansClosed);
+                if let Some(opened) = self.span_open.remove(&(*txn, kind.phase())) {
+                    let width = at.since(opened).0;
+                    *self.phase_time.entry(kind.phase()).or_insert(0) += width;
+                    if let crate::span::SpanKind::Blocked { resource } = kind {
+                        *self.blocked_by_resource.entry(*resource).or_insert(0) += width;
+                    }
+                }
+            }
         }
     }
 
@@ -461,6 +561,65 @@ mod tests {
         assert_eq!(reg.counter(Ctr::AbortedConstraint), 1);
         assert_eq!(reg.counter(Ctr::AbortedConstraintGrant), 1);
         assert_eq!(reg.counter(Ctr::Aborted), 2);
+    }
+
+    #[test]
+    fn span_close_accumulates_phase_and_blocked_time() {
+        use crate::span::SpanKind;
+        let mut reg = MetricsRegistry::new();
+        let t = TxnId(4);
+        let open = |k: SpanKind| TraceEvent::SpanOpen { txn: t, kind: k, wall_us: None };
+        let close = |k: SpanKind| TraceEvent::SpanClose { txn: t, kind: k, wall_us: Some(99) };
+        reg.apply(Timestamp(0), &open(SpanKind::Session));
+        reg.apply(Timestamp(0), &open(SpanKind::Blocked { resource: res(7) }));
+        reg.apply(Timestamp(40), &close(SpanKind::Blocked { resource: res(7) }));
+        reg.apply(Timestamp(40), &open(SpanKind::Work));
+        reg.apply(Timestamp(55), &close(SpanKind::Work));
+        reg.apply(Timestamp(55), &close(SpanKind::Session));
+        assert_eq!(reg.counter(Ctr::SpansOpened), 3);
+        assert_eq!(reg.counter(Ctr::SpansClosed), 3);
+        assert_eq!(reg.phase_time()["blocked"], 40);
+        assert_eq!(reg.phase_time()["work"], 15);
+        assert_eq!(reg.phase_time()["session"], 55);
+        assert_eq!(reg.blocked_by_resource()[&res(7)], 40);
+    }
+
+    #[test]
+    fn merge_sums_counters_histograms_and_maps() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.apply(Timestamp(1_000), &TraceEvent::TxnBegin { txn: TxnId(1) });
+        a.apply(Timestamp(4_000), &TraceEvent::Committed { txn: TxnId(1) });
+        b.apply(Timestamp(2_000), &TraceEvent::TxnBegin { txn: TxnId(2) });
+        b.apply(Timestamp(9_000), &TraceEvent::Committed { txn: TxnId(2) });
+        b.apply(
+            Timestamp(9_100),
+            &TraceEvent::OpWaiting {
+                txn: TxnId(3),
+                resource: res(5),
+                class: OpClass::Read,
+                queue_depth: 1,
+            },
+        );
+        b.apply(
+            Timestamp(9_400),
+            &TraceEvent::OpGranted {
+                txn: TxnId(3),
+                resource: res(5),
+                class: OpClass::Read,
+                shared: false,
+                bypassed_sleeper: false,
+            },
+        );
+        a.merge(&b);
+        assert_eq!(a.counter(Ctr::Begun), 2);
+        assert_eq!(a.counter(Ctr::Committed), 2);
+        assert_eq!(a.commit_latency().total(), 2);
+        assert_eq!(a.commit_latency().sum(), 3_000 + 7_000);
+        assert_eq!(a.wait_by_resource()[&res(5)], 300);
+        assert_eq!(a.last_at(), Timestamp(9_400));
+        // The merge source is untouched.
+        assert_eq!(b.counter(Ctr::Begun), 1);
     }
 
     #[test]

@@ -22,6 +22,12 @@ pub trait Sink: Send {
     fn record(&mut self, rec: &TraceRecord);
     /// Push buffered records to their final destination.
     fn flush(&mut self) {}
+    /// Records this sink has discarded (ring eviction, backpressure).
+    /// Lossless sinks report 0 — the default. Surfaced so silent trace
+    /// loss is visible in fleet snapshots and exposition output.
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// A sink that discards everything (useful as an explicit placeholder;
@@ -80,6 +86,10 @@ impl Sink for RingSink {
         }
         inner.buf.push_back(rec.clone());
     }
+
+    fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
 }
 
 /// Read side of a [`RingSink`].
@@ -93,6 +103,19 @@ impl RingHandle {
     #[must_use]
     pub fn snapshot(&self) -> Vec<TraceRecord> {
         self.inner.lock().buf.iter().cloned().collect()
+    }
+
+    /// Copies out the retained records *and* the drop count under one
+    /// lock acquisition, so the pair is consistent: every record ever
+    /// offered to the ring is either in the snapshot or counted as
+    /// dropped. Reading them with separate [`RingHandle::snapshot`] /
+    /// [`RingHandle::dropped`] calls races with concurrent writers —
+    /// evictions landing between the two calls would be counted as
+    /// dropped while their replacements are missing from the snapshot.
+    #[must_use]
+    pub fn snapshot_with_drops(&self) -> (Vec<TraceRecord>, u64) {
+        let inner = self.inner.lock();
+        (inner.buf.iter().cloned().collect(), inner.dropped)
     }
 
     /// Number of records currently retained.
@@ -216,6 +239,26 @@ mod tests {
         assert_eq!(handle.dropped(), 2);
         let seqs: Vec<u64> = handle.snapshot().iter().map(|r| r.seq).collect();
         assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn snapshot_with_drops_is_consistent_and_sees_later_evictions() {
+        let mut ring = RingSink::new(2);
+        let handle = ring.handle();
+        for i in 0..3 {
+            ring.record(&rec(i));
+        }
+        let (recs, dropped) = handle.snapshot_with_drops();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(dropped, 1);
+        assert_eq!(recs.len() as u64 + dropped, 3, "every record retained or counted");
+        // Drops after a snapshot keep accruing on the same handle.
+        ring.record(&rec(3));
+        ring.record(&rec(4));
+        let (recs, dropped) = handle.snapshot_with_drops();
+        assert_eq!(dropped, 3);
+        assert_eq!(recs.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![3, 4]);
+        assert_eq!(Sink::dropped(&ring), 3, "the sink side reports the same count");
     }
 
     #[test]

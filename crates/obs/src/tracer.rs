@@ -92,6 +92,21 @@ impl Tracer {
         self.inner.lock().sink.is_some()
     }
 
+    /// Records the attached sink has discarded (0 with no sink, or a
+    /// lossless one) — the trace-loss signal fleet snapshots surface.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().sink.as_ref().map_or(0, |s| s.dropped())
+    }
+
+    /// True when `other` is a clone of this tracer — they share one
+    /// registry, sink, and sequence. Sharding code uses this to enforce
+    /// that distinct shards got distinct tracers.
+    #[must_use]
+    pub fn same_registry(&self, other: &Tracer) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
     /// Emits one event at virtual time `at`.
     pub fn emit(&self, at: Timestamp, event: TraceEvent) {
         let mut inner = self.inner.lock();
@@ -191,6 +206,26 @@ mod tests {
         assert_eq!(recs[2].thread, Some(mine), "tag is stable per thread");
         assert_ne!(recs[1].thread, Some(mine), "other threads get their own tag");
         assert!(recs[1].thread.is_some());
+    }
+
+    #[test]
+    fn same_registry_distinguishes_clones_from_twins() {
+        let a = Tracer::disabled();
+        let clone = a.clone();
+        let twin = Tracer::disabled();
+        assert!(a.same_registry(&clone));
+        assert!(!a.same_registry(&twin));
+    }
+
+    #[test]
+    fn dropped_reflects_ring_eviction() {
+        let t = Tracer::with_sink(Box::new(RingSink::new(2)));
+        assert_eq!(t.dropped(), 0);
+        for i in 0..5 {
+            t.emit(Timestamp(i), TraceEvent::TxnBegin { txn: TxnId(i) });
+        }
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(Tracer::disabled().dropped(), 0, "no sink, no loss");
     }
 
     #[test]

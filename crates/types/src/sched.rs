@@ -8,7 +8,7 @@
 //! simulator can schedule follow-ups.
 
 use crate::ids::TxnId;
-use crate::time::Duration;
+use crate::time::{Duration, Timestamp};
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -83,6 +83,19 @@ pub struct StepEffects {
     /// should charge this to the requesting transaction on top of the
     /// event's service time.
     pub sst_busy: Duration,
+    /// The *requesting* transaction's otherwise-grantable invocation was
+    /// queued because a §VII policy (admission, starvation, seniority)
+    /// denied the grant — a front-end should account the wait as
+    /// `admission_wait`, not object contention.
+    pub denied_admission: bool,
+    /// Virtual-time boundary of the commit's reconciliation phase
+    /// (Algorithm 3), when the event was a commit that got that far.
+    /// Coordinators emit `reconcile` spans from this.
+    pub reconcile_span: Option<(Timestamp, Timestamp)>,
+    /// Virtual-time boundary of the commit's SST phase — first attempt
+    /// through last retry — when the event was a commit that reached the
+    /// LDBS. Coordinators emit `sst_attempt` spans from this.
+    pub sst_span: Option<(Timestamp, Timestamp)>,
 }
 
 impl StepEffects {
@@ -95,14 +108,36 @@ impl StepEffects {
     /// Whether anything happened.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.resumed.is_empty() && self.aborted.is_empty() && self.sst_busy == Duration::ZERO
+        self.resumed.is_empty()
+            && self.aborted.is_empty()
+            && self.sst_busy == Duration::ZERO
+            && !self.denied_admission
+            && self.reconcile_span.is_none()
+            && self.sst_span.is_none()
     }
 
-    /// Merges another effect set into this one. Busy time accumulates.
+    /// Merges another effect set into this one. Busy time accumulates;
+    /// phase boundaries widen to cover both (at most one commit is in
+    /// flight per merge chain, so overlaps only arise from retries of the
+    /// same phase).
     pub fn merge(&mut self, other: StepEffects) {
         self.resumed.extend(other.resumed);
         self.aborted.extend(other.aborted);
         self.sst_busy += other.sst_busy;
+        self.denied_admission |= other.denied_admission;
+        self.reconcile_span = merge_span(self.reconcile_span, other.reconcile_span);
+        self.sst_span = merge_span(self.sst_span, other.sst_span);
+    }
+}
+
+/// Union of two optional closed intervals.
+fn merge_span(
+    a: Option<(Timestamp, Timestamp)>,
+    b: Option<(Timestamp, Timestamp)>,
+) -> Option<(Timestamp, Timestamp)> {
+    match (a, b) {
+        (Some((ao, ac)), Some((bo, bc))) => Some((ao.min(bo), ac.max(bc))),
+        (some, None) | (None, some) => some,
     }
 }
 
@@ -118,11 +153,13 @@ mod tests {
             resumed: vec![(TxnId(1), Value::Int(5))],
             aborted: vec![(TxnId(2), AbortReason::Deadlock)],
             sst_busy: Duration::from_micros(3),
+            ..StepEffects::none()
         });
         a.merge(StepEffects {
             resumed: vec![(TxnId(3), Value::Int(6))],
             aborted: vec![],
             sst_busy: Duration::from_micros(4),
+            ..StepEffects::none()
         });
         assert_eq!(a.resumed.len(), 2);
         assert_eq!(a.aborted.len(), 1);
@@ -134,6 +171,21 @@ mod tests {
     fn busy_time_alone_makes_effects_non_empty() {
         let fx = StepEffects { sst_busy: Duration::from_micros(1), ..StepEffects::none() };
         assert!(!fx.is_empty());
+    }
+
+    #[test]
+    fn phase_boundaries_merge_to_the_covering_interval() {
+        let mut a =
+            StepEffects { sst_span: Some((Timestamp(10), Timestamp(20))), ..StepEffects::none() };
+        assert!(!a.is_empty());
+        a.merge(StepEffects {
+            sst_span: Some((Timestamp(15), Timestamp(40))),
+            denied_admission: true,
+            ..StepEffects::none()
+        });
+        assert_eq!(a.sst_span, Some((Timestamp(10), Timestamp(40))));
+        assert!(a.denied_admission);
+        assert_eq!(a.reconcile_span, None);
     }
 
     #[test]
