@@ -20,11 +20,10 @@
 use pstm_bench::{print_header, trace_path, verify_trace, write_results};
 use pstm_core::gtm::CommitResult;
 use pstm_front::{FrontConfig, SessionOutcome, ShardedFront};
-use pstm_obs::{JsonlSink, Tracer};
+use pstm_obs::{JsonlSink, Tracer, WallEpoch};
 use pstm_types::{ResourceId, ScalarOp, Value};
 use pstm_workload::counter_world;
 use serde::Serialize;
-use std::time::Instant;
 
 const OBJECTS: usize = 16;
 const SHARDS: usize = 8;
@@ -84,7 +83,7 @@ fn sweep_point(threads: usize, sessions: usize, think_us: u64, traced: bool) -> 
     let think = std::time::Duration::from_micros(think_us);
     let per_thread = sessions / threads;
 
-    let start = Instant::now();
+    let start = WallEpoch::now();
     let mut committed = 0u64;
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -105,7 +104,7 @@ fn sweep_point(threads: usize, sessions: usize, think_us: u64, traced: bool) -> 
             committed += h.join().expect("worker panicked");
         }
     });
-    let wall_s = start.elapsed().as_secs_f64();
+    let wall_s = start.elapsed_s();
 
     front.check_invariants().expect("invariants");
     front.verify_serializable().expect("serializable");

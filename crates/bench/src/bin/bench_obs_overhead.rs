@@ -11,11 +11,10 @@
 use pstm_bench::{print_header, write_results};
 use pstm_core::gtm::CommitResult;
 use pstm_front::{FrontConfig, SessionOutcome, ShardedFront};
-use pstm_obs::{RingSink, Tracer};
+use pstm_obs::{RingSink, Tracer, WallEpoch};
 use pstm_types::{ResourceId, ScalarOp, Value};
 use pstm_workload::counter_world;
 use serde::Serialize;
-use std::time::Instant;
 
 const OBJECTS: usize = 16;
 const SHARDS: usize = 8;
@@ -71,7 +70,7 @@ fn run_point(sessions: usize, think_us: u64, traced: bool) -> (f64, u64, u64) {
     let think = std::time::Duration::from_micros(think_us);
     let per_thread = sessions / THREADS;
 
-    let start = Instant::now();
+    let start = WallEpoch::now();
     let mut committed = 0u64;
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
@@ -92,7 +91,7 @@ fn run_point(sessions: usize, think_us: u64, traced: bool) -> (f64, u64, u64) {
             committed += h.join().expect("worker panicked");
         }
     });
-    let wall_s = start.elapsed().as_secs_f64();
+    let wall_s = start.elapsed_s();
     front.check_invariants().expect("invariants");
     assert_eq!(committed, (per_thread * THREADS) as u64, "workload must be abort-free");
 

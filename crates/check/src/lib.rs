@@ -1,0 +1,47 @@
+//! # pstm-check — machine-checked invariants for the pre-serialization GTM
+//!
+//! The GTM's correctness argument (paper §3–§4) leans on three
+//! invariants that ordinary unit tests state only piecemeal. This crate
+//! turns each into an analysis that runs under `cargo test` and in CI:
+//!
+//! 1. **Source lints** ([`lint`]) — a self-contained scanner over the
+//!    workspace source enforcing review rules a compiler cannot:
+//!    wall-clock reads only through `pstm_obs::wallclock` (virtual-clock
+//!    determinism), no `unwrap`/`expect`/`panic!` on the
+//!    commit/reconcile/SST paths, and multi-shard lock acquisition only
+//!    through `pstm-front`'s ordered-ascending helper. Violations are
+//!    either fixed or spelled out in an allowlist file; the report format
+//!    is line-oriented and sorted, so CI diffs stay readable.
+//! 2. **Serializability verifier** ([`verify`]) — consumes the JSONL
+//!    traces `pstm-obs` emits, rebuilds the conflict/precedence graph of
+//!    each run from grant and commit events, and either certifies
+//!    conflict-serializability (producing an equivalent serial order) or
+//!    prints the minimal offending cycle with transaction ids and
+//!    resources.
+//! 3. **Table I checker** ([`table`]) — small-scope exhaustive
+//!    enumeration over the `Value` domain proving every `compatible()`
+//!    entry of the paper's Table I forward-commutes (and reconciles to
+//!    the serial result) and exhibiting a concrete non-commuting witness
+//!    for every incompatible entry, cross-checked against
+//!    `pstm_types::OpClass::compatible_with` so the shipped table cannot
+//!    silently drift from the semantics it claims.
+//!
+//! The `pstm_check` binary exposes all three (`lint` / `verify` /
+//! `table` / `all`); the integration tests under `tests/` run them on
+//! every `cargo test`, and `tests/phased_commit_model.rs` adds a
+//! small-scope exhaustive interleaving model of the phased
+//! `commit_local`/`commit_finish`/`commit_abort` handshake (the loom
+//! role, in-tree).
+
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod table;
+pub mod verify;
+
+pub use lint::{run_lint, Allowlist, LintReport, Rule, Violation};
+pub use table::{check_pair, check_table, PairReport, TableReport, Witness};
+pub use verify::{
+    verify_jsonl_files, verify_records, verify_streams, Certificate, CycleEdge, TraceStream,
+    Verdict,
+};

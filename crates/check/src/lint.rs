@@ -1,0 +1,517 @@
+//! Source-level invariant lints.
+//!
+//! A self-contained scanner (no external parser) over the workspace
+//! source enforcing three review rules the compiler cannot:
+//!
+//! - **`wall-clock`** — the identifiers `Instant` and `SystemTime` may
+//!   appear only in `pstm-obs`'s wall-clock seam
+//!   (`crates/obs/src/wallclock.rs`) and the offline shims. Everything
+//!   else runs on virtual time; a stray wall-clock read silently breaks
+//!   trace replay determinism.
+//! - **`no-panic-commit-path`** — `.unwrap()` / `.expect(` / `panic!` /
+//!   `unreachable!` / `todo!` / `unimplemented!` are banned in the
+//!   commit/reconcile/SST sources of `pstm-core` and in all of
+//!   `pstm-front`. A panic mid-commit poisons a shard mutex and strands
+//!   peers in `Committing`; these paths must propagate `PstmError`
+//!   instead. (`assert!` remains legal: it states an invariant and
+//!   documents its panic.)
+//! - **`lock-order`** — any line in `crates/front` that locks a GTM
+//!   shard must sit in `lock_shards_ascending` (the one sanctioned
+//!   multi-shard acquisition path, which asserts ascending order) or in
+//!   a function explicitly allowlisted as a reviewed single-shard /
+//!   lock-release-between acquisition site. Cross-shard deadlock freedom
+//!   rests entirely on this ordering discipline.
+//!
+//! Scanning is line-based: `//` comments are stripped (string-literal
+//! aware), `#[cfg(test)]` items are skipped by brace counting, and each
+//! flagged line is attributed to the nearest preceding `fn` header.
+//! Violations are suppressed only by an explicit entry in the allowlist
+//! file (`pstm-check.allow` at the workspace root); entries that no
+//! longer match anything are themselves reported as stale, so the file
+//! can only shrink truthfully.
+//!
+//! The report is sorted line-oriented text — one violation per line —
+//! so CI failures diff cleanly against the previous run.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The identifier ban list for the `wall-clock` rule. Built with
+/// `concat!` so this file never contains the banned tokens itself.
+const WALL_CLOCK_IDENTS: [&str; 2] = [concat!("Inst", "ant"), concat!("System", "Time")];
+
+/// Banned calls for `no-panic-commit-path`.
+const PANIC_TOKENS: [&str; 6] = [
+    concat!(".unw", "rap()"),
+    concat!(".exp", "ect("),
+    concat!("pa", "nic!"),
+    concat!("unre", "achable!"),
+    concat!("to", "do!"),
+    concat!("unimpl", "emented!"),
+];
+
+/// Files inside `crates/core/src` subject to `no-panic-commit-path`:
+/// the grant/commit/reconcile/SST/history state machines.
+const CORE_COMMIT_PATH_FILES: [&str; 5] =
+    ["gtm.rs", "reconcile.rs", "sst.rs", "history.rs", "state.rs"];
+
+/// The one function allowed to take several shard locks at once.
+const ORDERED_LOCK_HELPER: &str = "lock_shards_ascending";
+
+/// One of the lint rules (plus the synthetic rule flagging stale
+/// allowlist entries).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock identifier outside the sanctioned seam.
+    WallClock,
+    /// Panicking call on a commit/reconcile/SST path.
+    NoPanicCommitPath,
+    /// Shard lock acquisition outside the ordered helper or allowlist.
+    LockOrder,
+    /// An allowlist entry that matched nothing.
+    StaleAllowlist,
+}
+
+impl Rule {
+    /// Stable rule name, as used in the allowlist file and the report.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::NoPanicCommitPath => "no-panic-commit-path",
+            Rule::LockOrder => "lock-order",
+            Rule::StaleAllowlist => "stale-allowlist",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number (0 for file-level findings).
+    pub line: usize,
+    /// Nearest preceding function name, when one was seen.
+    pub func: Option<String>,
+    /// The offending line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}\t{}:{}", self.rule, self.file, self.line)?;
+        if let Some(func) = &self.func {
+            write!(f, "\tfn {func}")?;
+        }
+        write!(f, "\t{}", self.snippet)
+    }
+}
+
+/// Parsed allowlist: `rule path` or `rule path::function` per line,
+/// `#` comments. An entry suppresses every match of `rule` in `path`
+/// (optionally narrowed to one function); unused entries are reported.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+#[derive(Clone, Debug)]
+struct AllowEntry {
+    rule: String,
+    path: String,
+    func: Option<String>,
+    line: usize,
+    used: bool,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format. Unknown words per line are an error
+    /// kept as a violation-free panic-free result: malformed lines are
+    /// returned in `Err` with their line numbers.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let (Some(rule), Some(target), None) = (words.next(), words.next(), words.next())
+            else {
+                return Err(format!("allowlist line {}: expected `<rule> <path[::fn]>`", i + 1));
+            };
+            let (path, func) = match target.split_once("::") {
+                Some((p, f)) => (p.to_string(), Some(f.to_string())),
+                None => (target.to_string(), None),
+            };
+            entries.push(AllowEntry {
+                rule: rule.to_string(),
+                path,
+                func,
+                line: i + 1,
+                used: false,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Loads `<root>/pstm-check.allow`, treating a missing file as an
+    /// empty allowlist.
+    pub fn load(root: &Path) -> Result<Allowlist, String> {
+        match std::fs::read_to_string(root.join("pstm-check.allow")) {
+            Ok(text) => Allowlist::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => Err(format!("pstm-check.allow: {e}")),
+        }
+    }
+
+    /// True (and marks the entry used) if some entry covers the finding.
+    fn allows(&mut self, rule: Rule, file: &str, func: Option<&str>) -> bool {
+        let mut hit = false;
+        for e in &mut self.entries {
+            if e.rule == rule.name()
+                && e.path == file
+                && e.func.as_deref().is_none_or(|f| Some(f) == func)
+            {
+                e.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    fn stale(&self) -> impl Iterator<Item = Violation> + '_ {
+        self.entries.iter().filter(|e| !e.used).map(|e| Violation {
+            rule: Rule::StaleAllowlist,
+            file: "pstm-check.allow".to_string(),
+            line: e.line,
+            func: None,
+            snippet: format!(
+                "{} {}{} matches nothing — remove it",
+                e.rule,
+                e.path,
+                e.func.as_deref().map(|f| format!("::{f}")).unwrap_or_default()
+            ),
+        })
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Clone, Debug)]
+pub struct LintReport {
+    /// All findings, sorted by `(file, line, rule)`.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True when nothing fired (stale allowlist entries included).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The diff-friendly report: one sorted line per violation, plus a
+    /// one-line footer.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&v.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "pstm-check lint: {} violation(s) in {} file(s) scanned\n",
+            self.violations.len(),
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+/// Runs every lint over the workspace rooted at `root`, loading the
+/// allowlist from `<root>/pstm-check.allow`.
+pub fn run_lint(root: &Path) -> Result<LintReport, String> {
+    let allowlist = Allowlist::load(root)?;
+    run_lint_with(root, allowlist)
+}
+
+/// [`run_lint`] with a caller-supplied allowlist (tests).
+pub fn run_lint_with(root: &Path, mut allowlist: Allowlist) -> Result<LintReport, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut violations = Vec::new();
+    for rel in &files {
+        let text = std::fs::read_to_string(root.join(rel))
+            .map_err(|e| format!("{}: {e}", rel.display()))?;
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        scan_file(&rel, &text, &mut allowlist, &mut violations);
+    }
+    violations.extend(allowlist.stale());
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(LintReport { violations, files_scanned: files.len() })
+}
+
+/// Recursively collects workspace `.rs` files, skipping build output,
+/// VCS internals, and the offline shims (third-party API stand-ins are
+/// not ours to lint).
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "results" {
+                continue;
+            }
+            if name == "shims" && path.parent().is_some_and(|p| p.ends_with("crates")) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Rule scopes for one file.
+struct Scope {
+    wall_clock: bool,
+    no_panic: bool,
+    lock_order: bool,
+}
+
+fn scope_of(file: &str) -> Scope {
+    let wall_clock = file != "crates/obs/src/wallclock.rs";
+    let no_panic =
+        file.strip_prefix("crates/core/src/").is_some_and(|f| CORE_COMMIT_PATH_FILES.contains(&f))
+            || file.starts_with("crates/front/src/");
+    let lock_order = file.starts_with("crates/front/src/");
+    Scope { wall_clock, no_panic, lock_order }
+}
+
+fn scan_file(file: &str, text: &str, allow: &mut Allowlist, out: &mut Vec<Violation>) {
+    let scope = scope_of(file);
+    if !scope.wall_clock && !scope.no_panic && !scope.lock_order {
+        return;
+    }
+    let mut current_fn: Option<String> = None;
+    // Brace-counted skip of a `#[cfg(test)]` item (depth), and the
+    // armed state between the attribute and the item it decorates.
+    let mut skip_depth: Option<i64> = None;
+    let mut cfg_test_armed = false;
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let code = strip_line_comment(raw);
+        let trimmed = code.trim();
+
+        if let Some(depth) = skip_depth {
+            let depth = depth + brace_delta(code);
+            skip_depth = if depth > 0 { Some(depth) } else { None };
+            continue;
+        }
+        if is_cfg_test_attr(trimmed) {
+            cfg_test_armed = true;
+            continue;
+        }
+        if cfg_test_armed {
+            if trimmed.starts_with("#[") || trimmed.is_empty() {
+                continue; // further attributes / blank before the item
+            }
+            cfg_test_armed = false;
+            let depth = brace_delta(code);
+            if depth > 0 {
+                skip_depth = Some(depth);
+            }
+            continue; // the decorated item's first line is test code too
+        }
+
+        if let Some(name) = fn_header_name(trimmed) {
+            current_fn = Some(name);
+        }
+
+        if scope.wall_clock {
+            for ident in WALL_CLOCK_IDENTS {
+                if contains_word(code, ident)
+                    && !allow.allows(Rule::WallClock, file, current_fn.as_deref())
+                {
+                    out.push(violation(Rule::WallClock, file, line_no, &current_fn, raw));
+                    break;
+                }
+            }
+        }
+        if scope.no_panic {
+            for token in PANIC_TOKENS {
+                if code.contains(token)
+                    && !allow.allows(Rule::NoPanicCommitPath, file, current_fn.as_deref())
+                {
+                    out.push(violation(Rule::NoPanicCommitPath, file, line_no, &current_fn, raw));
+                    break;
+                }
+            }
+        }
+        if scope.lock_order
+            && code.contains(".lock()")
+            && contains_word(code, "shards")
+            && current_fn.as_deref() != Some(ORDERED_LOCK_HELPER)
+            && !allow.allows(Rule::LockOrder, file, current_fn.as_deref())
+        {
+            out.push(violation(Rule::LockOrder, file, line_no, &current_fn, raw));
+        }
+    }
+}
+
+fn violation(rule: Rule, file: &str, line: usize, func: &Option<String>, raw: &str) -> Violation {
+    Violation {
+        rule,
+        file: file.to_string(),
+        line,
+        func: func.clone(),
+        snippet: raw.trim().to_string(),
+    }
+}
+
+/// Strips a trailing `//` comment, ignoring `//` inside string literals.
+fn strip_line_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_string => i += 1, // skip the escaped byte
+            b'"' => in_string = !in_string,
+            b'/' if !in_string && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Net `{`/`}` balance of a line (string-literal aware, same caveats).
+fn brace_delta(code: &str) -> i64 {
+    let bytes = code.as_bytes();
+    let mut delta = 0i64;
+    let mut in_string = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_string => i += 1,
+            b'"' => in_string = !in_string,
+            b'{' if !in_string => delta += 1,
+            b'}' if !in_string => delta -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    delta
+}
+
+/// True for `#[cfg(test)]`-style attributes (`cfg(...)` whose argument
+/// list contains the word `test`); `cfg_attr` does not match.
+fn is_cfg_test_attr(trimmed: &str) -> bool {
+    trimmed.strip_prefix("#[cfg(").is_some_and(|rest| contains_word(rest, "test"))
+}
+
+/// Extracts the name from a `fn name(...)` header on this line, if any.
+fn fn_header_name(trimmed: &str) -> Option<String> {
+    let idx = find_word(trimmed, "fn")?;
+    let rest = trimmed[idx + 2..].trim_start();
+    let end = rest.find(|c: char| !c.is_alphanumeric() && c != '_')?;
+    let name = &rest[..end];
+    if name.is_empty() {
+        None
+    } else {
+        Some(name.to_string())
+    }
+}
+
+/// Whole-word containment: `needle` bounded by non-identifier chars.
+fn contains_word(haystack: &str, needle: &str) -> bool {
+    find_word(haystack, needle).is_some()
+}
+
+fn find_word(haystack: &str, needle: &str) -> Option<usize> {
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let bytes = haystack.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle).map(|p| p + from) {
+        let before_ok = pos == 0 || !is_ident(bytes[pos - 1]);
+        let end = pos + needle.len();
+        let after_ok = end >= bytes.len() || !is_ident(bytes[end]);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        from = pos + 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comment_stripper_respects_strings() {
+        assert_eq!(strip_line_comment("let x = 1; // done"), "let x = 1; ");
+        assert_eq!(strip_line_comment(r#"let u = "https://x"; y"#), r#"let u = "https://x"; y"#);
+        assert_eq!(strip_line_comment("/// doc"), "");
+    }
+
+    #[test]
+    fn word_bounds() {
+        assert!(contains_word("use std::time::Foo;", "Foo"));
+        assert!(!contains_word("FooBar", "Foo"));
+        assert!(!contains_word("a_Foo", "Foo"));
+    }
+
+    #[test]
+    fn fn_headers() {
+        assert_eq!(fn_header_name("pub fn commit(&mut self) {").as_deref(), Some("commit"));
+        assert_eq!(fn_header_name("fn generic<T>(t: T) {").as_deref(), Some("generic"));
+        assert_eq!(fn_header_name("let fnord = 1;"), None);
+    }
+
+    #[test]
+    fn allowlist_roundtrip() {
+        let a = Allowlist::parse(
+            "# comment\nlock-order crates/front/src/lib.rs::sleep\nwall-clock a.rs\n",
+        )
+        .expect("parses");
+        assert_eq!(a.entries.len(), 2);
+        assert!(Allowlist::parse("one-word-only\n").is_err());
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_skipped() {
+        let src = "fn live() { x.lock(); shards; }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { shards[0].lock(); }\n\
+                   }\n";
+        let mut allow = Allowlist::default();
+        let mut out = Vec::new();
+        scan_file("crates/front/src/lib.rs", src, &mut allow, &mut out);
+        // Only the live fn fires lock-order; the test mod's hit is skipped.
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].func.as_deref(), Some("live"));
+    }
+}

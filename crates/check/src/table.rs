@@ -1,0 +1,495 @@
+//! Exhaustive small-scope checker for the paper's Table I.
+//!
+//! Table I is the load-bearing artifact of pre-serialization: two
+//! operation classes marked *compatible* may hold one resource
+//! concurrently, with commit-time reconciliation (eq. 1 / eq. 2)
+//! recovering the serial result. That is only sound if the table
+//! coincides with actual **forward commutativity** over the `Value`
+//! domain — Malta & Martinez's commutativity-limits observation, turned
+//! into a build gate.
+//!
+//! The checker enumerates concrete operation instances per class and a
+//! small but adversarial state space (absent object, zero, positive,
+//! negative, float, non-numeric), and for every ordered class pair
+//! decides *semantic* compatibility:
+//!
+//! - a pair is semantically compatible iff **no witness** exists, where
+//!   a witness is a concrete `(state, p, q)` with
+//!   - both orders defined but different results (**order dependence**),
+//!   - exactly one order defined (**one-way composability** — order
+//!     decides feasibility), or
+//!   - both ops individually applicable but neither order composable
+//!     (**jointly infeasible** — whichever runs second is doomed), or
+//!   - both classes mutate but the GTM has no pairwise deferred-commit
+//!     reconciler for them (mixed or non-reconcilable mutation classes:
+//!     commutativity without a reconciliation procedure is not usable
+//!     by Algorithm 3);
+//! - every compatible mutation pair additionally has its reconciliation
+//!   simulated (virtual copies from a shared snapshot, commits applied
+//!   through `pstm_core::reconcile` in both orders) and compared to the
+//!   serial result — divergence is a witness too.
+//!
+//! [`check_table`] then asserts `OpClass::compatible_with` (and the
+//! shipped [`CompatMatrix::paper`]) equals the semantic verdict for all
+//! 36 ordered entries, so `types/compat.rs` cannot silently drift.
+//!
+//! [`CompatMatrix::paper`]: pstm_types::CompatMatrix::paper
+
+use pstm_core::reconcile::reconcile;
+use pstm_types::{CompatMatrix, OpClass, ScalarOp, Value};
+use std::fmt;
+
+/// One concrete operation instance, extending [`ScalarOp`] with the
+/// structural operations (Table I's `Insert` / `Delete` rows).
+#[derive(Clone, Debug, PartialEq)]
+pub enum AbstractOp {
+    /// A scalar invocation against an existing object.
+    Scalar(ScalarOp),
+    /// Create the object with an initial value.
+    Insert(Value),
+    /// Remove the object.
+    Delete,
+}
+
+impl AbstractOp {
+    /// The operation's Table I class.
+    #[must_use]
+    pub fn class(&self) -> OpClass {
+        match self {
+            AbstractOp::Scalar(op) => op.class(),
+            AbstractOp::Insert(_) => OpClass::Insert,
+            AbstractOp::Delete => OpClass::Delete,
+        }
+    }
+
+    /// Applies the op to a state (`None` = the object does not exist).
+    /// `Err(())` means the op is undefined at this state — a structural
+    /// precondition failed, a type mismatched, or arithmetic failed.
+    #[allow(clippy::result_unit_err)]
+    pub fn apply(&self, state: &Option<Value>) -> Result<Option<Value>, ()> {
+        match (self, state) {
+            (AbstractOp::Insert(v), None) => Ok(Some(v.clone())),
+            (AbstractOp::Insert(_), Some(_)) => Err(()),
+            (AbstractOp::Delete, Some(_)) => Ok(None),
+            (AbstractOp::Delete, None) => Err(()),
+            (AbstractOp::Scalar(op), Some(v)) => match op.apply(v) {
+                Ok(new) if op.is_mutation() => Ok(Some(new)),
+                Ok(_) => Ok(Some(v.clone())),
+                Err(_) => Err(()),
+            },
+            (AbstractOp::Scalar(_), None) => Err(()),
+        }
+    }
+
+    /// True when the op is defined at `state`.
+    #[must_use]
+    pub fn applicable(&self, state: &Option<Value>) -> bool {
+        self.apply(state).is_ok()
+    }
+}
+
+impl fmt::Display for AbstractOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbstractOp::Scalar(op) => op.fmt(f),
+            AbstractOp::Insert(v) => write!(f, "insert({v})"),
+            AbstractOp::Delete => f.write_str("delete"),
+        }
+    }
+}
+
+/// Concrete instances enumerated for a class. Operands mix signs, ints
+/// and floats; states (below) add zero and non-numeric values — small
+/// scope, but every algebraic failure mode of Table I has a
+/// representative.
+#[must_use]
+pub fn ops_for_class(class: OpClass) -> Vec<AbstractOp> {
+    use AbstractOp::{Delete, Insert, Scalar};
+    use ScalarOp::{Add, Assign, Div, Mul, Read, Sub};
+    let (i1, i3, im2) = (Value::Int(1), Value::Int(3), Value::Int(-2));
+    let (fh, f2) = (Value::Float(0.5), Value::Float(2.0));
+    match class {
+        OpClass::Read => vec![Scalar(Read)],
+        OpClass::Insert => vec![Insert(i1), Insert(Value::Int(7)), Insert(fh)],
+        OpClass::Delete => vec![Delete],
+        OpClass::UpdateAssign => vec![Scalar(Assign(i1)), Scalar(Assign(i3)), Scalar(Assign(fh))],
+        OpClass::UpdateAddSub => vec![
+            Scalar(Add(i1)),
+            Scalar(Add(i3)),
+            Scalar(Sub(Value::Int(2))),
+            Scalar(Add(fh)),
+            Scalar(Sub(f2)),
+        ],
+        OpClass::UpdateMulDiv => {
+            vec![
+                Scalar(Mul(i3)),
+                Scalar(Mul(im2)),
+                Scalar(Div(Value::Int(2))),
+                Scalar(Mul(fh)),
+                Scalar(Div(f2)),
+            ]
+        }
+    }
+}
+
+/// The enumerated state space: object absent, zero (the eq. 2 guard
+/// case), positive/negative ints, a float, and a non-numeric value.
+#[must_use]
+pub fn states() -> Vec<Option<Value>> {
+    vec![
+        None,
+        Some(Value::Int(0)),
+        Some(Value::Int(5)),
+        Some(Value::Int(-3)),
+        Some(Value::Int(7)),
+        Some(Value::Float(2.5)),
+        Some(Value::Text("tau".to_string())),
+    ]
+}
+
+/// A concrete refutation of forward commutativity for a class pair.
+#[derive(Clone, Debug)]
+pub enum Witness {
+    /// Both orders are defined from `state` but end in different states.
+    OrderDependent {
+        /// Starting state.
+        state: Option<Value>,
+        /// First op of the pair.
+        p: AbstractOp,
+        /// Second op.
+        q: AbstractOp,
+        /// State after `p` then `q`.
+        pq: Option<Value>,
+        /// State after `q` then `p`.
+        qp: Option<Value>,
+    },
+    /// Exactly one order is defined from `state`.
+    OneWayUndefined {
+        /// Starting state.
+        state: Option<Value>,
+        /// First op.
+        p: AbstractOp,
+        /// Second op.
+        q: AbstractOp,
+        /// True when `p;q` is the defined order, false when `q;p` is.
+        p_first_defined: bool,
+    },
+    /// Both ops apply individually at `state` but no order composes —
+    /// concurrent grants would doom whichever commits second.
+    JointlyInfeasible {
+        /// Starting state.
+        state: Option<Value>,
+        /// First op.
+        p: AbstractOp,
+        /// Second op.
+        q: AbstractOp,
+    },
+    /// Both classes mutate but Algorithm 3 has no pairwise reconciler
+    /// for them (mixed or non-reconcilable classes) — commutativity
+    /// alone cannot make the deferred commit implementable.
+    NoPairwiseReconciliation {
+        /// The pair's classes.
+        classes: (OpClass, OpClass),
+    },
+    /// Reconciliation of a concurrent pair diverged from the serial
+    /// result (would indicate an eq. 1 / eq. 2 implementation bug).
+    ReconcileDiverges {
+        /// Shared snapshot both virtual copies started from.
+        state: Value,
+        /// First committer.
+        p: AbstractOp,
+        /// Second committer.
+        q: AbstractOp,
+        /// Serial result `q(p(state))`.
+        serial: Value,
+        /// What the two reconciled commits produced.
+        reconciled: Value,
+    },
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = |state: &Option<Value>| match state {
+            Some(v) => format!("X={v}"),
+            None => "X absent".to_string(),
+        };
+        match self {
+            Witness::OrderDependent { state, p, q, pq, qp } => write!(
+                f,
+                "order-dependent at {}: [{p}];[{q}] -> {}, [{q}];[{p}] -> {}",
+                s(state),
+                s(pq),
+                s(qp)
+            ),
+            Witness::OneWayUndefined { state, p, q, p_first_defined } => {
+                let (ok, bad) =
+                    if *p_first_defined { (p, q) } else { (q, p) };
+                write!(
+                    f,
+                    "one-way at {}: [{ok}] then [{bad}] composes, the reverse is undefined",
+                    s(state)
+                )
+            }
+            Witness::JointlyInfeasible { state, p, q } => write!(
+                f,
+                "jointly infeasible at {}: [{p}] and [{q}] each apply, no order composes",
+                s(state)
+            ),
+            Witness::NoPairwiseReconciliation { classes } => write!(
+                f,
+                "no pairwise reconciliation for mutations {} / {}",
+                classes.0.label(),
+                classes.1.label()
+            ),
+            Witness::ReconcileDiverges { state, p, q, serial, reconciled } => write!(
+                f,
+                "reconciliation diverges at X={state}: [{p}] ∥ [{q}] reconciles to {reconciled}, serial gives {serial}"
+            ),
+        }
+    }
+}
+
+/// The verdict for one ordered class pair.
+#[derive(Clone, Debug)]
+pub struct PairReport {
+    /// First class.
+    pub a: OpClass,
+    /// Second class.
+    pub b: OpClass,
+    /// Concrete `(p, q, state)` cases enumerated.
+    pub cases: usize,
+    /// Reconciliation simulations run (compatible mutation pairs only).
+    pub reconcile_cases: usize,
+    /// `None` = the pair forward-commutes everywhere (semantically
+    /// compatible); `Some` = the refuting witness.
+    pub witness: Option<Witness>,
+}
+
+impl PairReport {
+    /// The semantic verdict the shipped table must match.
+    #[must_use]
+    pub fn semantically_compatible(&self) -> bool {
+        self.witness.is_none()
+    }
+}
+
+/// Exhaustively checks one ordered class pair over the enumerated
+/// domain.
+#[must_use]
+pub fn check_pair(a: OpClass, b: OpClass) -> PairReport {
+    let ops_a = ops_for_class(a);
+    let ops_b = ops_for_class(b);
+    let states = states();
+    let mut cases = 0;
+    let mut reconcile_cases = 0;
+    let mut witness: Option<Witness> = None;
+
+    for p in &ops_a {
+        for q in &ops_b {
+            for s in &states {
+                cases += 1;
+                let pq = p.apply(s).and_then(|s1| q.apply(&s1));
+                let qp = q.apply(s).and_then(|s1| p.apply(&s1));
+                let found = match (&pq, &qp) {
+                    (Ok(x), Ok(y)) if !state_eq(x, y) => Some(Witness::OrderDependent {
+                        state: s.clone(),
+                        p: p.clone(),
+                        q: q.clone(),
+                        pq: x.clone(),
+                        qp: y.clone(),
+                    }),
+                    (Ok(_), Err(())) => Some(Witness::OneWayUndefined {
+                        state: s.clone(),
+                        p: p.clone(),
+                        q: q.clone(),
+                        p_first_defined: true,
+                    }),
+                    (Err(()), Ok(_)) => Some(Witness::OneWayUndefined {
+                        state: s.clone(),
+                        p: p.clone(),
+                        q: q.clone(),
+                        p_first_defined: false,
+                    }),
+                    (Err(()), Err(())) if p.applicable(s) && q.applicable(s) => {
+                        Some(Witness::JointlyInfeasible {
+                            state: s.clone(),
+                            p: p.clone(),
+                            q: q.clone(),
+                        })
+                    }
+                    _ => None,
+                };
+                if witness.is_none() {
+                    witness = found;
+                }
+            }
+        }
+    }
+
+    // Commutativity alone is not enough for two mutating classes: the
+    // deferred commit needs a pairwise reconciler (eq. 1 / eq. 2 exist
+    // only within one reconcilable class).
+    if witness.is_none() && a.is_mutation() && b.is_mutation() && !(a == b && a.is_reconcilable()) {
+        witness = Some(Witness::NoPairwiseReconciliation { classes: (a, b) });
+    }
+
+    // Compatible mutation pair: prove the reconciled concurrent commit
+    // matches the serial result on every enumerable case.
+    if witness.is_none() && a.is_mutation() && b.is_mutation() {
+        for p in &ops_a {
+            for q in &ops_b {
+                for s in &states {
+                    let Some(x0) = s else { continue };
+                    if !p.applicable(s) || !q.applicable(s) {
+                        continue;
+                    }
+                    // A reconciliation error (e.g. eq. 2's zero-snapshot
+                    // guard) makes the GTM abort the commit, so such a
+                    // case is sound — just not a proof case.
+                    if let Ok(Some((serial, reconciled))) = simulate_reconcile(a, p, q, x0) {
+                        reconcile_cases += 1;
+                        if !value_eq(&serial, &reconciled) && witness.is_none() {
+                            witness = Some(Witness::ReconcileDiverges {
+                                state: x0.clone(),
+                                p: p.clone(),
+                                q: q.clone(),
+                                serial,
+                                reconciled,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    PairReport { a, b, cases, reconcile_cases, witness }
+}
+
+/// Simulates the GTM's concurrent execution of `p` and `q` from shared
+/// snapshot `x0`: both build virtual copies from `x0`, `p` commits
+/// first, `q` reconciles against `p`'s result. Returns
+/// `Ok(Some((serial, reconciled)))` on a completed simulation, `Ok(None)`
+/// when reconciliation legitimately refuses (the GTM aborts), `Err` when
+/// the ops don't fit the scalar mold.
+fn simulate_reconcile(
+    class: OpClass,
+    p: &AbstractOp,
+    q: &AbstractOp,
+    x0: &Value,
+) -> Result<Option<(Value, Value)>, ()> {
+    let (AbstractOp::Scalar(sp), AbstractOp::Scalar(sq)) = (p, q) else {
+        return Err(());
+    };
+    let temp_p = sp.apply(x0).map_err(|_| ())?;
+    let temp_q = sq.apply(x0).map_err(|_| ())?;
+    let serial = sq.apply(&temp_p).map_err(|_| ())?;
+    let Ok(Some(n1)) = reconcile(class, &temp_p, x0, x0) else {
+        return Ok(None);
+    };
+    let Ok(Some(n2)) = reconcile(class, &temp_q, x0, &n1) else {
+        return Ok(None);
+    };
+    Ok(Some((serial, n2)))
+}
+
+/// Numeric-tolerant state equality (`Int(5)` ≡ `Float(5.0)`:
+/// reconciliation may promote exact int results into the float domain).
+fn state_eq(a: &Option<Value>, b: &Option<Value>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(a), Some(b)) => value_eq(a, b),
+        _ => false,
+    }
+}
+
+fn value_eq(a: &Value, b: &Value) -> bool {
+    if a == b {
+        return true;
+    }
+    match (a.as_f64(), b.as_f64()) {
+        (Ok(x), Ok(y)) => (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0),
+        _ => false,
+    }
+}
+
+/// The full 36-entry report.
+#[derive(Clone, Debug)]
+pub struct TableReport {
+    /// One report per ordered class pair, `OpClass::ALL` × `OpClass::ALL`
+    /// order.
+    pub pairs: Vec<PairReport>,
+}
+
+impl TableReport {
+    /// Renders the verdict matrix plus one line per entry (proof case
+    /// counts for compatible entries, the witness for incompatible
+    /// ones).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("Table I semantic check (36 ordered entries):\n");
+        for r in &self.pairs {
+            match &r.witness {
+                None => out.push_str(&format!(
+                    "  {:>12} vs {:<12} compatible   ({} commutation cases, {} reconcile cases)\n",
+                    r.a.label(),
+                    r.b.label(),
+                    r.cases,
+                    r.reconcile_cases
+                )),
+                Some(w) => out.push_str(&format!(
+                    "  {:>12} vs {:<12} incompatible ({w})\n",
+                    r.a.label(),
+                    r.b.label()
+                )),
+            }
+        }
+        out
+    }
+}
+
+/// Checks every ordered class pair and cross-checks the semantic verdict
+/// against `OpClass::compatible_with` **and** the shipped
+/// [`CompatMatrix::paper`]. Any divergence fails with the offending
+/// entry and its witness (or missing witness).
+///
+/// [`CompatMatrix::paper`]: pstm_types::CompatMatrix::paper
+pub fn check_table() -> Result<TableReport, String> {
+    let paper = CompatMatrix::paper();
+    let mut pairs = Vec::with_capacity(36);
+    for &a in &OpClass::ALL {
+        for &b in &OpClass::ALL {
+            let report = check_pair(a, b);
+            let semantic = report.semantically_compatible();
+            let shipped = a.compatible_with(b);
+            let matrix = paper.compatible(a, b);
+            if shipped != matrix {
+                return Err(format!(
+                    "CompatMatrix::paper() disagrees with OpClass::compatible_with on \
+                     ({}, {}): matrix says {matrix}, method says {shipped}",
+                    a.label(),
+                    b.label()
+                ));
+            }
+            if semantic != shipped {
+                let detail = match &report.witness {
+                    Some(w) => format!("semantic check found a witness: {w}"),
+                    None => format!(
+                        "semantic check proved forward commutativity over {} cases \
+                         with no witness",
+                        report.cases
+                    ),
+                };
+                return Err(format!(
+                    "Table I drift on ({}, {}): types/compat.rs says {}, semantics say {} — {detail}",
+                    a.label(),
+                    b.label(),
+                    if shipped { "compatible" } else { "incompatible" },
+                    if semantic { "compatible" } else { "incompatible" },
+                ));
+            }
+            pairs.push(report);
+        }
+    }
+    Ok(TableReport { pairs })
+}

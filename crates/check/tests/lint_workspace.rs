@@ -1,0 +1,122 @@
+//! The lint gate: the real workspace must scan clean under the checked-in
+//! allowlist, and the scanner must still *detect* each violation class
+//! when shown deliberately bad source.
+
+use pstm_check::{run_lint, Allowlist, Rule};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+#[test]
+fn workspace_lints_clean() {
+    let report = run_lint(&workspace_root()).expect("lint run");
+    assert!(report.files_scanned > 20, "scanned only {} files", report.files_scanned);
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations (fix them or update pstm-check.allow):\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn allowlist_parses_and_has_no_wildcard_entries() {
+    let text = fs::read_to_string(workspace_root().join("pstm-check.allow")).expect("allow file");
+    let allow = Allowlist::parse(&text).expect("allowlist parses");
+    // Staleness is already covered by workspace_lints_clean (stale
+    // entries surface as violations); here, pin that every entry is
+    // function-scoped — whole-file waivers hide future regressions.
+    for line in text.lines().map(str::trim) {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        assert!(
+            line.contains("::"),
+            "allowlist entry must be function-scoped, found whole-file waiver: {line}"
+        );
+    }
+    drop(allow);
+}
+
+/// Writes a throwaway mini-workspace and asserts the scanner fires each
+/// rule on source that deserves it. The banned tokens are assembled with
+/// `concat!` so this test file itself stays lint-clean.
+#[test]
+fn scanner_detects_each_violation_class() {
+    let dir = std::env::temp_dir().join(format!("pstm-check-selftest-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+
+    // wall-clock scope: any .rs outside the seam.
+    let wall = format!("fn f() {{ let t = std::time::{}::now(); }}\n", concat!("Inst", "ant"));
+    write(&dir.join("crates/demo/src/lib.rs"), &wall);
+
+    // no-panic scope: core commit path.
+    let panic_src = format!(
+        "pub fn commit_finish(x: Option<u32>) -> u32 {{ x{} }}\n",
+        concat!(".unw", "rap()")
+    );
+    write(&dir.join("crates/core/src/gtm.rs"), &panic_src);
+
+    // lock-order scope: front, multi-shard lock outside the helper.
+    let lock_src = "pub fn commit_across(&self) {\n    \
+         let g: Vec<_> = shards.iter().map(|s| s.lock()).collect();\n}\n";
+    write(&dir.join("crates/front/src/lib.rs"), lock_src);
+
+    let report = run_lint(&dir).expect("lint run over synthetic tree");
+    let fired: Vec<Rule> = report.violations.iter().map(|v| v.rule).collect();
+    assert!(fired.contains(&Rule::WallClock), "wall-clock missed:\n{}", report.render());
+    assert!(
+        fired.contains(&Rule::NoPanicCommitPath),
+        "no-panic-commit-path missed:\n{}",
+        report.render()
+    );
+    assert!(fired.contains(&Rule::LockOrder), "lock-order missed:\n{}", report.render());
+
+    // Violations attribute to the function that contains them.
+    let commit = report
+        .violations
+        .iter()
+        .find(|v| v.rule == Rule::NoPanicCommitPath)
+        .expect("panic violation");
+    assert_eq!(commit.func.as_deref(), Some("commit_finish"));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_allowlist_entries_are_violations() {
+    let dir = std::env::temp_dir().join(format!("pstm-check-stale-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    write(&dir.join("crates/demo/src/lib.rs"), "pub fn ok() {}\n");
+    write(&dir.join("pstm-check.allow"), "lock-order crates/front/src/lib.rs::no_such_fn\n");
+    let report = run_lint(&dir).expect("lint run");
+    assert_eq!(report.violations.len(), 1, "{}", report.render());
+    assert_eq!(report.violations[0].rule, Rule::StaleAllowlist);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cfg_test_code_is_exempt_from_panic_rule() {
+    let dir = std::env::temp_dir().join(format!("pstm-check-cfgtest-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let src = format!(
+        "pub fn commit_finish() {{}}\n\
+         #[cfg(test)]\n\
+         mod tests {{\n    \
+             #[test]\n    \
+             fn t() {{ Some(1){}; }}\n\
+         }}\n",
+        concat!(".unw", "rap()")
+    );
+    write(&dir.join("crates/core/src/sst.rs"), &src);
+    let report = run_lint(&dir).expect("lint run");
+    assert!(report.is_clean(), "test-module code flagged:\n{}", report.render());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+fn write(path: &Path, content: &str) {
+    fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+    fs::write(path, content).expect("write");
+}

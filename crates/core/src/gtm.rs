@@ -486,7 +486,7 @@ impl Gtm {
                 .map(|v| (ExecOutcome::Completed(v), StepEffects::none()));
         }
         // Queue (Algorithm 2, second branch).
-        self.enqueue_wait(txn, resource, op, class, now, is_upgrade);
+        self.enqueue_wait(txn, resource, op, class, now, is_upgrade)?;
         let mut effects = self.post_wait_checks(txn, now)?;
         // The wait is policy-made, not contention-made: the grant was
         // free under the compatibility matrix and a §VII policy denied
@@ -593,7 +593,10 @@ impl Gtm {
             .any(|(t, c)| *t != txn && rs.sleeping.contains(t) && !matrix.compatible(class, *c));
         rs.pending.insert(txn, class);
         rs.read.insert(txn, permanent);
-        let record = self.txns.get_mut(&txn).expect("granted txn exists");
+        let record = self
+            .txns
+            .get_mut(&txn)
+            .ok_or_else(|| PstmError::internal(format!("granted {txn} has no record")))?;
         record.temp.insert(resource, new.clone());
         record.classes.insert(resource, class);
         record.op_log.push((resource, op));
@@ -613,7 +616,7 @@ impl Gtm {
         class: OpClass,
         now: Timestamp,
         is_upgrade: bool,
-    ) {
+    ) -> PstmResult<()> {
         let rs = self.resources.entry(resource).or_default();
         let entry = WaitEntry { txn, class, op: op.clone(), since: now, is_upgrade };
         if is_upgrade {
@@ -622,11 +625,15 @@ impl Gtm {
             rs.waiting.push_back(entry);
         }
         let queue_depth = rs.waiting.len() as u32;
-        let record = self.txns.get_mut(&txn).expect("waiting txn exists");
+        let record = self
+            .txns
+            .get_mut(&txn)
+            .ok_or_else(|| PstmError::internal(format!("waiting {txn} has no record")))?;
         record.state = TxnState::Waiting;
         record.pending_op = Some((resource, op));
         record.t_wait.insert(resource, now);
         self.tracer.emit(now, TraceEvent::OpWaiting { txn, resource, class, queue_depth });
+        Ok(())
     }
 
     /// After queuing a request: deadlock detection. Returns effects; if
@@ -770,7 +777,9 @@ impl Gtm {
             let mut writes = Vec::new();
             for (resource, class) in &touched {
                 let permanent = self.perm(*resource)?;
-                let record = self.txns.get_mut(&txn).expect("committing txn exists");
+                let record = self.txns.get_mut(&txn).ok_or_else(|| {
+                    PstmError::internal(format!("committing {txn} has no record"))
+                })?;
                 let temp = record.temp.remove(resource);
                 let rs = self.resources.entry(*resource).or_default();
                 rs.pending.remove(&txn);
@@ -830,7 +839,10 @@ impl Gtm {
             rs.new.remove(&txn);
             rs.committed.push((txn, *class, now));
         }
-        let record = self.txns.get_mut(&txn).expect("committing txn exists");
+        let record = self
+            .txns
+            .get_mut(&txn)
+            .ok_or_else(|| PstmError::internal(format!("committing {txn} has no record")))?;
         record.state = TxnState::Committed;
         record.t_sleep = None;
         record.t_wait.clear();
@@ -923,7 +935,10 @@ impl Gtm {
             rs.read.remove(&txn);
             rs.new.remove(&txn);
         }
-        let record = self.txns.get_mut(&txn).expect("aborting txn exists");
+        let record = self
+            .txns
+            .get_mut(&txn)
+            .ok_or_else(|| PstmError::internal(format!("aborting {txn} has no record")))?;
         record.state = TxnState::Aborted;
         record.t_sleep = None;
         record.t_wait.clear();
@@ -1023,7 +1038,10 @@ impl Gtm {
         if let Some((resource, op)) = queued {
             let class = op.class();
             if self.grant_denied(txn, resource, class, &op, now)? {
-                let record = self.txns.get_mut(&txn).expect("awaking txn exists");
+                let record = self
+                    .txns
+                    .get_mut(&txn)
+                    .ok_or_else(|| PstmError::internal(format!("awaking {txn} has no record")))?;
                 record.state = TxnState::Waiting;
                 record.t_sleep = None;
                 self.tracer.emit(now, TraceEvent::TxnAwoke { txn });
@@ -1031,7 +1049,10 @@ impl Gtm {
             }
             let rs = self.rs(resource);
             rs.waiting.retain(|w| w.txn != txn);
-            let record = self.txns.get_mut(&txn).expect("awaking txn exists");
+            let record = self
+                .txns
+                .get_mut(&txn)
+                .ok_or_else(|| PstmError::internal(format!("awaking {txn} has no record")))?;
             record.pending_op = None;
             let is_upgrade = record.classes.get(&resource) == Some(&OpClass::Read);
             match self.grant(txn, resource, op, class, is_upgrade, now) {
@@ -1048,7 +1069,10 @@ impl Gtm {
                 Err(e) => return Err(e),
             }
         }
-        let record = self.txns.get_mut(&txn).expect("awaking txn exists");
+        let record = self
+            .txns
+            .get_mut(&txn)
+            .ok_or_else(|| PstmError::internal(format!("awaking {txn} has no record")))?;
         record.state = TxnState::Active;
         record.t_sleep = None;
         record.t_wait.clear();
@@ -1081,7 +1105,10 @@ impl Gtm {
             while let Some(entry) =
                 self.resources.get(&resource).and_then(|rs| rs.waiting.get(idx)).cloned()
             {
-                let rs = self.resources.get(&resource).expect("resource exists");
+                let rs = self
+                    .resources
+                    .get(&resource)
+                    .ok_or_else(|| PstmError::internal(format!("{resource} vanished mid-scan")))?;
                 if rs.sleeping.contains(&entry.txn) {
                     idx += 1;
                     continue; // Algorithm 11: X_waiting − X_sleeping
@@ -1102,7 +1129,9 @@ impl Gtm {
                     // ahead of it, or the lock-deny of Algorithm 2 would
                     // be undone at every unlock.
                     if let Some(p) = self.config.starvation {
-                        let rs = self.resources.get(&resource).expect("resource exists");
+                        let rs = self.resources.get(&resource).ok_or_else(|| {
+                            PstmError::internal(format!("{resource} vanished mid-scan"))
+                        })?;
                         let incompatible_ahead = rs
                             .waiting
                             .iter()
@@ -1127,14 +1156,21 @@ impl Gtm {
                     continue;
                 }
                 // Grant it.
-                let rs = self.resources.get_mut(&resource).expect("resource exists");
+                let rs = self
+                    .resources
+                    .get_mut(&resource)
+                    .ok_or_else(|| PstmError::internal(format!("{resource} vanished mid-scan")))?;
                 rs.waiting.remove(idx);
-                let record = self.txns.get_mut(&entry.txn).expect("waiting txn exists");
+                let record = self.txns.get_mut(&entry.txn).ok_or_else(|| {
+                    PstmError::internal(format!("waiting {} has no record", entry.txn))
+                })?;
                 record.pending_op = None;
                 match self.grant(entry.txn, resource, entry.op, entry.class, entry.is_upgrade, now)
                 {
                     Ok(value) => {
-                        let record = self.txns.get_mut(&entry.txn).expect("granted txn exists");
+                        let record = self.txns.get_mut(&entry.txn).ok_or_else(|| {
+                            PstmError::internal(format!("granted {} has no record", entry.txn))
+                        })?;
                         if record.state == TxnState::Waiting {
                             record.state = TxnState::Active;
                         }

@@ -102,11 +102,10 @@ impl HistoryRecorder {
                 (Value::Float(a), Value::Float(b)) => {
                     (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
                 }
-                (a, b) if a.is_numeric() && b.is_numeric() => {
-                    let (a, b) = (a.as_f64().unwrap(), b.as_f64().unwrap());
-                    (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0)
-                }
-                (a, b) => a == b,
+                (a, b) => match (a.as_f64(), b.as_f64()) {
+                    (Ok(a), Ok(b)) => (a - b).abs() <= 1e-9 * a.abs().max(b.abs()).max(1.0),
+                    _ => a == b,
+                },
             };
             if !equal {
                 return Err(format!(

@@ -53,6 +53,7 @@
 use parking_lot::{Mutex, MutexGuard};
 use pstm_core::gtm::{CommitResult, Gtm, GtmConfig, GtmStats, LocalCommit};
 use pstm_core::sst::Sst;
+use pstm_obs::wallclock::WallEpoch;
 use pstm_obs::{expo, MetricsRegistry, SpanKind, TraceEvent, Tracer};
 use pstm_storage::{BindingRegistry, Database};
 use pstm_types::{
@@ -62,7 +63,6 @@ use pstm_types::{
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Configuration of the sharded front-end.
 #[derive(Clone, Copy, Debug)]
@@ -158,7 +158,7 @@ struct FrontInner {
     tracers: Vec<Tracer>,
     config: FrontConfig,
     next_txn: AtomicU64,
-    epoch: Instant,
+    epoch: WallEpoch,
     mail: Mutex<BTreeMap<TxnId, Signal>>,
 }
 
@@ -223,7 +223,7 @@ impl ShardedFront {
                 tracers,
                 config,
                 next_txn: AtomicU64::new(1),
-                epoch: Instant::now(),
+                epoch: WallEpoch::now(),
                 mail: Mutex::new(BTreeMap::new()),
             }),
         }
@@ -246,7 +246,7 @@ impl ShardedFront {
     /// virtual-clock timestamp the shards understand.
     #[must_use]
     pub fn now(&self) -> Timestamp {
-        Timestamp(u64::try_from(self.inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX))
+        Timestamp(self.inner.epoch.elapsed_us())
     }
 
     /// Opens a new session (allocates its transaction id). The session
@@ -340,6 +340,23 @@ impl ShardedFront {
         Ok(gtm)
     }
 
+    /// Acquires several shard locks at once — the **only** sanctioned
+    /// multi-shard acquisition path (enforced by `pstm-check`'s
+    /// `lock-order` lint). `shards` must be strictly ascending: every
+    /// concurrent committer then acquires in the same global order, so
+    /// no lock cycle can form between cross-shard commits.
+    ///
+    /// # Panics
+    /// If `shards` is not strictly ascending or names a shard that does
+    /// not exist — both are front-end bugs, not recoverable states.
+    fn lock_shards_ascending(&self, shards: &[usize]) -> Vec<MutexGuard<'_, Gtm>> {
+        assert!(
+            shards.windows(2).all(|w| w[0] < w[1]),
+            "multi-shard lock order must be strictly ascending, got {shards:?}"
+        );
+        shards.iter().map(|&s| self.inner.shards[s].lock()).collect()
+    }
+
     /// Deposits resume/abort notifications for *other* sessions.
     fn deposit(&self, fx: &StepEffects) {
         if fx.resumed.is_empty() && fx.aborted.is_empty() {
@@ -404,11 +421,9 @@ impl Session {
 
     /// Wall-clock microseconds since the Unix epoch — the second clock
     /// every front-emitted span carries next to the virtual timestamp.
+    /// Delegates to the workspace's one sanctioned wall-clock seam.
     fn wall_now_us() -> Option<u64> {
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .ok()
-            .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+        pstm_obs::wallclock::wall_now_us()
     }
 
     /// Emits an event into the home shard's tracer (no-op before the
@@ -596,8 +611,7 @@ impl Session {
     fn commit_across(&mut self, shards: &[usize]) -> PstmResult<CommitResult> {
         self.close_leaf();
         self.open_span(SpanKind::Commit);
-        let mut guards: Vec<MutexGuard<'_, Gtm>> =
-            shards.iter().map(|&s| self.front.inner.shards[s].lock()).collect();
+        let mut guards: Vec<MutexGuard<'_, Gtm>> = self.front.lock_shards_ascending(shards);
         let now = self.front.now();
 
         // Phase one: reconcile on every shard (Algorithm 3 per shard).

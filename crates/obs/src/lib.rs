@@ -32,6 +32,7 @@ pub mod replay;
 pub mod sink;
 pub mod span;
 pub mod tracer;
+pub mod wallclock;
 
 pub use dot::waits_for_dot;
 pub use event::{AbortOrigin, TraceEvent, TraceRecord};
@@ -41,3 +42,4 @@ pub use replay::{load_jsonl, parse_jsonl, replay};
 pub use sink::{JsonlSink, NullSink, RingHandle, RingSink, Sink};
 pub use span::{build_span_trees, records_eq_ignoring_wall, strip_wall, SpanKind, SpanNode};
 pub use tracer::{current_thread_tag, Tracer};
+pub use wallclock::{wall_now_us, WallEpoch};
