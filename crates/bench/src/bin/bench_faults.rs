@@ -1,0 +1,160 @@
+//! Fault-rate sweep over the deterministic chaos harness: for each
+//! transient-I/O rate (parts per million per SST attempt), run a seeded
+//! matrix of chaos runs — each with a one-shot crash at a seed-derived
+//! labeled point — and record recovery latency and abort amplification.
+//!
+//! Writes `results/BENCH_faults.json` and exits nonzero if any run
+//! violates a recovery invariant or fails `pstm-check` certification —
+//! this is the CI `faults-smoke` gate.
+//!
+//! Usage: `bench_faults [--quick] [--seeds N]` (default 32 seeds/rate).
+
+use pstm_bench::{print_header, write_results};
+use pstm_faults::plan::SITE_KINDS;
+use pstm_faults::{run_chaos, ChaosConfig, FaultPlan};
+use serde::Serialize;
+
+/// Transient SST I/O rates swept, in parts per million per attempt.
+/// The harness retries each SST twice, so the abort probability per
+/// commit is roughly the cube of the per-attempt rate — the sweep has to
+/// reach well into the hundreds of thousands of ppm before the retry
+/// budget stops absorbing the faults.
+const RATES_PPM: [u32; 5] = [0, 50_000, 200_000, 500_000, 800_000];
+
+#[derive(Serialize)]
+struct RatePoint {
+    /// Transient SST I/O probability, parts per million per attempt.
+    rate_ppm: u32,
+    seeds: u64,
+    sessions: u64,
+    committed: u64,
+    committed_in_doubt: u64,
+    aborted: u64,
+    aborted_sst_failure: u64,
+    lost_to_crashes: u64,
+    crashes: u64,
+    faults_fired: u64,
+    /// Aborts per committed session — how much the fault rate amplifies
+    /// the abort tax on the workload.
+    abort_amplification: f64,
+    /// Wall-clock recovery latency over every crash at this rate, in
+    /// microseconds (absent when the wall clock is unavailable).
+    recovery_us_mean: Option<f64>,
+    recovery_us_max: Option<u64>,
+    recoveries_timed: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    seeds_per_rate: u64,
+    sessions_per_run: usize,
+    rates: Vec<RatePoint>,
+    /// Every run certified by `pstm-check` with zero invariant
+    /// violations — the value this binary exits nonzero without.
+    all_clean: bool,
+}
+
+fn sweep_rate(ppm: u32, seeds: u64, dirty: &mut Vec<String>) -> RatePoint {
+    let mut point = RatePoint {
+        rate_ppm: ppm,
+        seeds,
+        sessions: 0,
+        committed: 0,
+        committed_in_doubt: 0,
+        aborted: 0,
+        aborted_sst_failure: 0,
+        lost_to_crashes: 0,
+        crashes: 0,
+        faults_fired: 0,
+        abort_amplification: 0.0,
+        recovery_us_mean: None,
+        recovery_us_max: None,
+        recoveries_timed: 0,
+    };
+    let mut recovery_us: Vec<u64> = Vec::new();
+    for seed in 0..seeds {
+        // Each seed crashes once at a seed-derived labeled point, so the
+        // sweep measures recovery latency alongside the abort tax.
+        let kind = SITE_KINDS[(seed as usize) % SITE_KINDS.len()];
+        let mut plan = FaultPlan::new(seed).crash_at_kind(kind, 1 + seed % 8);
+        if ppm > 0 {
+            plan = plan.io_on_sst_apply_each(ppm);
+        }
+        let config = ChaosConfig::new(seed, plan);
+        let report = run_chaos(&config).expect("chaos run errored outside the fault seam");
+        if !report.clean() {
+            dirty.push(format!(
+                "rate={ppm}ppm seed={seed}: violations={:?} certified={} ({})",
+                report.violations, report.certified, report.fingerprint
+            ));
+        }
+        point.sessions += config.sessions as u64;
+        point.committed += report.committed;
+        point.committed_in_doubt += report.committed_in_doubt;
+        point.aborted += report.aborted;
+        point.aborted_sst_failure += report.aborted_sst_failure;
+        point.lost_to_crashes += report.lost;
+        point.crashes += report.crashes;
+        point.faults_fired += report.faults.len() as u64;
+        recovery_us.extend(report.recovery_wall_us.iter().flatten());
+    }
+    point.abort_amplification =
+        point.aborted as f64 / (point.committed + point.committed_in_doubt).max(1) as f64;
+    point.recoveries_timed = recovery_us.len() as u64;
+    if !recovery_us.is_empty() {
+        point.recovery_us_mean =
+            Some(recovery_us.iter().sum::<u64>() as f64 / recovery_us.len() as f64);
+        point.recovery_us_max = recovery_us.iter().copied().max();
+    }
+    point
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut seeds: u64 = if args.iter().any(|a| a == "--quick") { 8 } else { 32 };
+    if let Some(i) = args.iter().position(|a| a == "--seeds") {
+        seeds = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("--seeds needs a number, got {:?}", args.get(i + 1)));
+    }
+
+    print_header(
+        "BENCH faults — chaos sweep over transient SST I/O rates",
+        &["ppm", "committed", "in_doubt", "aborted", "crashes", "amplification", "recovery_us"],
+    );
+    let mut dirty = Vec::new();
+    let mut rates = Vec::new();
+    for ppm in RATES_PPM {
+        let point = sweep_rate(ppm, seeds, &mut dirty);
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{:.3}\t{}",
+            point.rate_ppm,
+            point.committed,
+            point.committed_in_doubt,
+            point.aborted,
+            point.crashes,
+            point.abort_amplification,
+            point.recovery_us_mean.map_or_else(|| "-".into(), |us| format!("{us:.0}")),
+        );
+        rates.push(point);
+    }
+
+    let report = Report {
+        seeds_per_rate: seeds,
+        sessions_per_run: ChaosConfig::new(0, FaultPlan::new(0)).sessions,
+        rates,
+        all_clean: dirty.is_empty(),
+    };
+    let path = write_results("BENCH_faults", &report).expect("write results");
+    println!("wrote {}", path.display());
+
+    if !dirty.is_empty() {
+        eprintln!("\n{} dirty runs:", dirty.len());
+        for line in &dirty {
+            eprintln!("  {line}");
+        }
+        std::process::exit(1);
+    }
+    println!("all {} runs clean: invariants held, every stitched trace certified", seeds * 5);
+}

@@ -42,6 +42,6 @@ pub mod verify;
 pub use lint::{run_lint, Allowlist, LintReport, Rule, Violation};
 pub use table::{check_pair, check_table, PairReport, TableReport, Witness};
 pub use verify::{
-    verify_jsonl_files, verify_records, verify_streams, Certificate, CycleEdge, TraceStream,
-    Verdict,
+    stitch_streams, verify_jsonl_files, verify_records, verify_streams, Certificate, CycleEdge,
+    TraceStream, Verdict,
 };

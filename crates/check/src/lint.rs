@@ -21,6 +21,12 @@
 //!   a function explicitly allowlisted as a reviewed single-shard /
 //!   lock-release-between acquisition site. Cross-shard deadlock freedom
 //!   rests entirely on this ordering discipline.
+//! - **`wal-seam`** — inside `crates/storage/src/wal.rs`, the log
+//!   buffer may be mutated only by `append` (the one durable-write path,
+//!   which consults the `FaultHook` seam) and the named recovery/chaos
+//!   helpers. A new function that grows the log without passing through
+//!   `append` would silently escape fault injection — and the chaos
+//!   suite's crash-recovery guarantees with it.
 //!
 //! Scanning is line-based: `//` comments are stripped (string-literal
 //! aware), `#[cfg(test)]` items are skipped by brace counting, and each
@@ -58,6 +64,27 @@ const CORE_COMMIT_PATH_FILES: [&str; 5] =
 /// The one function allowed to take several shard locks at once.
 const ORDERED_LOCK_HELPER: &str = "lock_shards_ascending";
 
+/// The file the `wal-seam` rule applies to.
+const WAL_SEAM_FILE: &str = "crates/storage/src/wal.rs";
+
+/// Mutating accesses to the WAL's log buffer — the `wal-seam` rule flags
+/// any of these outside the sanctioned functions.
+const WAL_BUF_MUTATORS: [&str; 7] = [
+    "self.buf.extend",
+    "self.buf.push",
+    "self.buf.truncate",
+    "self.buf.drain",
+    "self.buf.insert",
+    "self.buf.clear",
+    "self.buf.get_mut",
+];
+
+/// Functions allowed to mutate the log buffer: `append` is the hooked
+/// durable-write seam; the rest shrink or corrupt the device (recovery /
+/// chaos helpers) and never add records past the seam.
+const WAL_SEAM_FNS: [&str; 5] =
+    ["append", "truncate_prefix", "crash_truncate", "corrupt_byte_with", "trim_torn_tail"];
+
 /// One of the lint rules (plus the synthetic rule flagging stale
 /// allowlist entries).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -68,6 +95,8 @@ pub enum Rule {
     NoPanicCommitPath,
     /// Shard lock acquisition outside the ordered helper or allowlist.
     LockOrder,
+    /// WAL buffer mutation outside the hooked `append` seam.
+    WalSeam,
     /// An allowlist entry that matched nothing.
     StaleAllowlist,
 }
@@ -80,6 +109,7 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::NoPanicCommitPath => "no-panic-commit-path",
             Rule::LockOrder => "lock-order",
+            Rule::WalSeam => "wal-seam",
             Rule::StaleAllowlist => "stale-allowlist",
         }
     }
@@ -294,6 +324,7 @@ struct Scope {
     wall_clock: bool,
     no_panic: bool,
     lock_order: bool,
+    wal_seam: bool,
 }
 
 fn scope_of(file: &str) -> Scope {
@@ -302,12 +333,13 @@ fn scope_of(file: &str) -> Scope {
         file.strip_prefix("crates/core/src/").is_some_and(|f| CORE_COMMIT_PATH_FILES.contains(&f))
             || file.starts_with("crates/front/src/");
     let lock_order = file.starts_with("crates/front/src/");
-    Scope { wall_clock, no_panic, lock_order }
+    let wal_seam = file == WAL_SEAM_FILE;
+    Scope { wall_clock, no_panic, lock_order, wal_seam }
 }
 
 fn scan_file(file: &str, text: &str, allow: &mut Allowlist, out: &mut Vec<Violation>) {
     let scope = scope_of(file);
-    if !scope.wall_clock && !scope.no_panic && !scope.lock_order {
+    if !scope.wall_clock && !scope.no_panic && !scope.lock_order && !scope.wal_seam {
         return;
     }
     let mut current_fn: Option<String> = None;
@@ -373,6 +405,17 @@ fn scan_file(file: &str, text: &str, allow: &mut Allowlist, out: &mut Vec<Violat
             && !allow.allows(Rule::LockOrder, file, current_fn.as_deref())
         {
             out.push(violation(Rule::LockOrder, file, line_no, &current_fn, raw));
+        }
+        if scope.wal_seam {
+            for token in WAL_BUF_MUTATORS {
+                if code.contains(token)
+                    && !current_fn.as_deref().is_some_and(|f| WAL_SEAM_FNS.contains(&f))
+                    && !allow.allows(Rule::WalSeam, file, current_fn.as_deref())
+                {
+                    out.push(violation(Rule::WalSeam, file, line_no, &current_fn, raw));
+                    break;
+                }
+            }
         }
     }
 }
@@ -498,6 +541,26 @@ mod tests {
         .expect("parses");
         assert_eq!(a.entries.len(), 2);
         assert!(Allowlist::parse("one-word-only\n").is_err());
+    }
+
+    #[test]
+    fn wal_seam_flags_mutations_outside_sanctioned_fns() {
+        let src = "impl Wal {\n\
+                       pub fn append(&mut self) { self.buf.extend_from_slice(&f); }\n\
+                       pub fn trim_torn_tail(&mut self) { self.buf.truncate(pos); }\n\
+                       pub fn append_raw(&mut self) { self.buf.extend_from_slice(&f); }\n\
+                   }\n";
+        let mut allow = Allowlist::default();
+        let mut out = Vec::new();
+        scan_file(WAL_SEAM_FILE, src, &mut allow, &mut out);
+        // Only the unsanctioned append_raw fires; and only in wal.rs.
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, Rule::WalSeam);
+        assert_eq!(out[0].func.as_deref(), Some("append_raw"));
+
+        let mut elsewhere = Vec::new();
+        scan_file("crates/storage/src/engine.rs", src, &mut allow, &mut elsewhere);
+        assert!(elsewhere.iter().all(|v| v.rule != Rule::WalSeam), "{elsewhere:?}");
     }
 
     #[test]

@@ -251,6 +251,36 @@ fn annotate(stream: &TraceStream) -> Vec<Option<Node>> {
         .collect()
 }
 
+/// Stitches per-epoch stream sets — e.g. the pre-crash and
+/// post-recovery captures of the same shards in a fault-injection run —
+/// into one continuous stream per label. Streams sharing a label are
+/// concatenated in epoch order and renumbered with a fresh per-stream
+/// `seq`, so the verifier sees each shard's full history as a single
+/// stream; labels keep their first-seen order. A crash-recovery run is
+/// certified by stitching its epochs and passing the result to
+/// [`verify_streams`].
+#[must_use]
+pub fn stitch_streams(epochs: &[Vec<TraceStream>]) -> Vec<TraceStream> {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_label: BTreeMap<String, Vec<TraceRecord>> = BTreeMap::new();
+    for stream in epochs.iter().flatten() {
+        if !by_label.contains_key(&stream.label) {
+            order.push(stream.label.clone());
+        }
+        by_label.entry(stream.label.clone()).or_default().extend_from_slice(&stream.records);
+    }
+    order
+        .into_iter()
+        .map(|label| {
+            let mut records = by_label.remove(&label).unwrap_or_default();
+            for (i, rec) in records.iter_mut().enumerate() {
+                rec.seq = i as u64;
+            }
+            TraceStream { label, records }
+        })
+        .collect()
+}
+
 /// Verifies one run captured as a single stream.
 #[must_use]
 pub fn verify_records(records: &[TraceRecord]) -> Verdict {

@@ -294,3 +294,50 @@ fn unfinished_transactions_are_counted_but_ignored() {
         Verdict::NotSerializable(c) => panic!("unfinished overlap rejected: {c}"),
     }
 }
+
+#[test]
+fn stitched_epochs_form_continuous_streams_and_certify() {
+    use pstm_check::stitch_streams;
+
+    // Epoch 1 (pre-crash): T1 commits on shard0; shard1 sees T2 begin
+    // work that the crash strands — its volatile state perishes and it
+    // never completes.
+    let mut s0a = Tb::new();
+    s0a.begin(1).grant(1, 10, OpClass::UpdateAssign).commit(1);
+    let mut s1a = Tb::new();
+    s1a.begin(2).grant(2, 20, OpClass::UpdateAssign);
+
+    // Epoch 2 (post-recovery): a fresh session T3 retries the same work
+    // on shard1 (the chaos harness keeps txn ids monotone across
+    // epochs, so stranded ids are never reused).
+    let mut s1b = Tb::new();
+    s1b.begin(3).grant(3, 20, OpClass::UpdateAssign).commit(3);
+
+    let epochs = vec![
+        vec![
+            TraceStream { label: "shard0".into(), records: s0a.done() },
+            TraceStream { label: "shard1".into(), records: s1a.done() },
+        ],
+        vec![TraceStream { label: "shard1".into(), records: s1b.done() }],
+    ];
+    let stitched = stitch_streams(&epochs);
+
+    // Labels keep first-seen order; shard1's epochs are concatenated and
+    // renumbered into one gap-free seq space.
+    assert_eq!(stitched.len(), 2);
+    assert_eq!(stitched[0].label, "shard0");
+    assert_eq!(stitched[1].label, "shard1");
+    assert_eq!(stitched[1].records.len(), 5);
+    let seqs: Vec<u64> = stitched[1].records.iter().map(|r| r.seq).collect();
+    assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+
+    match verify_streams(&stitched) {
+        Verdict::Serializable(cert) => {
+            assert_eq!(cert.committed, 2);
+            // The stranded pre-crash T2 counts as unfinished; it never
+            // reached a completion event.
+            assert_eq!(cert.unfinished, 1);
+        }
+        Verdict::NotSerializable(c) => panic!("stitched run rejected: {c}"),
+    }
+}

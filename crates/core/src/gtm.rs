@@ -32,8 +32,8 @@ use pstm_lock::WaitsForGraph;
 use pstm_obs::{AbortOrigin, Ctr, MetricsRegistry, TraceEvent, Tracer};
 use pstm_storage::{BindingRegistry, Database};
 use pstm_types::{
-    AbortReason, CompatMatrix, Duration, ExecOutcome, OpClass, PstmError, PstmResult, ResourceId,
-    ScalarOp, StepEffects, Timestamp, TxnId, Value,
+    AbortReason, CompatMatrix, Duration, ExecOutcome, FaultDecision, FaultSite, OpClass, PstmError,
+    PstmResult, ResourceId, ScalarOp, SharedFaultHook, StepEffects, Timestamp, TxnId, Value,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -253,6 +253,11 @@ pub struct Gtm {
     dependence: DependenceMap,
     tracer: Tracer,
     history: HistoryRecorder,
+    /// Seeded fault seam consulted at this manager's commit sites
+    /// (`commit-local`, `reconcile`); `None` outside chaos runs.
+    fault_hook: Option<SharedFaultHook>,
+    /// Shard index reported in this manager's fault-site labels.
+    fault_shard: u32,
 }
 
 impl Gtm {
@@ -268,6 +273,45 @@ impl Gtm {
             dependence: DependenceMap::new(),
             tracer: Tracer::disabled(),
             history: HistoryRecorder::new(),
+            fault_hook: None,
+            fault_shard: 0,
+        }
+    }
+
+    /// Installs a fault hook consulted at this manager's labeled commit
+    /// seams — the start of `commit_local` and each per-resource
+    /// reconciliation. `shard` tags the sites so plans can target one
+    /// shard of a sharded front-end; single-manager setups pass 0. The
+    /// engine's own seams (WAL append, SST apply) are installed
+    /// separately via `Database::set_fault_hook`.
+    pub fn set_fault_hook(&mut self, hook: SharedFaultHook, shard: u32) {
+        self.fault_hook = Some(hook);
+        self.fault_shard = shard;
+    }
+
+    /// Consults the fault seam at `site`. `Io` surfaces as a transient
+    /// `PstmError::Io` (the commit path's existing mapping turns it into
+    /// a clean `SstFailure` abort); `Crash`/`Torn` kill the simulated
+    /// process — `PstmError::Crashed` propagates raw and the manager must
+    /// be discarded.
+    fn fault_check(&self, site: FaultSite, now: Timestamp) -> PstmResult<()> {
+        let Some(hook) = self.fault_hook.as_ref() else { return Ok(()) };
+        match hook.decide(site) {
+            FaultDecision::Proceed => Ok(()),
+            FaultDecision::Io => {
+                self.tracer.emit(
+                    now,
+                    TraceEvent::FaultInjected { site: site.label(), action: "io".into() },
+                );
+                Err(PstmError::Io(format!("injected fault at {}", site.label())))
+            }
+            FaultDecision::Crash | FaultDecision::Torn { .. } => {
+                self.tracer.emit(
+                    now,
+                    TraceEvent::FaultInjected { site: site.label(), action: "crash".into() },
+                );
+                Err(PstmError::Crashed(site.label()))
+            }
         }
     }
 
@@ -774,8 +818,12 @@ impl Gtm {
         // here (a reconciliation overflow, an engine read failure) aborts
         // the transaction.
         let local_result: PstmResult<Vec<(ResourceId, Value)>> = (|| {
+            self.fault_check(FaultSite::CommitLocal { shard: self.fault_shard }, now)?;
             let mut writes = Vec::new();
             for (resource, class) in &touched {
+                // The paper's "link drops mid-reconcile": each resource's
+                // reconciliation is a separate arrival at the seam.
+                self.fault_check(FaultSite::Reconcile { shard: self.fault_shard }, now)?;
                 let permanent = self.perm(*resource)?;
                 let record = self.txns.get_mut(&txn).ok_or_else(|| {
                     PstmError::internal(format!("committing {txn} has no record"))

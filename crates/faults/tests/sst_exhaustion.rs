@@ -1,0 +1,119 @@
+//! SST retry exhaustion under injected persistent faults, driven through
+//! the *production* coordinator (`pstm-front`'s phased cross-shard
+//! commit) rather than the chaos harness's replica of it.
+//!
+//! Contract under test: when every SST attempt fails with a transient
+//! I/O error, sessions must come back as typed aborts
+//! ([`AbortReason::SstFailure`], or [`AbortReason::Constraint`] for CHECK
+//! violations) — never a panic, and never a leaked shard lock
+//! (`lock_shards_ascending`'s guards must fully unwind, observed via
+//! [`ShardedFront::shards_unlocked`]).
+
+use pstm_core::gtm::CommitResult;
+use pstm_faults::{FaultInjector, FaultPlan};
+use pstm_front::{FrontConfig, SessionOutcome, ShardedFront};
+use pstm_obs::{RingSink, Tracer};
+use pstm_types::{AbortReason, PstmError, ScalarOp, Value};
+use pstm_workload::counter_world;
+use std::sync::Arc;
+
+fn front_over(
+    resources: usize,
+    initial: i64,
+    shards: usize,
+) -> (ShardedFront, Vec<pstm_types::ResourceId>) {
+    let world = counter_world(resources, initial).unwrap();
+    let mut config = FrontConfig { shards, ..FrontConfig::default() };
+    config.gtm.sst_retries = 2; // a real retry budget to exhaust
+    let front = ShardedFront::with_shard_tracers(world.db, world.bindings, config, |_| {
+        Tracer::with_sink(Box::new(RingSink::new(1 << 18)))
+    });
+    (front, world.resources)
+}
+
+/// A cross-shard op set: one `Sub(1)` on each of the first four
+/// resources (they land on different shards when `shards == 4`).
+fn run_ops(front: &ShardedFront, resources: &[pstm_types::ResourceId]) -> pstm_front::Session {
+    let mut session = front.session();
+    for r in &resources[..4] {
+        match session.execute(*r, ScalarOp::Sub(Value::Int(1))).unwrap() {
+            SessionOutcome::Value(_) => {}
+            SessionOutcome::Aborted(reason) => panic!("execute aborted: {reason:?}"),
+        }
+    }
+    session
+}
+
+#[test]
+fn persistent_io_exhausts_retries_into_sst_failure_without_leaking_locks() {
+    let (front, resources) = front_over(8, 1_000, 4);
+    let injector = Arc::new(FaultInjector::new(FaultPlan::new(11).io_on_sst_apply_each(1_000_000)));
+    front.set_fault_hook(Arc::clone(&injector) as _);
+
+    for _ in 0..6 {
+        let mut session = run_ops(&front, &resources);
+        let result = session.commit().expect("typed abort, not an engine error");
+        assert_eq!(result, CommitResult::Aborted(AbortReason::SstFailure));
+        assert!(front.shards_unlocked(), "a shard lock leaked past the unwound commit");
+        front.check_invariants().expect("per-shard invariants after exhausted retries");
+    }
+    // Nothing reached the engine: the write set is all-or-nothing and
+    // every attempt failed.
+    for r in &resources[..4] {
+        assert_eq!(front.resource_value(*r).unwrap(), Value::Int(1_000));
+    }
+    // Shard-summed counters: each of the 6 sessions aborts on all 4 of
+    // its shards, and each commit burns its 2-attempt retry budget
+    // (counted once, in the session's home shard).
+    let stats = front.stats();
+    assert_eq!(stats.aborted_sst_failure, 24);
+    assert_eq!(stats.sst_retries, 12, "each commit should burn its full retry budget");
+
+    // The fault is transient by nature: disarm the injector and the very
+    // next cross-shard commit goes through.
+    injector.disarm();
+    let mut session = run_ops(&front, &resources);
+    assert_eq!(session.commit().unwrap(), CommitResult::Committed);
+    assert!(front.shards_unlocked());
+    for r in &resources[..4] {
+        assert_eq!(front.resource_value(*r).unwrap(), Value::Int(999));
+    }
+    front.verify_serializable().expect("committed history stays serializable");
+}
+
+#[test]
+fn constraint_violations_surface_as_typed_aborts_not_panics() {
+    // initial = 0 with a `>= 0` CHECK: the first Sub must die at commit
+    // with a Constraint abort (reconciliation result rejected by the
+    // engine), with no faults installed at all.
+    let (front, resources) = front_over(8, 0, 4);
+    let mut session = run_ops(&front, &resources);
+    let result = session.commit().unwrap();
+    assert_eq!(result, CommitResult::Aborted(AbortReason::Constraint));
+    assert!(front.shards_unlocked());
+    front.check_invariants().unwrap();
+    for r in &resources[..4] {
+        assert_eq!(front.resource_value(*r).unwrap(), Value::Int(0), "CHECK held");
+    }
+}
+
+#[test]
+fn injected_crash_mid_commit_unwinds_the_locks_before_poisoning() {
+    let (front, resources) = front_over(8, 1_000, 4);
+    let injector = Arc::new(FaultInjector::new(FaultPlan::new(13).crash_at_kind("pre-sst", 1)));
+    front.set_fault_hook(Arc::clone(&injector) as _);
+
+    let mut session = run_ops(&front, &resources);
+    match session.commit() {
+        Err(PstmError::Crashed(site)) => assert_eq!(site, "pre-sst"),
+        other => panic!("expected a simulated crash, got {other:?}"),
+    }
+    // The simulated process death must still release the shard mutexes —
+    // the front-end is now garbage (transactions parked in Committing),
+    // but a real restart can only happen if nothing is left locked.
+    assert!(front.shards_unlocked(), "crash left a shard lock held");
+    // Nothing was submitted to the engine before the pre-sst crash.
+    for r in &resources[..4] {
+        assert_eq!(front.resource_value(*r).unwrap(), Value::Int(1_000));
+    }
+}

@@ -57,8 +57,8 @@ use pstm_obs::wallclock::WallEpoch;
 use pstm_obs::{expo, MetricsRegistry, SpanKind, TraceEvent, Tracer};
 use pstm_storage::{BindingRegistry, Database};
 use pstm_types::{
-    AbortReason, Duration, ExecOutcome, PstmError, PstmResult, ResourceId, ScalarOp, StepEffects,
-    Timestamp, TxnId, Value,
+    AbortReason, Duration, ExecOutcome, FaultDecision, FaultSite, PstmError, PstmResult,
+    ResourceId, ScalarOp, SharedFaultHook, StepEffects, Timestamp, TxnId, Value,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -160,6 +160,10 @@ struct FrontInner {
     next_txn: AtomicU64,
     epoch: WallEpoch,
     mail: Mutex<BTreeMap<TxnId, Signal>>,
+    /// Fault seam consulted at the front-end's own phased-commit sites
+    /// (`pre-sst`, `pre-finish`); `None` outside chaos runs. Lives here
+    /// rather than in [`FrontConfig`] (which is `Copy`).
+    fault_hook: Mutex<Option<SharedFaultHook>>,
 }
 
 /// The sharded, thread-safe GTM front-end. Cheap to clone; clones share
@@ -225,8 +229,41 @@ impl ShardedFront {
                 next_txn: AtomicU64::new(1),
                 epoch: WallEpoch::now(),
                 mail: Mutex::new(BTreeMap::new()),
+                fault_hook: Mutex::new(None),
             }),
         }
+    }
+
+    /// Installs `hook` across the whole stack this front-end drives: the
+    /// shared engine (WAL + SST-apply seams), every GTM shard (commit
+    /// seams, tagged with the shard index), and this front-end's own
+    /// phased-commit seams (`pre-sst`, `pre-finish`). One fault plan then
+    /// counts arrivals at every labeled point a cross-shard commit passes
+    /// through. Install before sessions start; shards are visited one at
+    /// a time.
+    pub fn set_fault_hook(&self, hook: SharedFaultHook) {
+        self.inner.db.set_fault_hook(hook.clone());
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            shard.lock().set_fault_hook(hook.clone(), i as u32);
+        }
+        *self.inner.fault_hook.lock() = Some(hook);
+    }
+
+    /// Consults the front-end's own fault seam at `site`.
+    fn fault_decision(&self, site: FaultSite) -> FaultDecision {
+        match self.inner.fault_hook.lock().as_ref() {
+            Some(hook) => hook.decide(site),
+            None => FaultDecision::Proceed,
+        }
+    }
+
+    /// True when no shard mutex is currently held — what "no leaked shard
+    /// locks" means after a commit unwinds (successfully, by abort, or by
+    /// a simulated crash). Callers must be quiescent: a concurrent
+    /// session legitimately holding a shard reads as "locked".
+    #[must_use]
+    pub fn shards_unlocked(&self) -> bool {
+        self.inner.shards.iter().all(|s| s.try_lock().is_some())
     }
 
     /// Number of shards.
@@ -655,9 +692,36 @@ impl Session {
         let config = self.front.inner.config.gtm;
         let write_count = writes.len() as u32;
         let sst = Sst::new(self.id, writes);
+        // Labeled fault seam: every shard reconciled, SST not yet
+        // submitted. An injected I/O here is a transient coordinator/
+        // engine hiccup seeding the retry loop below; a crash kills the
+        // process with every shard parked in `Committing` — volatile
+        // state the restarted middleware never sees, so nothing of this
+        // commit may survive recovery.
+        let pre_sst_io = match self.front.fault_decision(FaultSite::PreSst) {
+            FaultDecision::Proceed => false,
+            FaultDecision::Io => {
+                self.emit_home(TraceEvent::FaultInjected {
+                    site: FaultSite::PreSst.label(),
+                    action: "io".into(),
+                });
+                true
+            }
+            FaultDecision::Crash | FaultDecision::Torn { .. } => {
+                self.emit_home(TraceEvent::FaultInjected {
+                    site: FaultSite::PreSst.label(),
+                    action: "crash".into(),
+                });
+                return Err(PstmError::Crashed(FaultSite::PreSst.label()));
+            }
+        };
         self.emit_home(TraceEvent::SstAttempt { txn: self.id, writes: write_count });
         self.open_span(SpanKind::SstAttempt { attempt: 1 });
-        let mut sst_result = sst.execute(&self.front.inner.db, &self.front.inner.bindings);
+        let mut sst_result = if pre_sst_io {
+            Err(PstmError::Io("injected pre-SST fault".into()))
+        } else {
+            sst.execute(&self.front.inner.db, &self.front.inner.bindings)
+        };
         self.close_span(SpanKind::SstAttempt { attempt: 1 });
         let mut attempts = 0;
         while attempts < config.sst_retries && matches!(sst_result, Err(PstmError::Io(_))) {
@@ -678,6 +742,22 @@ impl Session {
                 if !sst.is_empty() {
                     self.emit_home(TraceEvent::SstApplied { txn: self.id });
                 }
+                // Labeled fault seam: the fused SST is durable but no
+                // shard has learned the outcome — the window where the
+                // commit decision lives only in the log. A crash here
+                // means the client sees "crashed" yet after recovery the
+                // write set must be visible exactly once (recovery
+                // invariant 2's hardest case).
+                match self.front.fault_decision(FaultSite::PreFinish) {
+                    FaultDecision::Proceed => {}
+                    _ => {
+                        self.emit_home(TraceEvent::FaultInjected {
+                            site: FaultSite::PreFinish.label(),
+                            action: "crash".into(),
+                        });
+                        return Err(PstmError::Crashed(FaultSite::PreFinish.label()));
+                    }
+                }
                 for gtm in &mut guards {
                     let fx = gtm.commit_finish(self.id, settled_at)?;
                     self.front.deposit(&fx);
@@ -691,6 +771,15 @@ impl Session {
                 AbortReason::Constraint
             }
             Err(PstmError::Io(_)) => AbortReason::SstFailure,
+            Err(e @ PstmError::Crashed(_)) => {
+                // A simulated crash mid-SST: the process is dead, so the
+                // shards are deliberately NOT settled — their volatile
+                // state (transactions parked in Committing) perishes with
+                // it. The guards unlock on return; the caller must
+                // discard this front-end and recover the engine.
+                drop(guards);
+                return Err(e);
+            }
             Err(e) => {
                 // Unexpected engine failure: unpark every shard before
                 // propagating, so nothing strands in Committing.

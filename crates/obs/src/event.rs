@@ -243,6 +243,22 @@ pub enum TraceEvent {
         /// The reconnecting client's transaction.
         txn: TxnId,
     },
+    /// A fault-injection hook fired at a labeled seam (chaos runs only;
+    /// see `pstm_types::fault`).
+    FaultInjected {
+        /// The labeled injection site (e.g. `wal-append`, `pre-sst`,
+        /// `commit-local@2`).
+        site: String,
+        /// The injected outcome: `io`, `crash`, or `torn`.
+        action: String,
+    },
+    /// The engine completed crash recovery (checkpoint image + WAL redo).
+    Recovered {
+        /// Committed transactions whose effects were replayed.
+        winners: u64,
+        /// Intact log records scanned during redo.
+        records: u64,
+    },
 }
 
 /// One sequenced, timestamped trace entry — what sinks persist.

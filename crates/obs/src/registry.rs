@@ -57,6 +57,8 @@ pub enum Ctr {
     LinkUps,
     SpansOpened,
     SpansClosed,
+    FaultsInjected,
+    Recoveries,
 }
 
 impl Ctr {
@@ -106,6 +108,8 @@ impl Ctr {
         Ctr::LinkUps,
         Ctr::SpansOpened,
         Ctr::SpansClosed,
+        Ctr::FaultsInjected,
+        Ctr::Recoveries,
     ];
 
     /// Stable snake_case name, used as the key in exported counter maps.
@@ -153,6 +157,8 @@ impl Ctr {
             Ctr::LinkUps => "link_ups",
             Ctr::SpansOpened => "spans_opened",
             Ctr::SpansClosed => "spans_closed",
+            Ctr::FaultsInjected => "faults_injected",
+            Ctr::Recoveries => "recoveries",
         }
     }
 }
@@ -436,6 +442,8 @@ impl MetricsRegistry {
                     }
                 }
             }
+            TraceEvent::FaultInjected { .. } => self.bump(Ctr::FaultsInjected),
+            TraceEvent::Recovered { .. } => self.bump(Ctr::Recoveries),
         }
     }
 

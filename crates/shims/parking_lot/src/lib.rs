@@ -56,6 +56,16 @@ impl<T> Mutex<T> {
         self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
     }
 
+    /// Attempts to acquire the mutex without blocking; `None` if held.
+    /// Ignores poisoning, like [`Mutex::lock`].
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
         self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)

@@ -510,6 +510,36 @@ mod tests {
     }
 
     #[test]
+    fn injected_reconcile_faults_abort_cleanly_and_the_run_completes() {
+        use pstm_types::{FaultDecision, FaultHook, FaultSite};
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        // Transient I/O at the first 3 arrivals of the reconcile seam:
+        // those commits abort as SstFailure; everything else commits.
+        struct IoOnFirstReconciles(AtomicU32);
+        impl FaultHook for IoOnFirstReconciles {
+            fn decide(&self, site: FaultSite) -> FaultDecision {
+                if site.kind() == "reconcile" && self.0.fetch_add(1, Ordering::SeqCst) < 3 {
+                    FaultDecision::Io
+                } else {
+                    FaultDecision::Proceed
+                }
+            }
+        }
+
+        let (db, bindings, rs) = build_world(1);
+        let gtm = Gtm::new(db, bindings, GtmConfig::default());
+        let mut backend = GtmBackend(gtm);
+        backend.set_fault_hook(Arc::new(IoOnFirstReconciles(AtomicU32::new(0))));
+        let scripts: Vec<TxnScript> =
+            (1..=10).map(|i| sub_script(i, 0.1 * i as f64, rs[0], None)).collect();
+        let report = Runner::new(backend, scripts, RunnerConfig::default()).run().unwrap();
+        assert_eq!(report.aborted, 3, "each injected fault costs exactly one session");
+        assert_eq!(report.committed, 7);
+        assert_eq!(report.unfinished, 0, "injected faults never wedge the run");
+    }
+
+    #[test]
     fn twopl_serializes_the_same_workload_slower() {
         let (db, bindings, rs) = build_world(1);
         let scripts: Vec<TxnScript> =

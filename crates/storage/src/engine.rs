@@ -21,7 +21,7 @@ use crate::schema::TableSchema;
 use crate::wal::{LogRecord, Lsn, Wal};
 use parking_lot::RwLock;
 use pstm_obs::{Ctr, MetricsRegistry, TraceEvent, Tracer};
-use pstm_types::{PstmError, PstmResult, TxnId, Value};
+use pstm_types::{FaultDecision, FaultSite, PstmError, PstmResult, SharedFaultHook, TxnId, Value};
 use std::collections::HashMap;
 use std::ops::Bound;
 
@@ -190,6 +190,10 @@ pub struct Database {
     /// paper's §VII asks what happens when an SST fails; this is how the
     /// middleware's retry/abort path is exercised).
     injected_faults: RwLock<u32>,
+    /// Seeded fault seam (see `pstm_types::fault`), consulted at
+    /// [`FaultSite::SstApply`] here and at [`FaultSite::WalAppend`] inside
+    /// the WAL. `None` outside chaos runs.
+    fault_hook: RwLock<Option<SharedFaultHook>>,
 }
 
 impl Default for Database {
@@ -213,6 +217,7 @@ impl Database {
             }),
             tracer: RwLock::new(Tracer::disabled()),
             injected_faults: RwLock::new(0),
+            fault_hook: RwLock::new(None),
         }
     }
 
@@ -228,6 +233,23 @@ impl Database {
     /// exercising SST-failure recovery.
     pub fn inject_write_set_faults(&self, n: u32) {
         *self.injected_faults.write() += n;
+    }
+
+    /// Installs a seeded fault hook on the engine's labeled seams: every
+    /// WAL append (the one sanctioned durable-write path) and the entry
+    /// of [`Database::apply_write_set`]. Share the same hook with the
+    /// managers above so one fault plan counts site arrivals across the
+    /// whole stack.
+    pub fn set_fault_hook(&self, hook: SharedFaultHook) {
+        self.inner.write().wal.set_fault_hook(Some(hook.clone()));
+        *self.fault_hook.write() = Some(hook);
+    }
+
+    /// Removes the fault hook (bootstrap and teardown phases of a chaos
+    /// run must not be faulted).
+    pub fn clear_fault_hook(&self) {
+        self.inner.write().wal.set_fault_hook(None);
+        *self.fault_hook.write() = None;
     }
 
     /// Creates a table with its constraints. DDL is autocommitted and
@@ -546,6 +568,27 @@ impl Database {
                 return Err(PstmError::Io("injected write-set fault".into()));
             }
         }
+        if let Some(hook) = self.fault_hook.read().clone() {
+            match hook.decide(FaultSite::SstApply) {
+                FaultDecision::Proceed => {}
+                FaultDecision::Io => {
+                    // Transient device error before any state is touched:
+                    // the middleware's SST retry/abort machinery owns it.
+                    self.tracer.read().emit_unclocked(TraceEvent::FaultInjected {
+                        site: FaultSite::SstApply.label(),
+                        action: "io".into(),
+                    });
+                    return Err(PstmError::Io("injected SST fault".into()));
+                }
+                FaultDecision::Crash | FaultDecision::Torn { .. } => {
+                    self.tracer.read().emit_unclocked(TraceEvent::FaultInjected {
+                        site: FaultSite::SstApply.label(),
+                        action: "crash".into(),
+                    });
+                    return Err(PstmError::Crashed(FaultSite::SstApply.label()));
+                }
+            }
+        }
         self.begin(txn)?;
         let mut inserted = Vec::new();
         for op in &ws.0 {
@@ -605,9 +648,20 @@ impl Database {
         if torn_bytes > 0 {
             inner.wal.crash_truncate(torn_bytes);
         }
-        let (catalog, stores) = crate::recovery::recover(&inner.checkpoint, &inner.wal)?;
+        // Physically discard any torn tail (from the truncation above or a
+        // torn-page fault injected mid-append) BEFORE recovering. Redo
+        // skips the tear either way, but without the trim, post-recovery
+        // appends would land behind the garbage and a second recovery
+        // would stop at the tear and lose them — recovery must be
+        // idempotent under double replay.
+        inner.wal.trim_torn_tail();
+        let (catalog, stores, stats) = crate::recovery::recover(&inner.checkpoint, &inner.wal)?;
         inner.catalog = catalog;
         inner.stores = stores;
+        self.tracer.read().emit_unclocked(TraceEvent::Recovered {
+            winners: stats.winners,
+            records: stats.records,
+        });
         Ok(())
     }
 
@@ -630,7 +684,7 @@ impl Database {
         let (catalog_json, heaps) = crate::persist::decode(&bytes)?;
         let checkpoint = Some(CheckpointImage { catalog_json, heaps });
         let wal = Wal::new();
-        let (catalog, stores) = crate::recovery::recover(&checkpoint, &wal)?;
+        let (catalog, stores, _stats) = crate::recovery::recover(&checkpoint, &wal)?;
         Ok(Database {
             inner: RwLock::new(Inner {
                 catalog,
@@ -642,6 +696,7 @@ impl Database {
             }),
             tracer: RwLock::new(Tracer::disabled()),
             injected_faults: RwLock::new(0),
+            fault_hook: RwLock::new(None),
         })
     }
 

@@ -20,7 +20,7 @@ use crate::catalog::TableId;
 use crate::codec::checksum;
 use crate::row::{Row, RowId};
 use pstm_obs::{TraceEvent, Tracer};
-use pstm_types::{PstmError, PstmResult, TxnId, Value};
+use pstm_types::{FaultDecision, FaultSite, PstmError, PstmResult, SharedFaultHook, TxnId, Value};
 use serde::{Deserialize, Serialize};
 
 /// Log sequence number: the byte offset of a record's frame in the log.
@@ -138,6 +138,9 @@ pub struct Wal {
     /// Number of append() calls — exposed for write-amplification stats.
     appended: u64,
     tracer: Tracer,
+    /// Fault seam consulted on every append (see `pstm_types::fault`);
+    /// `None` outside chaos runs.
+    hook: Option<SharedFaultHook>,
 }
 
 impl Wal {
@@ -152,15 +155,59 @@ impl Wal {
         self.tracer = tracer;
     }
 
+    /// Installs (or with `None`, removes) the fault seam consulted on
+    /// every append. Heap mutations are logged *after* they happen in
+    /// this engine, so a log write that fails cannot be survived by
+    /// retrying — every non-`Proceed` decision here is fatal (see
+    /// [`Wal::append`]).
+    pub fn set_fault_hook(&mut self, hook: Option<SharedFaultHook>) {
+        self.hook = hook;
+    }
+
     /// Appends a record, returning its LSN.
+    ///
+    /// This is the only sanctioned path that grows the log device (the
+    /// `wal-seam` lint in `pstm-check` enforces it), which makes it the
+    /// natural [`FaultSite::WalAppend`] seam: an injected `Io` or `Crash`
+    /// kills the simulated process before any byte lands, and
+    /// `Torn { keep }` writes only a prefix of the frame first — the torn
+    /// page write recovery must then discard.
     pub fn append(&mut self, rec: &LogRecord) -> PstmResult<Lsn> {
         let lsn = Lsn(self.buf.len() as u64);
         let payload = serde_json::to_vec(rec)
             .map_err(|e| PstmError::internal(format!("WAL serialize: {e}")))?;
         let len_bytes = (payload.len() as u32).to_le_bytes();
-        self.buf.extend_from_slice(&len_bytes);
-        self.buf.extend_from_slice(&frame_checksum(&len_bytes, &payload).to_le_bytes());
-        self.buf.extend_from_slice(&payload);
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&len_bytes);
+        frame.extend_from_slice(&frame_checksum(&len_bytes, &payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        if let Some(hook) = self.hook.as_ref() {
+            match hook.decide(FaultSite::WalAppend) {
+                FaultDecision::Proceed => {}
+                FaultDecision::Torn { keep } => {
+                    // Clamp so the frame is genuinely torn: at least the
+                    // final byte is lost and recovery sees a torn tail.
+                    let keep = (keep as usize).min(frame.len() - 1);
+                    self.buf.extend_from_slice(&frame[..keep]);
+                    self.tracer.emit_unclocked(TraceEvent::FaultInjected {
+                        site: FaultSite::WalAppend.label(),
+                        action: "torn".into(),
+                    });
+                    return Err(PstmError::Crashed(FaultSite::WalAppend.label()));
+                }
+                FaultDecision::Io | FaultDecision::Crash => {
+                    // The heap already mutated before this append, so an
+                    // unlogged-but-applied write cannot be tolerated: a
+                    // failing log device means the process dies here.
+                    self.tracer.emit_unclocked(TraceEvent::FaultInjected {
+                        site: FaultSite::WalAppend.label(),
+                        action: "crash".into(),
+                    });
+                    return Err(PstmError::Crashed(FaultSite::WalAppend.label()));
+                }
+            }
+        }
+        self.buf.extend_from_slice(&frame);
         self.appended += 1;
         self.tracer
             .emit_unclocked(TraceEvent::WalFlush { lsn: lsn.0, bytes: (payload.len() + 8) as u64 });
@@ -255,6 +302,45 @@ impl Wal {
         if let Some(b) = self.buf.get_mut(offset) {
             *b ^= mask;
         }
+    }
+
+    /// Physically discards a torn tail left by a crash mid-append, so that
+    /// post-recovery appends land on a frame boundary instead of behind
+    /// the garbage (where a *second* recovery would stop at the tear and
+    /// lose them). Returns the number of bytes dropped. Corruption before
+    /// the tail is left untouched — that is a media error for
+    /// [`Wal::records_from`] to report, not a tear to repair.
+    pub fn trim_torn_tail(&mut self) -> usize {
+        let mut pos = 0usize;
+        while pos < self.buf.len() {
+            if pos + 8 > self.buf.len() {
+                break; // torn frame header
+            }
+            let len_bytes: [u8; 4] = match self.buf[pos..pos + 4].try_into() {
+                Ok(b) => b,
+                Err(_) => break,
+            };
+            let len = u32::from_le_bytes(len_bytes) as usize;
+            let sum = u32::from_le_bytes(match self.buf[pos + 4..pos + 8].try_into() {
+                Ok(b) => b,
+                Err(_) => break,
+            });
+            let start = pos + 8;
+            if start.checked_add(len).is_none_or(|end| end > self.buf.len()) {
+                break; // torn frame body
+            }
+            let payload = &self.buf[start..start + len];
+            if frame_checksum(&len_bytes, payload) != sum {
+                if start + len == self.buf.len() {
+                    break; // corrupt final record: torn tail
+                }
+                return 0; // mid-log corruption: not ours to repair
+            }
+            pos = start + len;
+        }
+        let dropped = self.buf.len() - pos;
+        self.buf.truncate(pos);
+        dropped
     }
 }
 
@@ -380,6 +466,90 @@ mod tests {
     fn record_txn_accessor() {
         assert_eq!(LogRecord::Begin { txn: TxnId(3) }.txn(), Some(TxnId(3)));
         assert_eq!(LogRecord::Checkpoint.txn(), None);
+    }
+
+    #[test]
+    fn trim_torn_tail_restores_appendability() {
+        let mut wal = Wal::new();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        let intact = wal.records().unwrap().len();
+        wal.crash_truncate(7); // tear the final frame
+        let dropped = wal.trim_torn_tail();
+        assert!(dropped > 0, "a torn frame must be physically discarded");
+        assert_eq!(wal.records().unwrap().len(), intact - 1);
+        // The point of trimming: new appends are readable afterwards.
+        wal.append(&LogRecord::Commit { txn: TxnId(9) }).unwrap();
+        let recs = wal.records().unwrap();
+        assert_eq!(recs.last().unwrap().1, LogRecord::Commit { txn: TxnId(9) });
+        // Idempotent: nothing more to trim on a clean log.
+        assert_eq!(wal.trim_torn_tail(), 0);
+    }
+
+    #[test]
+    fn trim_torn_tail_leaves_mid_log_corruption_alone() {
+        let mut wal = Wal::new();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        let before = wal.len_bytes();
+        wal.corrupt_byte(12); // payload of the first record
+        assert_eq!(wal.trim_torn_tail(), 0);
+        assert_eq!(wal.len_bytes(), before, "media corruption is not a tear");
+        assert!(matches!(wal.records(), Err(PstmError::WalCorrupt(_))));
+    }
+
+    struct DecideOnNth {
+        nth: std::sync::atomic::AtomicU64,
+        decision: FaultDecision,
+    }
+    impl FaultHook for DecideOnNth {
+        fn decide(&self, _site: FaultSite) -> FaultDecision {
+            use std::sync::atomic::Ordering;
+            if self.nth.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.decision
+            } else {
+                FaultDecision::Proceed
+            }
+        }
+    }
+    use pstm_types::FaultHook;
+
+    #[test]
+    fn wal_append_crash_fault_writes_nothing() {
+        let mut wal = Wal::new();
+        wal.set_fault_hook(Some(std::sync::Arc::new(DecideOnNth {
+            nth: std::sync::atomic::AtomicU64::new(3),
+            decision: FaultDecision::Crash,
+        })));
+        let recs = sample_records();
+        wal.append(&recs[0]).unwrap();
+        wal.append(&recs[1]).unwrap();
+        let before = wal.len_bytes();
+        let err = wal.append(&recs[2]).unwrap_err();
+        assert!(matches!(err, PstmError::Crashed(ref s) if s == "wal-append"));
+        assert_eq!(wal.len_bytes(), before, "a crashed append leaves no bytes");
+        assert_eq!(wal.records().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn wal_append_torn_fault_leaves_partial_frame() {
+        let mut wal = Wal::new();
+        wal.set_fault_hook(Some(std::sync::Arc::new(DecideOnNth {
+            nth: std::sync::atomic::AtomicU64::new(2),
+            decision: FaultDecision::Torn { keep: 11 },
+        })));
+        let recs = sample_records();
+        wal.append(&recs[0]).unwrap();
+        let before = wal.len_bytes();
+        let err = wal.append(&recs[1]).unwrap_err();
+        assert!(matches!(err, PstmError::Crashed(_)));
+        assert_eq!(wal.len_bytes(), before + 11, "exactly `keep` bytes land");
+        // Recovery reads the intact prefix; trim removes the tear.
+        assert_eq!(wal.records().unwrap().len(), 1);
+        assert_eq!(wal.trim_torn_tail(), 11);
+        assert_eq!(wal.len_bytes(), before);
     }
 }
 

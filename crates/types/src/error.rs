@@ -83,6 +83,12 @@ pub enum PstmError {
     /// An I/O error from the storage layer (message-only: `std::io::Error`
     /// is neither `Clone` nor `PartialEq`).
     Io(String),
+    /// A fault-injection hook simulated a process crash at the named
+    /// labeled point. Unlike every other variant this is not handled: it
+    /// propagates raw through commit/abort machinery, and any manager or
+    /// front-end that observed it is poisoned — the harness must discard
+    /// the volatile state and recover the engine from checkpoint + WAL.
+    Crashed(String),
     /// Catch-all for internal invariant breaches; indicates a bug.
     Internal(String),
 }
@@ -143,6 +149,7 @@ impl fmt::Display for PstmError {
             }
             PstmError::WalCorrupt(msg) => write!(f, "WAL corrupt: {msg}"),
             PstmError::Io(msg) => write!(f, "I/O error: {msg}"),
+            PstmError::Crashed(site) => write!(f, "injected crash at {site}"),
             PstmError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

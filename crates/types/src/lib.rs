@@ -21,6 +21,7 @@
 
 pub mod compat;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod op;
 pub mod sched;
@@ -29,6 +30,7 @@ pub mod value;
 
 pub use compat::{CompatMatrix, OpClass};
 pub use error::{PstmError, PstmResult};
+pub use fault::{FaultDecision, FaultHook, FaultSite, SharedFaultHook};
 pub use ids::{MemberId, ObjectId, ResourceId, TxnId};
 pub use op::ScalarOp;
 pub use sched::{AbortReason, ExecOutcome, StepEffects};
