@@ -1,0 +1,256 @@
+//! Per-operation nanosecond breakdown of the commit path (ROADMAP
+//! item 2's "where do the nanoseconds go" bench).
+//!
+//! Sweeps 1/8/64 concurrent sessions under uniform and Zipfian
+//! (θ = 0.99) key selection against the sharded front-end. Each session
+//! is a closed loop of read-modify-write transactions: read key A,
+//! book on A (Read → Sub strengthening), book on key B, commit; every
+//! eighth transaction books with an incompatible `Assign` so hot keys
+//! under Zipfian load exercise waiting and abort/unwind.
+//!
+//! Phase accounting comes from `pstm_obs::prof` (enabled for the whole
+//! run, reset per sweep point); p50/p99 come from the per-phase
+//! histograms.
+//!
+//! Writes `results/BENCH_breakdown.json`:
+//!
+//! ```json
+//! {"schema": "pstm-bench-breakdown/v1",
+//!  "rows": [{"sessions", "dist", "theta", "shards", "txns", "committed",
+//!            "aborted", "wall_s", "tps",
+//!            "phases": [{"phase", "ops", "total_ns", "ns_per_op",
+//!                        "p50_ns", "p99_ns", "max_ns"}, ...]}, ...]}
+//! ```
+//!
+//! Rows appear for every (sessions, dist) point; `phases` always lists
+//! all eight taxonomy phases in order. Compare two artifacts with
+//! `pstm_bench_diff`.
+
+use pstm_bench::{print_header, write_results, Zipfian};
+use pstm_core::gtm::CommitResult;
+use pstm_front::{FrontConfig, SessionOutcome, ShardedFront};
+use pstm_obs::prof::{self, CommitPhase};
+use pstm_obs::WallEpoch;
+use pstm_types::{ResourceId, ScalarOp, Value};
+use pstm_workload::counter_world;
+use rand::{Rng, SeedableRng, StdRng};
+use serde::Serialize;
+
+const OBJECTS: usize = 64;
+const SHARDS: usize = 8;
+const INITIAL: i64 = 10_000_000;
+const ZIPF_THETA: f64 = 0.99;
+
+#[derive(Serialize)]
+struct PhaseCell {
+    phase: &'static str,
+    ops: u64,
+    total_ns: u64,
+    ns_per_op: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+}
+
+#[derive(Serialize)]
+struct Row {
+    sessions: usize,
+    dist: &'static str,
+    theta: f64,
+    shards: usize,
+    txns: u64,
+    committed: u64,
+    aborted: u64,
+    wall_s: f64,
+    tps: f64,
+    phases: Vec<PhaseCell>,
+}
+
+#[derive(Serialize)]
+struct Doc {
+    schema: &'static str,
+    rows: Vec<Row>,
+}
+
+#[derive(Clone, Copy)]
+enum Dist {
+    Uniform,
+    Zipfian,
+}
+
+impl Dist {
+    fn label(self) -> &'static str {
+        match self {
+            Dist::Uniform => "uniform",
+            Dist::Zipfian => "zipfian",
+        }
+    }
+
+    fn theta(self) -> f64 {
+        match self {
+            Dist::Uniform => 0.0,
+            Dist::Zipfian => ZIPF_THETA,
+        }
+    }
+}
+
+/// Draws a key pair (distinct) under the configured distribution.
+fn pick_keys(dist: Dist, zipf: &Zipfian, rng: &mut StdRng) -> (usize, usize) {
+    let draw = |rng: &mut StdRng| match dist {
+        Dist::Uniform => rng.gen_range(0..OBJECTS),
+        Dist::Zipfian => zipf.sample(rng),
+    };
+    let a = draw(rng);
+    let mut b = draw(rng);
+    let mut spins = 0;
+    while b == a && spins < 16 {
+        b = draw(rng);
+        spins += 1;
+    }
+    if b == a {
+        b = (a + 1) % OBJECTS;
+    }
+    (a, b)
+}
+
+/// One transaction: read A, book A, book B, commit. Returns whether it
+/// committed. Every eighth transaction books A with an `Assign`
+/// (incompatible class) to create real contention on hot keys.
+fn run_txn(front: &ShardedFront, resources: &[ResourceId], a: usize, b: usize, n: u64) -> bool {
+    let mut session = front.session();
+    let ops: [(usize, ScalarOp); 3] = [
+        (a, ScalarOp::Read),
+        (
+            a,
+            if n % 8 == 7 {
+                ScalarOp::Assign(Value::Int(INITIAL))
+            } else {
+                ScalarOp::Sub(Value::Int(1))
+            },
+        ),
+        (b, ScalarOp::Sub(Value::Int(1))),
+    ];
+    for (k, op) in ops {
+        match session.execute(resources[k], op) {
+            Ok(SessionOutcome::Value(_)) => {}
+            Ok(SessionOutcome::Aborted(_)) => return false,
+            Err(e) => panic!("execute failed: {e}"),
+        }
+    }
+    matches!(session.commit().expect("commit failed"), CommitResult::Committed)
+}
+
+fn phase_cells(profile: &prof::PhaseProfile) -> Vec<PhaseCell> {
+    CommitPhase::ALL
+        .into_iter()
+        .map(|p| {
+            let h = profile.hist(p);
+            PhaseCell {
+                phase: p.name(),
+                ops: profile.ops(p),
+                total_ns: profile.ns(p),
+                ns_per_op: profile.ns_per_op(p),
+                p50_ns: h.quantile(0.50),
+                p99_ns: h.quantile(0.99),
+                max_ns: h.max(),
+            }
+        })
+        .collect()
+}
+
+fn sweep_point(sessions: usize, dist: Dist, txns_per_session: u64) -> Row {
+    let world = counter_world(OBJECTS, INITIAL).expect("world");
+    let config = FrontConfig { shards: SHARDS, ..FrontConfig::default() };
+    let front = ShardedFront::new(world.db.clone(), world.bindings.clone(), config);
+    let zipf = Zipfian::new(OBJECTS, ZIPF_THETA);
+
+    prof::reset();
+    let start = WallEpoch::now();
+    let mut committed = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for lane in 0..sessions {
+            let front = front.clone();
+            let resources = world.resources.clone();
+            let zipf = zipf.clone();
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(lane as u64 * 7919 + 13);
+                let mut ok = 0u64;
+                for n in 0..txns_per_session {
+                    let (a, b) = pick_keys(dist, &zipf, &mut rng);
+                    if run_txn(&front, &resources, a, b, n) {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        for h in handles {
+            committed += h.join().expect("worker panicked");
+        }
+    });
+    let wall_s = start.elapsed_s();
+    let profile = prof::snapshot();
+
+    front.check_invariants().expect("invariants");
+    front.verify_serializable().expect("serializable");
+
+    let txns = sessions as u64 * txns_per_session;
+    Row {
+        sessions,
+        dist: dist.label(),
+        theta: dist.theta(),
+        shards: SHARDS,
+        txns,
+        committed,
+        aborted: txns - committed,
+        wall_s,
+        tps: committed as f64 / wall_s,
+        phases: phase_cells(&profile),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let txns_per_session = if quick { 40 } else { 200 };
+
+    prof::set_enabled(true);
+    print_header(
+        "BENCH breakdown — commit-path ns by phase",
+        &["sessions", "dist", "tps", "phase", "ops", "ns/op", "p50", "p99"],
+    );
+
+    let mut rows = Vec::new();
+    for dist in [Dist::Uniform, Dist::Zipfian] {
+        for sessions in [1, 8, 64] {
+            let row = sweep_point(sessions, dist, txns_per_session);
+            for cell in row.phases.iter().filter(|c| c.ops > 0) {
+                println!(
+                    "{}\t{}\t{:.0}\t{}\t{}\t{}\t{}\t{}",
+                    row.sessions,
+                    row.dist,
+                    row.tps,
+                    cell.phase,
+                    cell.ops,
+                    cell.ns_per_op,
+                    cell.p50_ns,
+                    cell.p99_ns
+                );
+            }
+            // The acceptance bar: the breakdown must see the commit path,
+            // not a sliver of it.
+            let observed = row.phases.iter().filter(|c| c.ops > 0).count();
+            assert!(
+                observed >= 6,
+                "expected >= 6 observed phases at {}x{}, got {observed}",
+                row.sessions,
+                row.dist
+            );
+            rows.push(row);
+        }
+    }
+
+    let doc = Doc { schema: "pstm-bench-breakdown/v1", rows };
+    let path = write_results("BENCH_breakdown", &doc).expect("write results");
+    println!("\nwrote {}", path.display());
+}

@@ -1,17 +1,20 @@
-//! Tracing-overhead benchmark: the `bench_concurrency` booking workload
-//! on 4 threads, run with tracing disabled and with a per-shard ring
-//! sink attached, interleaved best-of-N to damp scheduler noise.
+//! Observability-overhead benchmark: the `bench_concurrency` booking
+//! workload on 4 threads, run over the full 2×2 matrix of
+//! tracing {off, on} × phase profiler {off, on}, interleaved best-of-N
+//! to damp scheduler noise.
 //!
 //! Writes `results/BENCH_obs_overhead.json` and asserts the acceptance
-//! criterion: tracing-enabled throughput within 10% of disabled.
-//! Think-time sleeps dominate the session, exactly as in production use,
-//! so the emit path (one short mutex section plus a ring push) must
-//! disappear into the idle time.
+//! criterion: every instrumented cell — including both layers at once —
+//! stays within 10% of the fully-dark baseline. Think-time sleeps
+//! dominate the session, exactly as in production use, so the emit path
+//! (one short mutex section plus a ring push) and the phase timers (two
+//! `Instant` reads plus relaxed atomics per station) must disappear
+//! into the idle time.
 
 use pstm_bench::{print_header, write_results};
 use pstm_core::gtm::CommitResult;
 use pstm_front::{FrontConfig, SessionOutcome, ShardedFront};
-use pstm_obs::{RingSink, Tracer, WallEpoch};
+use pstm_obs::{prof, RingSink, Tracer, WallEpoch};
 use pstm_types::{ResourceId, ScalarOp, Value};
 use pstm_workload::counter_world;
 use serde::Serialize;
@@ -23,17 +26,32 @@ const THREADS: usize = 4;
 const RUNS: usize = 3;
 
 #[derive(Serialize)]
+struct Cell {
+    tracing: bool,
+    profiler: bool,
+    tps: f64,
+    /// Throughput cost vs the dark (both-off) cell, percent.
+    overhead_pct: f64,
+}
+
+#[derive(Serialize)]
 struct Report {
     threads: usize,
     shards: usize,
     sessions: usize,
     think_us: u64,
     runs_per_mode: usize,
-    tps_off: f64,
-    tps_on: f64,
+    /// The 2×2 matrix: (tracing, profiler) in off/off, off/on, on/off,
+    /// on/on order.
+    cells: Vec<Cell>,
+    /// Combined-cell overhead (tracing AND profiler on) — the budgeted
+    /// number.
     overhead_pct: f64,
     events_traced: u64,
     trace_dropped: u64,
+    /// Phase-timer observations in the profiled cells (sanity: the
+    /// profiler must actually have been on).
+    phase_ops_profiled: u64,
 }
 
 /// One closed-loop client, same shape as `bench_concurrency`.
@@ -56,8 +74,9 @@ fn run_session(
     matches!(session.commit().expect("commit failed"), CommitResult::Committed)
 }
 
-/// Runs one measured point; returns `(tps, events_traced, dropped)`.
-fn run_point(sessions: usize, think_us: u64, traced: bool) -> (f64, u64, u64) {
+/// Runs one measured point; returns `(tps, events_traced, dropped,
+/// phase_ops)`.
+fn run_point(sessions: usize, think_us: u64, traced: bool, profiled: bool) -> (f64, u64, u64, u64) {
     let world = counter_world(OBJECTS, INITIAL).expect("world");
     let config = FrontConfig { shards: SHARDS, ..FrontConfig::default() };
     let front = if traced {
@@ -70,6 +89,8 @@ fn run_point(sessions: usize, think_us: u64, traced: bool) -> (f64, u64, u64) {
     let think = std::time::Duration::from_micros(think_us);
     let per_thread = sessions / THREADS;
 
+    prof::set_enabled(profiled);
+    prof::reset();
     let start = WallEpoch::now();
     let mut committed = 0u64;
     std::thread::scope(|scope| {
@@ -92,16 +113,24 @@ fn run_point(sessions: usize, think_us: u64, traced: bool) -> (f64, u64, u64) {
         }
     });
     let wall_s = start.elapsed_s();
+    prof::set_enabled(false);
     front.check_invariants().expect("invariants");
     assert_eq!(committed, (per_thread * THREADS) as u64, "workload must be abort-free");
 
+    let phase_ops: u64 =
+        pstm_obs::prof::CommitPhase::ALL.iter().map(|p| prof::snapshot().ops(*p)).sum();
+    if profiled {
+        assert!(phase_ops > 0, "profiled cell saw no phase observations");
+    } else {
+        assert_eq!(phase_ops, 0, "unprofiled cell recorded phase observations");
+    }
     let (events, dropped) = if traced {
         let snap = front.fleet_snapshot();
         (snap.registry.counter(pstm_obs::Ctr::SpansOpened), snap.trace_dropped)
     } else {
         (0, 0)
     };
-    (committed as f64 / wall_s, events, dropped)
+    (committed as f64 / wall_s, events, dropped, phase_ops)
 }
 
 fn main() {
@@ -109,23 +138,47 @@ fn main() {
     let sessions = if quick { 64 } else { 256 };
     let think_us = if quick { 200 } else { 500 };
 
-    print_header("BENCH obs overhead — tracing on vs off", &["mode", "run", "tps"]);
-    // Interleave off/on runs so drift (thermal, noisy neighbors) hits
-    // both modes equally; keep the best of each.
-    let (mut tps_off, mut tps_on) = (0f64, 0f64);
-    let (mut events, mut dropped) = (0u64, 0u64);
+    const MODES: [(bool, bool); 4] = [(false, false), (false, true), (true, false), (true, true)];
+    let mode_label = |(t, p): (bool, bool)| format!("trace={}/prof={}", u8::from(t), u8::from(p));
+
+    print_header("BENCH obs overhead — tracing x profiler", &["mode", "run", "tps"]);
+    // Interleave all four modes within each round so drift (thermal,
+    // noisy neighbors) hits every cell equally; keep the best of each.
+    let mut best = [0f64; 4];
+    let (mut events, mut dropped, mut phase_ops) = (0u64, 0u64, 0u64);
     for run in 0..RUNS {
-        let (off, ..) = run_point(sessions, think_us, false);
-        println!("off\t{run}\t{off:.1}");
-        tps_off = tps_off.max(off);
-        let (on, ev, dr) = run_point(sessions, think_us, true);
-        println!("on\t{run}\t{on:.1}");
-        tps_on = tps_on.max(on);
-        (events, dropped) = (ev, dr);
+        for (i, mode) in MODES.into_iter().enumerate() {
+            let (tps, ev, dr, po) = run_point(sessions, think_us, mode.0, mode.1);
+            println!("{}\t{run}\t{tps:.1}", mode_label(mode));
+            best[i] = best[i].max(tps);
+            if mode == (true, true) {
+                (events, dropped, phase_ops) = (ev, dr, po);
+            }
+        }
     }
 
-    let overhead_pct = 100.0 * (tps_off - tps_on) / tps_off;
-    println!("\nbest off {tps_off:.1} tps, best on {tps_on:.1} tps, overhead {overhead_pct:.2}%");
+    let tps_base = best[0];
+    let cells: Vec<Cell> = MODES
+        .into_iter()
+        .zip(best)
+        .map(|((tracing, profiler), tps)| Cell {
+            tracing,
+            profiler,
+            tps,
+            overhead_pct: 100.0 * (tps_base - tps) / tps_base,
+        })
+        .collect();
+    let overhead_pct = cells[3].overhead_pct;
+    println!("\nbase {tps_base:.1} tps; combined overhead {overhead_pct:.2}%");
+    for c in &cells {
+        println!(
+            "trace={}/prof={}: {:.1} tps ({:+.2}%)",
+            u8::from(c.tracing),
+            u8::from(c.profiler),
+            c.tps,
+            c.overhead_pct
+        );
+    }
 
     let report = Report {
         threads: THREADS,
@@ -133,18 +186,24 @@ fn main() {
         sessions,
         think_us,
         runs_per_mode: RUNS,
-        tps_off,
-        tps_on,
+        cells,
         overhead_pct,
         events_traced: events,
         trace_dropped: dropped,
+        phase_ops_profiled: phase_ops,
     };
     let path = write_results("BENCH_obs_overhead", &report).expect("write results");
     println!("wrote {}", path.display());
 
-    assert!(
-        tps_on >= tps_off * 0.90,
-        "tracing overhead {overhead_pct:.2}% exceeds the 10% budget \
-         ({tps_on:.1} tps on vs {tps_off:.1} tps off)"
-    );
+    for c in &report.cells {
+        assert!(
+            c.tps >= tps_base * 0.90,
+            "overhead {:.2}% (trace={}, prof={}) exceeds the 10% budget \
+             ({:.1} tps vs {tps_base:.1} tps dark)",
+            c.overhead_pct,
+            c.tracing,
+            c.profiler,
+            c.tps
+        );
+    }
 }

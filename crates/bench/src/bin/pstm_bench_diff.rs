@@ -1,0 +1,79 @@
+//! Compares two BENCH_*.json artifacts against threshold rules and
+//! exits nonzero on regression — the CI `perf-smoke` gate.
+//!
+//! ```text
+//! pstm_bench_diff [--thresholds FILE] [--verbose] BASELINE CURRENT
+//! ```
+//!
+//! Exit codes: 0 = within thresholds, 1 = regression (or a rule-matched
+//! metric missing from CURRENT), 2 = usage or I/O error.
+//!
+//! Without `--thresholds`, the loose built-in rules apply (see
+//! `pstm_bench::diff::default_rules`); the threshold file format is
+//! `{"rules": [{"pattern", "direction", "max_regress_pct"}, ...]}` with
+//! `direction` one of `higher_is_better`/`lower_is_better` and rule
+//! order as priority order. See EXPERIMENTS.md §C5.
+
+use pstm_bench::diff::{compare, default_rules, parse_rules, render, Rule};
+use serde_json::Value;
+use std::process::ExitCode;
+
+fn load_json(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: parse error: {e}"))
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pstm_bench_diff [--thresholds FILE] [--verbose] BASELINE CURRENT");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut thresholds: Option<String> = None;
+    let mut verbose = false;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--thresholds" => match args.next() {
+                Some(f) => thresholds = Some(f),
+                None => return usage(),
+            },
+            "--verbose" => verbose = true,
+            "--help" | "-h" => return usage(),
+            _ => files.push(arg),
+        }
+    }
+    let [base_path, cur_path] = files.as_slice() else {
+        return usage();
+    };
+
+    let rules: Vec<Rule> = match &thresholds {
+        Some(path) => match load_json(path).and_then(|doc| parse_rules(&doc)) {
+            Ok(rules) => rules,
+            Err(e) => {
+                eprintln!("pstm_bench_diff: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => default_rules(),
+    };
+
+    let (base, cur) = match (load_json(base_path), load_json(cur_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("pstm_bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = compare(&base, &cur, &rules);
+    print!("{}", render(&report, verbose));
+    if report.failed() {
+        eprintln!("pstm_bench_diff: FAIL ({} vs {})", base_path, cur_path);
+        ExitCode::from(1)
+    } else {
+        println!("pstm_bench_diff: OK ({base_path} vs {cur_path})");
+        ExitCode::SUCCESS
+    }
+}

@@ -8,21 +8,30 @@
 //!
 //! ```text
 //! pstm_top [--top K] [--snapshots N] TRACE.jsonl [TRACE.jsonl ...]
+//! pstm_top --phases [--breakdown BENCH_breakdown.json] TRACE.jsonl ...
 //! ```
+//!
+//! `--phases` switches to the phase view: the commit-path nanosecond
+//! table from a `BENCH_breakdown.json` artifact (when `--breakdown`
+//! names one) joined with the trace's span-phase times and hot objects
+//! by blocked time.
 //!
 //! Live rings profile the same way: snapshot them in-process and call
 //! `pstm_bench::profile::profile` on the records — this binary is just
 //! the file front door.
 
-use pstm_bench::profile::{merge_records, profile, render};
+use pstm_bench::profile::{merge_records, profile, render, render_phases};
 use pstm_obs::load_jsonl;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: pstm_top [--top K] [--snapshots N] TRACE.jsonl [TRACE.jsonl ...]";
+const USAGE: &str = "usage: pstm_top [--top K] [--snapshots N] [--phases] \
+                     [--breakdown BENCH_breakdown.json] TRACE.jsonl [TRACE.jsonl ...]";
 
 fn main() -> ExitCode {
     let mut top_k = 10usize;
     let mut n_snapshots = 4usize;
+    let mut phases_view = false;
+    let mut breakdown_path: Option<String> = None;
     let mut files = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -39,6 +48,14 @@ fn main() -> ExitCode {
                     n_snapshots = v;
                 }
             }
+            "--phases" => phases_view = true,
+            "--breakdown" => match args.next() {
+                Some(f) => breakdown_path = Some(f),
+                None => {
+                    eprintln!("--breakdown needs a file\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -50,6 +67,20 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
+
+    let breakdown = match &breakdown_path {
+        Some(path) => match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| serde_json::from_str(&t).map_err(|e| e.to_string()))
+        {
+            Ok(doc) => Some(doc),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     let mut shards = Vec::new();
     for file in &files {
@@ -66,6 +97,11 @@ fn main() -> ExitCode {
     }
 
     let records = merge_records(shards);
-    print!("{}", render(&profile(&records, top_k, n_snapshots)));
+    let p = profile(&records, top_k, n_snapshots);
+    if phases_view {
+        print!("{}", render_phases(&p, breakdown.as_ref()));
+    } else {
+        print!("{}", render(&p));
+    }
     ExitCode::SUCCESS
 }

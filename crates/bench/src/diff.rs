@@ -1,0 +1,419 @@
+//! Generic BENCH_*.json comparison with direction-aware thresholds —
+//! the engine behind the `pstm_bench_diff` binary and the CI
+//! `perf-smoke` gate.
+//!
+//! Both artifacts are flattened to dotted-path → numeric-leaf maps
+//! (`rows.s8_zipfian.phases.reconcile.ns_per_op`), every path is
+//! matched against an ordered rule list (first substring match wins),
+//! and a matched metric regresses when it moved in the rule's *bad*
+//! direction by more than the rule's percentage. Unmatched metrics are
+//! reported as drift but never fail the comparison, so one tool covers
+//! every current and future BENCH_* schema without per-bench code.
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Which way a metric is supposed to move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (throughput): a drop is a regression.
+    HigherIsBetter,
+    /// Smaller is better (latency, ns/op): a rise is a regression.
+    LowerIsBetter,
+}
+
+impl Direction {
+    /// Parses the threshold-file spelling.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Direction> {
+        match s {
+            "higher_is_better" | "higher" => Some(Direction::HigherIsBetter),
+            "lower_is_better" | "lower" => Some(Direction::LowerIsBetter),
+            _ => None,
+        }
+    }
+}
+
+/// One threshold rule: applies to every metric whose dotted path
+/// contains `pattern`.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// Substring matched against the flattened metric path.
+    pub pattern: String,
+    /// Which movement counts as a regression.
+    pub direction: Direction,
+    /// Allowed movement in the bad direction, percent of the baseline.
+    pub max_regress_pct: f64,
+}
+
+/// Default rules: catch order-of-magnitude movement on the metric
+/// families every BENCH_* artifact shares. Deliberately loose — the
+/// checked-in baseline comes from different hardware than CI runners.
+#[must_use]
+pub fn default_rules() -> Vec<Rule> {
+    vec![
+        Rule { pattern: "tps".into(), direction: Direction::HigherIsBetter, max_regress_pct: 90.0 },
+        Rule {
+            pattern: "ns_per_op".into(),
+            direction: Direction::LowerIsBetter,
+            max_regress_pct: 900.0,
+        },
+        Rule {
+            pattern: "p99_ns".into(),
+            direction: Direction::LowerIsBetter,
+            max_regress_pct: 900.0,
+        },
+        Rule {
+            pattern: "overhead_pct".into(),
+            direction: Direction::LowerIsBetter,
+            max_regress_pct: 400.0,
+        },
+    ]
+}
+
+/// Parses a threshold file:
+/// `{"rules": [{"pattern": "...", "direction": "higher_is_better",
+/// "max_regress_pct": 20.0}, ...]}` (rule order is priority order).
+pub fn parse_rules(doc: &Value) -> Result<Vec<Rule>, String> {
+    let entries = doc
+        .as_map()
+        .and_then(|m| serde::map_get(m, "rules"))
+        .and_then(Value::as_seq)
+        .ok_or("threshold file must be a map with a \"rules\" array")?;
+    let mut rules = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        let m = e.as_map().ok_or_else(|| format!("rule {i}: not a map"))?;
+        let pattern = serde::map_get(m, "pattern")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("rule {i}: missing \"pattern\""))?
+            .to_string();
+        let direction = serde::map_get(m, "direction")
+            .and_then(Value::as_str)
+            .and_then(Direction::parse)
+            .ok_or_else(|| format!("rule {i}: \"direction\" must be higher/lower_is_better"))?;
+        let max_regress_pct = serde::map_get(m, "max_regress_pct")
+            .and_then(as_f64)
+            .ok_or_else(|| format!("rule {i}: missing numeric \"max_regress_pct\""))?;
+        rules.push(Rule { pattern, direction, max_regress_pct });
+    }
+    if rules.is_empty() {
+        return Err("threshold file has no rules".into());
+    }
+    Ok(rules)
+}
+
+pub(crate) fn as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::I64(n) => Some(*n as f64),
+        Value::U64(n) => Some(*n as f64),
+        Value::F64(n) => Some(*n),
+        _ => None,
+    }
+}
+
+/// A label for one sequence element: benches emit arrays of labeled
+/// rows, and keying on the label (instead of the position) keeps diff
+/// paths stable when rows are reordered or appended.
+fn seq_key(idx: usize, v: &Value) -> String {
+    if let Some(m) = v.as_map() {
+        if let Some(phase) = serde::map_get(m, "phase").and_then(Value::as_str) {
+            return phase.to_string();
+        }
+        if let (Some(sessions), Some(dist)) = (
+            serde::map_get(m, "sessions").and_then(as_f64),
+            serde::map_get(m, "dist").and_then(Value::as_str),
+        ) {
+            return format!("s{sessions}_{dist}");
+        }
+        if let Some(label) = serde::map_get(m, "label").and_then(Value::as_str) {
+            return label.to_string();
+        }
+    }
+    idx.to_string()
+}
+
+/// Flattens every numeric leaf of `v` into `out` under dotted paths.
+pub fn flatten(v: &Value, prefix: &str, out: &mut BTreeMap<String, f64>) {
+    let join = |key: &str| {
+        if prefix.is_empty() {
+            key.to_string()
+        } else {
+            format!("{prefix}.{key}")
+        }
+    };
+    match v {
+        Value::Map(entries) => {
+            for (k, child) in entries {
+                flatten(child, &join(k), out);
+            }
+        }
+        Value::Seq(elems) => {
+            for (i, child) in elems.iter().enumerate() {
+                flatten(child, &join(&seq_key(i, child)), out);
+            }
+        }
+        other => {
+            if let Some(n) = as_f64(other) {
+                out.insert(prefix.to_string(), n);
+            }
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Flattened dotted path.
+    pub metric: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value.
+    pub cur: f64,
+    /// Movement in the matched rule's bad direction, percent of the
+    /// baseline (negative = improved). 0 for unmatched metrics.
+    pub regress_pct: f64,
+    /// Pattern of the rule that matched, if any.
+    pub rule: Option<String>,
+    /// Whether the movement exceeds the rule's allowance.
+    pub regressed: bool,
+}
+
+/// The full outcome of one baseline-vs-current comparison.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Every metric present in both artifacts, path order.
+    pub compared: Vec<Comparison>,
+    /// Rule-matched metrics present in the baseline but missing from
+    /// the current artifact — a schema regression, fails the diff.
+    pub missing: Vec<String>,
+    /// Metrics only in the current artifact (informational).
+    pub added: Vec<String>,
+}
+
+impl DiffReport {
+    /// Metrics that exceeded their rule's allowance.
+    #[must_use]
+    pub fn regressions(&self) -> Vec<&Comparison> {
+        self.compared.iter().filter(|c| c.regressed).collect()
+    }
+
+    /// Whether the comparison should fail the build.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        !self.missing.is_empty() || self.compared.iter().any(|c| c.regressed)
+    }
+}
+
+/// Compares two parsed BENCH_*.json documents under `rules`.
+#[must_use]
+pub fn compare(base: &Value, cur: &Value, rules: &[Rule]) -> DiffReport {
+    let mut base_flat = BTreeMap::new();
+    let mut cur_flat = BTreeMap::new();
+    flatten(base, "", &mut base_flat);
+    flatten(cur, "", &mut cur_flat);
+
+    let mut report = DiffReport::default();
+    for (metric, &b) in &base_flat {
+        let Some(&c) = cur_flat.get(metric) else {
+            if rules.iter().any(|r| metric.contains(&r.pattern)) {
+                report.missing.push(metric.clone());
+            }
+            continue;
+        };
+        let rule = rules.iter().find(|r| metric.contains(&r.pattern));
+        let (regress_pct, regressed) = match rule {
+            Some(r) => {
+                let moved = match r.direction {
+                    Direction::HigherIsBetter => b - c,
+                    Direction::LowerIsBetter => c - b,
+                };
+                if b.abs() < f64::EPSILON {
+                    // No baseline to scale by: only a genuinely bad
+                    // absolute move on a zero baseline counts, and only
+                    // for lower-is-better metrics (0 → anything is an
+                    // unbounded relative rise).
+                    (0.0, r.direction == Direction::LowerIsBetter && moved > 0.0)
+                } else {
+                    let pct = moved / b.abs() * 100.0;
+                    (pct, pct > r.max_regress_pct)
+                }
+            }
+            None => (0.0, false),
+        };
+        report.compared.push(Comparison {
+            metric: metric.clone(),
+            base: b,
+            cur: c,
+            regress_pct,
+            rule: rule.map(|r| r.pattern.clone()),
+            regressed,
+        });
+    }
+    for metric in cur_flat.keys() {
+        if !base_flat.contains_key(metric) {
+            report.added.push(metric.clone());
+        }
+    }
+    report
+}
+
+/// Renders a human-readable summary (regressions first, then matched
+/// metrics, then schema drift).
+#[must_use]
+pub fn render(report: &DiffReport, verbose: bool) -> String {
+    let mut out = String::new();
+    for c in report.regressions() {
+        let _ = writeln!(
+            out,
+            "REGRESSION {}: base {:.1} -> cur {:.1} ({:+.1}% vs rule \"{}\")",
+            c.metric,
+            c.base,
+            c.cur,
+            c.regress_pct,
+            c.rule.as_deref().unwrap_or("?"),
+        );
+    }
+    for m in &report.missing {
+        let _ = writeln!(out, "MISSING {m}: present in baseline, absent in current");
+    }
+    let matched = report.compared.iter().filter(|c| c.rule.is_some()).count();
+    if verbose {
+        for c in &report.compared {
+            if c.rule.is_some() && !c.regressed {
+                let _ = writeln!(
+                    out,
+                    "ok {}: base {:.1} -> cur {:.1} ({:+.1}%)",
+                    c.metric, c.base, c.cur, c.regress_pct
+                );
+            }
+        }
+        for m in &report.added {
+            let _ = writeln!(out, "added {m}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} metrics compared, {} rule-matched, {} regressed, {} missing, {} added",
+        report.compared.len(),
+        matched,
+        report.regressions().len(),
+        report.missing.len(),
+        report.added.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    fn bench_doc(tps: f64, recon_ns: u64) -> Value {
+        json!({
+            "schema": "test/v1",
+            "rows": [
+                {"sessions": 8, "dist": "uniform", "tps": tps, "phases": [
+                    {"phase": "reconcile", "ns_per_op": recon_ns, "p99_ns": (recon_ns * 4)}
+                ]}
+            ]
+        })
+    }
+
+    #[test]
+    fn flatten_keys_rows_by_label_not_index() {
+        let mut flat = BTreeMap::new();
+        flatten(&bench_doc(100.0, 500), "", &mut flat);
+        assert_eq!(flat["rows.s8_uniform.tps"], 100.0);
+        assert_eq!(flat["rows.s8_uniform.phases.reconcile.ns_per_op"], 500.0);
+        assert_eq!(flat["rows.s8_uniform.phases.reconcile.p99_ns"], 2000.0);
+        assert_eq!(flat.len(), 4, "sessions + tps + two phase metrics: {flat:?}");
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let doc = bench_doc(100.0, 500);
+        let report = compare(&doc, &doc, &default_rules());
+        assert!(!report.failed());
+        assert!(report.regressions().is_empty());
+    }
+
+    #[test]
+    fn big_tps_drop_regresses_small_drop_does_not() {
+        let base = bench_doc(100.0, 500);
+        let rules = vec![Rule {
+            pattern: "tps".into(),
+            direction: Direction::HigherIsBetter,
+            max_regress_pct: 20.0,
+        }];
+        let ok = compare(&base, &bench_doc(85.0, 500), &rules);
+        assert!(!ok.failed(), "15% drop within a 20% allowance");
+        let bad = compare(&base, &bench_doc(70.0, 500), &rules);
+        assert!(bad.failed(), "30% drop past a 20% allowance");
+        assert_eq!(bad.regressions().len(), 1);
+        assert_eq!(bad.regressions()[0].metric, "rows.s8_uniform.tps");
+        assert!((bad.regressions()[0].regress_pct - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn direction_matters() {
+        let base = bench_doc(100.0, 500);
+        // ns_per_op *improving* (dropping) must never regress.
+        let faster = compare(&base, &bench_doc(100.0, 50), &default_rules());
+        assert!(!faster.failed());
+        // A 20x rise blows through the loose 900% default.
+        let slower = compare(&base, &bench_doc(100.0, 10_000), &default_rules());
+        assert!(slower.failed());
+    }
+
+    #[test]
+    fn missing_rule_matched_metric_fails() {
+        let base = bench_doc(100.0, 500);
+        let cur = json!({"rows": [{"sessions": 8, "dist": "uniform", "phases": []}]});
+        let report = compare(&base, &cur, &default_rules());
+        assert!(report.failed());
+        assert!(report.missing.iter().any(|m| m.ends_with("tps")));
+    }
+
+    #[test]
+    fn unmatched_metrics_never_fail() {
+        let base = json!({"weird_count": 1});
+        let cur = json!({"weird_count": 1_000_000});
+        assert!(!compare(&base, &cur, &default_rules()).failed());
+    }
+
+    #[test]
+    fn zero_baseline_lower_is_better_regresses_on_rise() {
+        let rules = vec![Rule {
+            pattern: "ns_per_op".into(),
+            direction: Direction::LowerIsBetter,
+            max_regress_pct: 50.0,
+        }];
+        let base = json!({"ns_per_op": 0});
+        assert!(compare(&base, &json!({"ns_per_op": 10}), &rules).failed());
+        assert!(!compare(&base, &json!({"ns_per_op": 0}), &rules).failed());
+    }
+
+    #[test]
+    fn rules_parse_from_threshold_doc() {
+        let doc = json!({"rules": [
+            {"pattern": "tps", "direction": "higher_is_better", "max_regress_pct": 20.0},
+            {"pattern": "p99_ns", "direction": "lower_is_better", "max_regress_pct": 75},
+        ]});
+        let rules = parse_rules(&doc).unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].direction, Direction::HigherIsBetter);
+        assert!((rules[1].max_regress_pct - 75.0).abs() < 1e-9);
+        assert!(parse_rules(&json!({"rules": []})).is_err());
+        assert!(parse_rules(&json!({})).is_err());
+    }
+
+    #[test]
+    fn render_names_the_regression() {
+        let base = bench_doc(100.0, 500);
+        let report = compare(&base, &bench_doc(1.0, 500), &default_rules());
+        let text = render(&report, false);
+        assert!(text.contains("REGRESSION rows.s8_uniform.tps"));
+        assert!(text.contains("regressed"));
+    }
+}

@@ -14,6 +14,7 @@
 //! Each binary prints a human-readable table and writes machine-readable
 //! JSON under `results/`. Criterion microbenchmarks live in `benches/`.
 
+pub mod diff;
 pub mod profile;
 
 use pstm_core::gtm::{Gtm, GtmConfig};
@@ -162,9 +163,72 @@ pub fn print_header(title: &str, columns: &[&str]) {
     println!("{}", columns.join("\t"));
 }
 
+/// A YCSB-style Zipfian rank sampler over `0..n` with skew `theta`
+/// (Gray et al.'s rejection-free inverse-CDF approximation): rank 0 is
+/// the hottest key. `theta = 0.99` is the YCSB default hotspot skew.
+#[derive(Clone, Debug)]
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// A sampler over `0..n`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `theta` is not in `(0, 1)`.
+    #[must_use]
+    pub fn new(n: usize, theta: f64) -> Zipfian {
+        assert!(n > 0, "zipfian needs a non-empty domain");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0, 1), got {theta}");
+        let zetan = zeta(n as u64, theta);
+        let zeta2 = zeta(2, theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { n: n as u64, theta, alpha: 1.0 / (1.0 - theta), zetan, eta }
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample<R: rand::Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        (rank.min(self.n - 1)) as usize
+    }
+}
+
+/// The generalized harmonic number `H_{n,theta}`.
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::{SeedableRng, StdRng};
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let z = Zipfian::new(64, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 64];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 dominates and the tail is thin but reachable.
+        assert!(counts[0] > counts[10] * 3, "head {} tail {}", counts[0], counts[10]);
+        assert!(counts.iter().skip(32).any(|c| *c > 0), "tail never sampled");
+        let head: u32 = counts.iter().take(8).sum();
+        assert!(f64::from(head) / 40_000.0 > 0.5, "top-8 keys should carry most draws");
+    }
 
     #[test]
     fn emulation_point_runs_under_both_schedulers() {

@@ -4,10 +4,18 @@
 //! source enforcing three review rules the compiler cannot:
 //!
 //! - **`wall-clock`** — the identifiers `Instant` and `SystemTime` may
-//!   appear only in `pstm-obs`'s wall-clock seam
-//!   (`crates/obs/src/wallclock.rs`) and the offline shims. Everything
-//!   else runs on virtual time; a stray wall-clock read silently breaks
-//!   trace replay determinism.
+//!   appear only in `pstm-obs`'s wall-clock seam — the epoch bridge
+//!   (`crates/obs/src/wallclock.rs`) and the commit-path phase profiler
+//!   (`crates/obs/src/prof.rs`, the `PhaseTimer` seam) — and the offline
+//!   shims. Everything else runs on virtual time; a stray wall-clock
+//!   read silently breaks trace replay determinism. On top of the
+//!   identifier ban, the commit-path crates (`pstm-core`,
+//!   `pstm-storage`, `pstm-front`) may not call the seam's raw timing
+//!   helpers (`WallEpoch::now`, `wallclock::wall_now_us`) directly:
+//!   stations time themselves through `PhaseTimer` / span plumbing
+//!   only, so ad-hoc timing cannot creep back into commit stations. The
+//!   reviewed pre-existing sites are grandfathered in
+//!   `pstm-check.allow`.
 //! - **`no-panic-commit-path`** — `.unwrap()` / `.expect(` / `panic!` /
 //!   `unreachable!` / `todo!` / `unimplemented!` are banned in the
 //!   commit/reconcile/SST sources of `pstm-core` and in all of
@@ -45,6 +53,21 @@ use std::path::{Path, PathBuf};
 /// The identifier ban list for the `wall-clock` rule. Built with
 /// `concat!` so this file never contains the banned tokens itself.
 const WALL_CLOCK_IDENTS: [&str; 2] = [concat!("Inst", "ant"), concat!("System", "Time")];
+
+/// The wall-clock seam: the only files allowed to touch the raw clock
+/// identifiers — the epoch bridge and the `PhaseTimer` phase profiler.
+const WALL_CLOCK_SEAM_FILES: [&str; 2] = ["crates/obs/src/wallclock.rs", "crates/obs/src/prof.rs"];
+
+/// Raw timing calls banned in the commit-path crates: even the
+/// sanctioned seam helpers may not be called ad hoc from commit
+/// stations — phase timing goes through `PhaseTimer`, span wall stamps
+/// through the span plumbing. Violations fall under `wall-clock`.
+const COMMIT_PATH_TIMING_TOKENS: [&str; 2] =
+    [concat!("WallEpoch::", "now"), concat!("wallclock::", "wall_now_us")];
+
+/// Crates whose sources the commit-path timing-token ban applies to.
+const COMMIT_PATH_TIMING_CRATES: [&str; 3] =
+    ["crates/core/src/", "crates/storage/src/", "crates/front/src/"];
 
 /// Banned calls for `no-panic-commit-path`.
 const PANIC_TOKENS: [&str; 6] = [
@@ -322,24 +345,28 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(
 /// Rule scopes for one file.
 struct Scope {
     wall_clock: bool,
+    /// Commit-path timing-token ban (reported under `wall-clock`).
+    timing: bool,
     no_panic: bool,
     lock_order: bool,
     wal_seam: bool,
 }
 
 fn scope_of(file: &str) -> Scope {
-    let wall_clock = file != "crates/obs/src/wallclock.rs";
+    let wall_clock = !WALL_CLOCK_SEAM_FILES.contains(&file);
+    let timing = COMMIT_PATH_TIMING_CRATES.iter().any(|c| file.starts_with(c));
     let no_panic =
         file.strip_prefix("crates/core/src/").is_some_and(|f| CORE_COMMIT_PATH_FILES.contains(&f))
             || file.starts_with("crates/front/src/");
     let lock_order = file.starts_with("crates/front/src/");
     let wal_seam = file == WAL_SEAM_FILE;
-    Scope { wall_clock, no_panic, lock_order, wal_seam }
+    Scope { wall_clock, timing, no_panic, lock_order, wal_seam }
 }
 
 fn scan_file(file: &str, text: &str, allow: &mut Allowlist, out: &mut Vec<Violation>) {
     let scope = scope_of(file);
-    if !scope.wall_clock && !scope.no_panic && !scope.lock_order && !scope.wal_seam {
+    if !scope.wall_clock && !scope.timing && !scope.no_panic && !scope.lock_order && !scope.wal_seam
+    {
         return;
     }
     let mut current_fn: Option<String> = None;
@@ -381,6 +408,16 @@ fn scan_file(file: &str, text: &str, allow: &mut Allowlist, out: &mut Vec<Violat
         if scope.wall_clock {
             for ident in WALL_CLOCK_IDENTS {
                 if contains_word(code, ident)
+                    && !allow.allows(Rule::WallClock, file, current_fn.as_deref())
+                {
+                    out.push(violation(Rule::WallClock, file, line_no, &current_fn, raw));
+                    break;
+                }
+            }
+        }
+        if scope.timing {
+            for token in COMMIT_PATH_TIMING_TOKENS {
+                if code.contains(token)
                     && !allow.allows(Rule::WallClock, file, current_fn.as_deref())
                 {
                     out.push(violation(Rule::WallClock, file, line_no, &current_fn, raw));
@@ -541,6 +578,45 @@ mod tests {
         .expect("parses");
         assert_eq!(a.entries.len(), 2);
         assert!(Allowlist::parse("one-word-only\n").is_err());
+    }
+
+    #[test]
+    fn timing_tokens_banned_on_commit_path_crates() {
+        let src = "fn commit_finish() { let w = WallEpoch::now(); }\n\
+                   fn stamp() { let u = pstm_obs::wallclock::wall_now_us(); }\n";
+        let mut allow = Allowlist::default();
+        let mut out = Vec::new();
+        scan_file("crates/core/src/gtm.rs", src, &mut allow, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|v| v.rule == Rule::WallClock), "{out:?}");
+
+        // Outside the commit-path crates the same calls are legal.
+        let mut bench = Vec::new();
+        scan_file("crates/bench/src/lib.rs", src, &mut allow, &mut bench);
+        assert!(bench.is_empty(), "{bench:?}");
+
+        // Grandfathered sites are suppressed per-function.
+        let mut allow =
+            Allowlist::parse("wall-clock crates/core/src/gtm.rs::commit_finish\n").expect("parses");
+        let mut out = Vec::new();
+        scan_file("crates/core/src/gtm.rs", src, &mut allow, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].func.as_deref(), Some("stamp"));
+    }
+
+    #[test]
+    fn wall_clock_seam_files_are_exempt() {
+        // Built with `concat!` so this file still never contains the
+        // banned identifier itself.
+        let src = concat!("fn start() { let now = Inst", "ant::now(); }\n");
+        let mut allow = Allowlist::default();
+        let mut out = Vec::new();
+        scan_file("crates/obs/src/prof.rs", src, &mut allow, &mut out);
+        scan_file("crates/obs/src/wallclock.rs", src, &mut allow, &mut out);
+        assert!(out.is_empty(), "seam files must be exempt: {out:?}");
+        scan_file("crates/obs/src/hist.rs", src, &mut allow, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, Rule::WallClock);
     }
 
     #[test]

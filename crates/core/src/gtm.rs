@@ -29,6 +29,7 @@ use crate::reconcile::reconcile;
 use crate::sst::Sst;
 use crate::state::{ResourceState, TxnRecord, TxnState, WaitEntry};
 use pstm_lock::WaitsForGraph;
+use pstm_obs::prof::{self, CommitPhase};
 use pstm_obs::{AbortOrigin, Ctr, MetricsRegistry, TraceEvent, Tracer};
 use pstm_storage::{BindingRegistry, Database};
 use pstm_types::{
@@ -444,6 +445,14 @@ impl Gtm {
             });
         }
         let class = op.class();
+        // Phase accounting: pure reads are Read; everything else on the
+        // invoke path is operation bookkeeping (grants, queues, copies).
+        // Admission checks nested below carve out their own time.
+        let _phase = prof::PhaseTimer::start(if class == OpClass::Read {
+            CommitPhase::Read
+        } else {
+            CommitPhase::OpBookkeeping
+        });
         let held = record.classes.get(&resource).copied();
         self.tracer.emit(now, TraceEvent::OpRequested { txn, resource, class });
         let record = self.txn_mut(txn)?;
@@ -551,6 +560,7 @@ impl Gtm {
         op: &ScalarOp,
         now: Timestamp,
     ) -> PstmResult<bool> {
+        let _phase = prof::PhaseTimer::start(CommitPhase::Admission);
         let mut denied = false;
         if self.config.elder_priority {
             let rs = self.resources.entry(resource).or_default();
@@ -802,6 +812,9 @@ impl Gtm {
     /// failed). A local failure aborts the transaction immediately — it
     /// must never strand in `Committing`.
     pub fn commit_local(&mut self, txn: TxnId, now: Timestamp) -> PstmResult<LocalCommit> {
+        // The whole local commit is the reconcile phase; a failed commit's
+        // unwind (abort_internal) carves out its own AbortUnwind time.
+        let _phase = prof::PhaseTimer::start(CommitPhase::Reconcile);
         let record = self.txn_mut(txn)?;
         if record.state != TxnState::Active {
             return Err(PstmError::InvalidState {
@@ -871,6 +884,8 @@ impl Gtm {
     /// record history and run promotions. Requires the transaction to be
     /// parked in `Committing` by a prior [`Gtm::commit_local`].
     pub fn commit_finish(&mut self, txn: TxnId, now: Timestamp) -> PstmResult<StepEffects> {
+        // History, committed marks, promotions: bookkeeping.
+        let _phase = prof::PhaseTimer::start(CommitPhase::OpBookkeeping);
         let record = self.txn_mut(txn)?;
         if record.state != TxnState::Committing {
             return Err(PstmError::InvalidState {
@@ -962,6 +977,7 @@ impl Gtm {
         origin: AbortOrigin,
         now: Timestamp,
     ) -> PstmResult<StepEffects> {
+        let _phase = prof::PhaseTimer::start(CommitPhase::AbortUnwind);
         let record = self.txn_mut(txn)?;
         if record.state.is_terminal() {
             return Err(PstmError::InvalidState {

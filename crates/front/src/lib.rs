@@ -53,6 +53,7 @@
 use parking_lot::{Mutex, MutexGuard};
 use pstm_core::gtm::{CommitResult, Gtm, GtmConfig, GtmStats, LocalCommit};
 use pstm_core::sst::Sst;
+use pstm_obs::prof::{self, CommitPhase};
 use pstm_obs::wallclock::WallEpoch;
 use pstm_obs::{expo, MetricsRegistry, SpanKind, TraceEvent, Tracer};
 use pstm_storage::{BindingRegistry, Database};
@@ -322,6 +323,11 @@ impl ShardedFront {
         for shard in &per_shard {
             registry.merge(shard);
         }
+        // Commit-path phase accounting is process-global (thread slots),
+        // not per-shard; each snapshot absorbs the current cumulative
+        // profile into the fresh merged registry, so repeated snapshots
+        // never double-count.
+        registry.absorb_phases(&prof::snapshot());
         FleetSnapshot { registry, per_shard, trace_dropped }
     }
 
@@ -646,9 +652,17 @@ impl Session {
 
     /// The coordinated commit. `shards` is ascending and non-empty.
     fn commit_across(&mut self, shards: &[usize]) -> PstmResult<CommitResult> {
+        // The whole coordinated commit is the cross-shard fencing phase;
+        // every nested station (shard-lock admission, per-shard
+        // reconcile, WAL/SST, bookkeeping, abort unwind) carves out its
+        // own exclusive time, leaving fencing = coordination residue.
+        let _phase = prof::PhaseTimer::start(CommitPhase::Fencing);
         self.close_leaf();
         self.open_span(SpanKind::Commit);
-        let mut guards: Vec<MutexGuard<'_, Gtm>> = self.front.lock_shards_ascending(shards);
+        let mut guards: Vec<MutexGuard<'_, Gtm>> = {
+            let _adm = prof::PhaseTimer::start(CommitPhase::Admission);
+            self.front.lock_shards_ascending(shards)
+        };
         let now = self.front.now();
 
         // Phase one: reconcile on every shard (Algorithm 3 per shard).

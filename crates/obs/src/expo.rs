@@ -8,6 +8,7 @@
 //! so identical registries render byte-identical pages.
 
 use crate::hist::Histogram;
+use crate::prof::CommitPhase;
 use crate::registry::{Ctr, MetricsRegistry};
 use std::fmt::Write as _;
 
@@ -86,6 +87,44 @@ pub fn render(reg: &MetricsRegistry, trace_dropped: u64) -> String {
         "Queue depth sampled at every enqueue.",
         reg.queue_depth(),
     );
+
+    // Commit-path phase accounting (wall ns, absorbed from `prof`).
+    // Totals render for every phase in taxonomy order; per-phase
+    // histograms render only for observed phases, also in taxonomy
+    // order — both deterministic for a given registry.
+    let phases = reg.commit_phases();
+    let _ = writeln!(
+        out,
+        "# HELP pstm_commit_phase_ns_total Wall nanoseconds attributed to each commit-path phase."
+    );
+    let _ = writeln!(out, "# TYPE pstm_commit_phase_ns_total counter");
+    for p in CommitPhase::ALL {
+        let _ =
+            writeln!(out, "pstm_commit_phase_ns_total{{phase=\"{}\"}} {}", p.name(), phases.ns(p));
+    }
+    let _ =
+        writeln!(out, "# HELP pstm_commit_phase_ops_total Timed operations per commit-path phase.");
+    let _ = writeln!(out, "# TYPE pstm_commit_phase_ops_total counter");
+    for p in CommitPhase::ALL {
+        let _ = writeln!(
+            out,
+            "pstm_commit_phase_ops_total{{phase=\"{}\"}} {}",
+            p.name(),
+            phases.ops(p)
+        );
+    }
+    for p in CommitPhase::ALL {
+        if phases.ops(p) == 0 {
+            continue;
+        }
+        render_labeled_histogram(
+            &mut out,
+            "pstm_commit_phase_duration_ns",
+            "Per-operation wall nanoseconds by commit-path phase.",
+            &format!("phase=\"{}\"", p.name()),
+            phases.hist(p),
+        );
+    }
     out
 }
 
@@ -106,6 +145,24 @@ fn render_histogram(out: &mut String, name: &str, help: &str, h: &Histogram) {
     let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.total());
     let _ = writeln!(out, "{name}_sum {}", h.sum());
     let _ = writeln!(out, "{name}_count {}", h.total());
+}
+
+/// Like [`render_histogram`] but with a fixed label pair on every
+/// series (HELP/TYPE headers repeat per labeled instance; scrapers
+/// accept that and it keeps emission order strictly by phase).
+fn render_labeled_histogram(out: &mut String, name: &str, help: &str, label: &str, h: &Histogram) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let counts = h.counts();
+    let mut cumulative = counts[0];
+    let _ = writeln!(out, "{name}_bucket{{{label},le=\"0\"}} {cumulative}");
+    for (i, bound) in h.bounds().iter().enumerate() {
+        cumulative += counts[i + 1];
+        let _ = writeln!(out, "{name}_bucket{{{label},le=\"{bound}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{{label},le=\"+Inf\"}} {}", h.total());
+    let _ = writeln!(out, "{name}_sum{{{label}}} {}", h.sum());
+    let _ = writeln!(out, "{name}_count{{{label}}} {}", h.total());
 }
 
 /// Escapes a label value per the exposition format (`\`, `"`, newline).
@@ -189,5 +246,30 @@ mod tests {
     fn rendering_is_deterministic() {
         let reg = sample_registry();
         assert_eq!(render(&reg, 3), render(&reg, 3));
+    }
+
+    #[test]
+    fn commit_phase_series_render_in_taxonomy_order() {
+        use crate::prof::PhaseProfile;
+        let mut reg = sample_registry();
+        let mut p = PhaseProfile::empty();
+        p.record(CommitPhase::Reconcile, 900);
+        p.record(CommitPhase::WalAppend, 120);
+        reg.absorb_phases(&p);
+        let page = render(&reg, 0);
+        assert!(page.contains("pstm_commit_phase_ns_total{phase=\"reconcile\"} 900"));
+        assert!(page.contains("pstm_commit_phase_ns_total{phase=\"wal_append\"} 120"));
+        assert!(page.contains("pstm_commit_phase_ns_total{phase=\"admission\"} 0"));
+        assert!(page.contains("pstm_commit_phase_ops_total{phase=\"reconcile\"} 1"));
+        // Histograms only for observed phases, labeled and cumulative.
+        assert!(page
+            .contains("pstm_commit_phase_duration_ns_bucket{phase=\"reconcile\",le=\"1024\"} 1"));
+        assert!(page.contains("pstm_commit_phase_duration_ns_sum{phase=\"reconcile\"} 900"));
+        assert!(page.contains("pstm_commit_phase_duration_ns_count{phase=\"wal_append\"} 1"));
+        assert!(!page.contains("pstm_commit_phase_duration_ns_count{phase=\"admission\"}"));
+        // Taxonomy order: reconcile's histogram precedes wal_append's.
+        let rec = page.find("pstm_commit_phase_duration_ns_sum{phase=\"reconcile\"}");
+        let wal = page.find("pstm_commit_phase_duration_ns_sum{phase=\"wal_append\"}");
+        assert!(rec.unwrap() < wal.unwrap());
     }
 }

@@ -6,6 +6,26 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Upper bounds for commit-path phase durations in nanoseconds: powers
+/// of four from 64 ns to ~4.3 s. Shared with `prof`, whose lock-free
+/// per-thread buckets must agree bucket-for-bucket with [`Histogram`].
+pub const PHASE_NS_BOUNDS: [u64; 14] = [
+    64,
+    256,
+    1_024,
+    4_096,
+    16_384,
+    65_536,
+    262_144,
+    1_048_576,
+    4_194_304,
+    16_777_216,
+    67_108_864,
+    268_435_456,
+    1_073_741_824,
+    4_294_967_296,
+];
+
 /// A histogram with a dedicated zero bucket, one bucket per configured
 /// upper bound, and an overflow bucket.
 ///
@@ -62,6 +82,70 @@ impl Histogram {
         Histogram::new(vec![1, 2, 4, 8, 16, 32, 64])
     }
 
+    /// Bounds for commit-path phase durations in wall nanoseconds
+    /// ([`PHASE_NS_BOUNDS`]).
+    #[must_use]
+    pub fn phase_ns() -> Self {
+        Histogram::new(PHASE_NS_BOUNDS.to_vec())
+    }
+
+    /// Rebuilds a histogram from externally accumulated buckets — the
+    /// bridge from `prof`'s per-thread atomic counters, which cannot
+    /// afford a `&mut Histogram` on the hot path.
+    ///
+    /// # Panics
+    /// If `counts.len() != bounds.len() + 2` or the bounds are invalid.
+    #[must_use]
+    pub fn from_raw(bounds: Vec<u64>, counts: Vec<u64>, sum: u64, max: u64) -> Self {
+        let mut h = Histogram::new(bounds);
+        assert_eq!(counts.len(), h.counts.len(), "raw bucket count does not match bounds");
+        h.total = counts.iter().sum();
+        h.counts = counts;
+        h.sum = sum;
+        h.max = max;
+        h
+    }
+
+    /// The bucket index `record` would use for `value` under `bounds` —
+    /// exposed so lock-free recorders can mirror the layout exactly.
+    #[must_use]
+    pub fn bucket_for(bounds: &[u64], value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            match bounds.iter().position(|b| value <= *b) {
+                Some(i) => i + 1,
+                None => bounds.len() + 1,
+            }
+        }
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`): the upper bound of the
+    /// bucket holding the rank-`⌈q·total⌉` observation (the recorded
+    /// max for the overflow bucket, 0 when empty). Conservative —
+    /// never underestimates by more than one bucket's width.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return if idx == 0 {
+                    0
+                } else if idx <= self.bounds.len() {
+                    self.bounds[idx - 1]
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
     /// Adds another histogram's observations to this one.
     ///
     /// # Panics
@@ -79,14 +163,7 @@ impl Histogram {
 
     /// Records one value.
     pub fn record(&mut self, value: u64) {
-        let idx = if value == 0 {
-            0
-        } else {
-            match self.bounds.iter().position(|b| value <= *b) {
-                Some(i) => i + 1,
-                None => self.bounds.len() + 1,
-            }
-        };
+        let idx = Histogram::bucket_for(&self.bounds, value);
         self.counts[idx] += 1;
         self.total += 1;
         self.sum = self.sum.saturating_add(value);
@@ -216,5 +293,53 @@ mod tests {
     fn merge_rejects_mismatched_buckets() {
         let mut a = Histogram::new(vec![10]);
         a.merge(&Histogram::new(vec![20]));
+    }
+
+    #[test]
+    fn from_raw_equals_recording() {
+        let mut direct = Histogram::phase_ns();
+        let mut counts = vec![0u64; PHASE_NS_BOUNDS.len() + 2];
+        let values = [0u64, 63, 64, 65, 5_000, 1_000_000, u64::MAX];
+        let mut sum = 0u64;
+        let mut max = 0u64;
+        for v in values {
+            direct.record(v);
+            counts[Histogram::bucket_for(&PHASE_NS_BOUNDS, v)] += 1;
+            sum = sum.saturating_add(v);
+            max = max.max(v);
+        }
+        let raw = Histogram::from_raw(PHASE_NS_BOUNDS.to_vec(), counts, sum, max);
+        assert_eq!(direct, raw);
+    }
+
+    #[test]
+    #[should_panic(expected = "raw bucket count")]
+    fn from_raw_rejects_wrong_bucket_count() {
+        let _ = Histogram::from_raw(vec![10], vec![0, 0], 0, 0);
+    }
+
+    #[test]
+    fn quantile_walks_buckets() {
+        let mut h = Histogram::new(vec![10, 100, 1000]);
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [1, 2, 3, 50, 60, 70, 80, 90, 500, 5000] {
+            h.record(v);
+        }
+        // ranks: 3 in (0,10], 5 in (10,100], 1 in (100,1000], 1 overflow
+        assert_eq!(h.quantile(0.0), 10);
+        assert_eq!(h.quantile(0.3), 10);
+        assert_eq!(h.quantile(0.5), 100);
+        assert_eq!(h.quantile(0.8), 100);
+        assert_eq!(h.quantile(0.9), 1000);
+        assert_eq!(h.quantile(0.99), 5000); // overflow reports the true max
+        assert_eq!(h.quantile(1.0), 5000);
+    }
+
+    #[test]
+    fn quantile_with_zeros_only() {
+        let mut h = Histogram::new(vec![10]);
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.quantile(0.99), 0);
     }
 }

@@ -27,6 +27,7 @@ pub mod dot;
 pub mod event;
 pub mod expo;
 pub mod hist;
+pub mod prof;
 pub mod registry;
 pub mod replay;
 pub mod sink;
@@ -37,6 +38,7 @@ pub mod wallclock;
 pub use dot::waits_for_dot;
 pub use event::{AbortOrigin, TraceEvent, TraceRecord};
 pub use hist::Histogram;
+pub use prof::{CommitPhase, PhaseProfile, PhaseTimer};
 pub use registry::{Ctr, MetricsRegistry};
 pub use replay::{load_jsonl, parse_jsonl, replay};
 pub use sink::{JsonlSink, NullSink, RingHandle, RingSink, Sink};

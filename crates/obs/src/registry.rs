@@ -7,6 +7,7 @@
 
 use crate::event::{AbortOrigin, TraceEvent, TraceRecord};
 use crate::hist::Histogram;
+use crate::prof::PhaseProfile;
 use pstm_types::{AbortReason, ResourceId, Timestamp, TxnId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -193,6 +194,11 @@ pub struct MetricsRegistry {
     /// Timestamp of the most recently applied event — the clock
     /// unclocked layers (the storage engine) stamp their events with.
     last_at: Timestamp,
+    /// Wall-nanosecond commit-path phase accounting absorbed from
+    /// `prof` snapshots. NOT event-derived: trace replay leaves it
+    /// empty (wall time is not replayable), so `from_records` equality
+    /// checks compare counters and virtual-time histograms only.
+    commit_phases: PhaseProfile,
 }
 
 impl Default for MetricsRegistry {
@@ -217,6 +223,7 @@ impl MetricsRegistry {
             blocked_by_resource: BTreeMap::new(),
             wait_by_resource: BTreeMap::new(),
             last_at: Timestamp::ZERO,
+            commit_phases: PhaseProfile::empty(),
         }
     }
 
@@ -274,6 +281,20 @@ impl MetricsRegistry {
         &self.wait_by_resource
     }
 
+    /// Wall-ns commit-path phase accounting absorbed via
+    /// [`MetricsRegistry::absorb_phases`].
+    #[must_use]
+    pub fn commit_phases(&self) -> &PhaseProfile {
+        &self.commit_phases
+    }
+
+    /// Folds a `prof` snapshot into this registry — the bridge from
+    /// thread-local phase accounting to the exposition endpoint. Pass
+    /// each profile exactly once; absorption is additive.
+    pub fn absorb_phases(&mut self, profile: &PhaseProfile) {
+        self.commit_phases.merge(profile);
+    }
+
     /// Folds another registry into this one — the shard-aggregation
     /// primitive behind fleet snapshots.
     ///
@@ -316,6 +337,7 @@ impl MetricsRegistry {
             *self.wait_by_resource.entry(*res).or_insert(0) += us;
         }
         self.last_at = self.last_at.max(other.last_at);
+        self.commit_phases.merge(&other.commit_phases);
     }
 
     /// Rebuilds a registry by replaying `records` in order.
@@ -628,6 +650,31 @@ mod tests {
         assert_eq!(a.last_at(), Timestamp(9_400));
         // The merge source is untouched.
         assert_eq!(b.counter(Ctr::Begun), 1);
+    }
+
+    #[test]
+    fn absorbed_phases_survive_merge() {
+        use crate::prof::CommitPhase;
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        let mut pa = PhaseProfile::empty();
+        pa.record(CommitPhase::Reconcile, 1_000);
+        pa.record(CommitPhase::WalAppend, 250);
+        let mut pb = PhaseProfile::empty();
+        pb.record(CommitPhase::Reconcile, 3_000);
+        a.absorb_phases(&pa);
+        b.absorb_phases(&pb);
+        a.merge(&b);
+        assert_eq!(a.commit_phases().ns(CommitPhase::Reconcile), 4_000);
+        assert_eq!(a.commit_phases().ops(CommitPhase::Reconcile), 2);
+        assert_eq!(a.commit_phases().ns(CommitPhase::WalAppend), 250);
+        assert_eq!(a.commit_phases().hist(CommitPhase::Reconcile).total(), 2);
+        // Absorbing the combined profile directly gives the same fold.
+        let mut c = MetricsRegistry::new();
+        let mut both = pa.clone();
+        both.merge(&pb);
+        c.absorb_phases(&both);
+        assert_eq!(c.commit_phases(), a.commit_phases());
     }
 
     #[test]

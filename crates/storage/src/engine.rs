@@ -561,6 +561,9 @@ impl Database {
     /// (constraint violation included) rolls back every op already
     /// applied. Returns the addresses assigned to inserts, in op order.
     pub fn apply_write_set(&self, txn: TxnId, ws: &WriteSet) -> PstmResult<Vec<RowId>> {
+        // WAL appends nested under the per-op engine calls carve their
+        // own WalAppend time out of this phase (exclusive accounting).
+        let _phase = pstm_obs::prof::PhaseTimer::start(pstm_obs::prof::CommitPhase::SstApply);
         {
             let mut faults = self.injected_faults.write();
             if *faults > 0 {

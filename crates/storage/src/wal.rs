@@ -173,6 +173,7 @@ impl Wal {
     /// `Torn { keep }` writes only a prefix of the frame first — the torn
     /// page write recovery must then discard.
     pub fn append(&mut self, rec: &LogRecord) -> PstmResult<Lsn> {
+        let _phase = pstm_obs::prof::PhaseTimer::start(pstm_obs::prof::CommitPhase::WalAppend);
         let lsn = Lsn(self.buf.len() as u64);
         let payload = serde_json::to_vec(rec)
             .map_err(|e| PstmError::internal(format!("WAL serialize: {e}")))?;
