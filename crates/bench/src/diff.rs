@@ -189,6 +189,12 @@ pub struct DiffReport {
     pub missing: Vec<String>,
     /// Metrics only in the current artifact (informational).
     pub added: Vec<String>,
+    /// Rule-matched metrics that cannot be judged by a baseline ratio:
+    /// a zero or non-finite baseline that moved, a non-finite current
+    /// value, or a rule-matched metric with no baseline entry at all.
+    /// Reported explicitly — never as an inf/NaN percentage or a silent
+    /// pass — and each fails the diff.
+    pub errors: Vec<String>,
 }
 
 impl DiffReport {
@@ -201,7 +207,9 @@ impl DiffReport {
     /// Whether the comparison should fail the build.
     #[must_use]
     pub fn failed(&self) -> bool {
-        !self.missing.is_empty() || self.compared.iter().any(|c| c.regressed)
+        !self.missing.is_empty()
+            || !self.errors.is_empty()
+            || self.compared.iter().any(|c| c.regressed)
     }
 }
 
@@ -224,17 +232,31 @@ pub fn compare(base: &Value, cur: &Value, rules: &[Rule]) -> DiffReport {
         let rule = rules.iter().find(|r| metric.contains(&r.pattern));
         let (regress_pct, regressed) = match rule {
             Some(r) => {
-                let moved = match r.direction {
-                    Direction::HigherIsBetter => b - c,
-                    Direction::LowerIsBetter => c - b,
-                };
-                if b.abs() < f64::EPSILON {
-                    // No baseline to scale by: only a genuinely bad
-                    // absolute move on a zero baseline counts, and only
-                    // for lower-is-better metrics (0 → anything is an
-                    // unbounded relative rise).
-                    (0.0, r.direction == Direction::LowerIsBetter && moved > 0.0)
+                if !b.is_finite() || !c.is_finite() {
+                    report.errors.push(format!(
+                        "{metric}: non-finite value (base {b}, cur {c}) — the artifact \
+                         is corrupt, no ratio verdict exists"
+                    ));
+                    (0.0, false)
+                } else if b.abs() < f64::EPSILON {
+                    // The ratio rule divides by the baseline; a zero
+                    // baseline has no ratio. An unmoved 0 → 0 is fine,
+                    // any movement is an explicit error — not an
+                    // inf/NaN percentage, not a silent pass.
+                    if (c - b).abs() < f64::EPSILON {
+                        (0.0, false)
+                    } else {
+                        report.errors.push(format!(
+                            "{metric}: baseline is 0 so no ratio exists (cur {c}) — \
+                             regenerate the baseline or fix the bench emitting zeros"
+                        ));
+                        (0.0, false)
+                    }
                 } else {
+                    let moved = match r.direction {
+                        Direction::HigherIsBetter => b - c,
+                        Direction::LowerIsBetter => c - b,
+                    };
                     let pct = moved / b.abs() * 100.0;
                     (pct, pct > r.max_regress_pct)
                 }
@@ -252,6 +274,12 @@ pub fn compare(base: &Value, cur: &Value, rules: &[Rule]) -> DiffReport {
     }
     for metric in cur_flat.keys() {
         if !base_flat.contains_key(metric) {
+            if rules.iter().any(|r| metric.contains(&r.pattern)) {
+                report.errors.push(format!(
+                    "{metric}: rule-matched but absent from the baseline — the \
+                     comparison would silently skip it; regenerate the baseline"
+                ));
+            }
             report.added.push(metric.clone());
         }
     }
@@ -277,6 +305,9 @@ pub fn render(report: &DiffReport, verbose: bool) -> String {
     for m in &report.missing {
         let _ = writeln!(out, "MISSING {m}: present in baseline, absent in current");
     }
+    for e in &report.errors {
+        let _ = writeln!(out, "ERROR {e}");
+    }
     let matched = report.compared.iter().filter(|c| c.rule.is_some()).count();
     if verbose {
         for c in &report.compared {
@@ -294,12 +325,13 @@ pub fn render(report: &DiffReport, verbose: bool) -> String {
     }
     let _ = writeln!(
         out,
-        "{} metrics compared, {} rule-matched, {} regressed, {} missing, {} added",
+        "{} metrics compared, {} rule-matched, {} regressed, {} missing, {} added, {} errors",
         report.compared.len(),
         matched,
         report.regressions().len(),
         report.missing.len(),
-        report.added.len()
+        report.added.len(),
+        report.errors.len()
     );
     out
 }
@@ -383,15 +415,69 @@ mod tests {
     }
 
     #[test]
-    fn zero_baseline_lower_is_better_regresses_on_rise() {
+    fn zero_baseline_movement_is_an_explicit_error_not_a_percentage() {
         let rules = vec![Rule {
             pattern: "ns_per_op".into(),
             direction: Direction::LowerIsBetter,
             max_regress_pct: 50.0,
         }];
+        // A zero baseline has no ratio: any movement fails the diff via
+        // the error channel, naming the metric — never as an inf/NaN
+        // regression percentage.
         let base = json!({"ns_per_op": 0});
-        assert!(compare(&base, &json!({"ns_per_op": 10}), &rules).failed());
+        let moved = compare(&base, &json!({"ns_per_op": 10}), &rules);
+        assert!(moved.failed());
+        assert!(moved.regressions().is_empty(), "no ratio verdict exists");
+        assert_eq!(moved.errors.len(), 1);
+        assert!(moved.errors[0].contains("ns_per_op"), "error names the metric");
+        assert!(moved.errors[0].contains("baseline is 0"));
+        assert!(render(&moved, false).contains("ERROR ns_per_op"));
+        // An unmoved 0 -> 0 is a clean pass.
         assert!(!compare(&base, &json!({"ns_per_op": 0}), &rules).failed());
+        // The direction does not matter: a zero baseline is equally
+        // unjudgeable for higher-is-better metrics.
+        let hib = vec![Rule {
+            pattern: "tps".into(),
+            direction: Direction::HigherIsBetter,
+            max_regress_pct: 20.0,
+        }];
+        let rose = compare(&json!({"tps": 0}), &json!({"tps": 100}), &hib);
+        assert!(rose.failed());
+        assert_eq!(rose.errors.len(), 1);
+    }
+
+    #[test]
+    fn non_finite_values_are_explicit_errors() {
+        let rules = vec![Rule {
+            pattern: "ns_per_op".into(),
+            direction: Direction::LowerIsBetter,
+            max_regress_pct: 50.0,
+        }];
+        let nan = compare(&json!({"ns_per_op": (f64::NAN)}), &json!({"ns_per_op": 10}), &rules);
+        assert!(nan.failed());
+        assert!(nan.regressions().is_empty());
+        assert!(nan.errors[0].contains("non-finite"));
+        let inf =
+            compare(&json!({"ns_per_op": 10}), &json!({"ns_per_op": (f64::INFINITY)}), &rules);
+        assert!(inf.failed());
+        assert!(inf.errors[0].contains("non-finite"));
+    }
+
+    #[test]
+    fn rule_matched_metric_absent_from_baseline_is_an_error() {
+        let base = json!({"other": 1});
+        let cur = json!({"other": 1, "tps": 100, "note_count": 3});
+        let report = compare(&base, &cur, &default_rules());
+        // `tps` is rule-matched but the baseline never measured it: the
+        // old behaviour silently skipped the comparison, which let a
+        // baseline/threshold mismatch pass as green.
+        assert!(report.failed());
+        assert_eq!(report.errors.len(), 1);
+        assert!(report.errors[0].contains("tps"));
+        assert!(report.errors[0].contains("absent from the baseline"));
+        // Unmatched new metrics stay informational.
+        assert_eq!(report.added.len(), 2);
+        assert!(report.added.iter().any(|m| m == "note_count"));
     }
 
     #[test]

@@ -192,7 +192,21 @@ impl Zipfian {
 
     /// Draws one rank in `0..n`.
     pub fn sample<R: rand::Rng>(&self, rng: &mut R) -> usize {
-        let u: f64 = rng.gen_range(0.0..1.0);
+        self.sample_from_u(rng.gen_range(0.0..1.0))
+    }
+
+    /// Maps one uniform draw `u` in `[0, 1)` to a rank in `0..n` — the
+    /// deterministic core of [`Zipfian::sample`], exposed so tests can
+    /// sweep the whole unit interval (including the `u -> 0` and
+    /// `u -> 1` edges a finite random run is not guaranteed to hit).
+    #[must_use]
+    pub fn sample_from_u(&self, u: f64) -> usize {
+        // A single-key domain has exactly one rank; the general-case
+        // branches below would hand back rank 1 for most of the unit
+        // interval, which is out of range.
+        if self.n == 1 {
+            return 0;
+        }
         let uz = u * self.zetan;
         if uz < 1.0 {
             return 0;
@@ -200,7 +214,17 @@ impl Zipfian {
         if uz < 1.0 + 0.5f64.powf(self.theta) {
             return 1;
         }
-        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        // `eta * u - eta + 1` dips below zero whenever `eta * (1 - u)`
+        // exceeds 1 (eta hugs 1 from below, so rounding near the branch
+        // cutoffs can cross), and powf of a negative base with a
+        // fractional exponent is NaN — which casts to rank 0 and
+        // silently fattens the head. Clamping the base keeps the draw
+        // on the hottest tail-adjacent rank instead; the clamp also
+        // absorbs n == 2, whose eta is 0/0 (unreachable: the second
+        // branch covers the whole interval there, but NaN must not be
+        // one bad rounding away).
+        let base = (self.eta * u - self.eta + 1.0).max(0.0);
+        let rank = (self.n as f64 * base.powf(self.alpha)) as u64;
         (rank.min(self.n - 1)) as usize
     }
 }
@@ -214,6 +238,62 @@ fn zeta(n: u64, theta: f64) -> f64 {
 mod tests {
     use super::*;
     use rand::{SeedableRng, StdRng};
+
+    #[test]
+    fn zipfian_single_key_domain_always_draws_rank_zero() {
+        let z = Zipfian::new(1, 0.99);
+        for i in 0..=1_000 {
+            assert_eq!(z.sample_from_u(f64::from(i) / 1_000.0), 0);
+        }
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1_000 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zipfian_grid_sweep_pins_the_rank_distribution() {
+        // Sweep the unit interval on a dense deterministic grid: every
+        // rank is in range, the pmf is non-increasing in rank (up to
+        // grid quantization), and the head mass matches the exact
+        // branch probability 1/zetan.
+        let n = 16;
+        let z = Zipfian::new(n, 0.99);
+        let m = 200_000u32;
+        let mut counts = vec![0u32; n];
+        for i in 0..m {
+            let u = (f64::from(i) + 0.5) / f64::from(m);
+            counts[z.sample_from_u(u)] += 1;
+        }
+        assert_eq!(counts.iter().map(|c| u64::from(*c)).sum::<u64>(), u64::from(m));
+        for r in 0..n - 1 {
+            assert!(
+                counts[r] + 1 >= counts[r + 1],
+                "pmf must not rise with rank: counts[{r}]={} counts[{}]={}",
+                counts[r],
+                r + 1,
+                counts[r + 1]
+            );
+        }
+        let zetan: f64 = (1..=n as u64).map(|i| 1.0 / (i as f64).powf(0.99)).sum();
+        let head = f64::from(counts[0]) / f64::from(m);
+        assert!((head - 1.0 / zetan).abs() < 0.01, "head mass {head} vs exact {}", 1.0 / zetan);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn zipfian_rank_stays_in_range_for_any_domain_and_draw(
+            n in 1usize..128,
+            theta in 0.05f64..0.95,
+            u in 0.0f64..1.0,
+        ) {
+            let z = Zipfian::new(n, theta);
+            proptest::prop_assert!(z.sample_from_u(u) < n);
+            // The edges a random draw (almost) never lands on exactly.
+            proptest::prop_assert!(z.sample_from_u(0.0) < n);
+            proptest::prop_assert!(z.sample_from_u(1.0 - f64::EPSILON) < n);
+        }
+    }
 
     #[test]
     fn zipfian_is_skewed_and_in_range() {

@@ -102,11 +102,18 @@ const WAL_BUF_MUTATORS: [&str; 7] = [
     "self.buf.get_mut",
 ];
 
-/// Functions allowed to mutate the log buffer: `append` is the hooked
-/// durable-write seam; the rest shrink or corrupt the device (recovery /
-/// chaos helpers) and never add records past the seam.
-const WAL_SEAM_FNS: [&str; 5] =
-    ["append", "truncate_prefix", "crash_truncate", "corrupt_byte_with", "trim_torn_tail"];
+/// Functions allowed to mutate the log buffer: `append` and
+/// `append_batch` are the hooked durable-write seams; the rest shrink or
+/// corrupt the device (recovery / chaos helpers) and never add records
+/// past the seam.
+const WAL_SEAM_FNS: [&str; 6] = [
+    "append",
+    "append_batch",
+    "truncate_prefix",
+    "crash_truncate",
+    "corrupt_byte_with",
+    "trim_torn_tail",
+];
 
 /// One of the lint rules (plus the synthetic rule flagging stale
 /// allowlist entries).

@@ -26,7 +26,7 @@ use crate::dependence::DependenceMap;
 use crate::history::HistoryRecorder;
 use crate::policy::{AdmissionPolicy, StarvationPolicy};
 use crate::reconcile::reconcile;
-use crate::sst::Sst;
+use crate::sst::{Sst, SstBatch};
 use crate::state::{ResourceState, TxnRecord, TxnState, WaitEntry};
 use pstm_lock::WaitsForGraph;
 use pstm_obs::prof::{self, CommitPhase};
@@ -198,6 +198,25 @@ pub enum LocalCommit {
     /// A local commit failed (reconciliation overflow, zero snapshot,
     /// engine read error); the transaction was aborted and cleaned up.
     Aborted(AbortReason, StepEffects),
+}
+
+/// Result of [`Gtm::commit_group_local`]: the reconcile-and-park half of
+/// a group commit, handed to a coordinator that flushes the fused batch
+/// outside this GTM's lock and then settles it with
+/// [`Gtm::commit_group_finish`].
+#[derive(Debug)]
+pub struct GroupLocal {
+    /// Members that settled during reconciliation (local aborts and
+    /// batch-rejection fallbacks) — final, nothing further owed.
+    pub settled: Vec<(TxnId, CommitResult)>,
+    /// The fused batch of `Prepared` members, parked in `Committing`.
+    /// `None` when every submitted member settled or deferred.
+    pub batch: Option<SstBatch>,
+    /// Members whose write estimate overlapped a batch member; untouched
+    /// and still active — resubmit after the batch's flush settles.
+    pub deferred: Vec<TxnId>,
+    /// Merged effects of the settles above (waiter mail, busy time).
+    pub effects: StepEffects,
 }
 
 /// Result of [`Gtm::awake`].
@@ -753,12 +772,18 @@ impl Gtm {
                 return Ok((CommitResult::Aborted(reason), effects));
             }
         };
+        self.settle_sst(Sst::new(txn, writes), now)
+    }
 
+    /// Global-commit tail shared by [`Gtm::commit`] and the per-member
+    /// fallback of [`Gtm::commit_group`]: attempt the SST (with retries),
+    /// then finish or abort the parked transaction accordingly.
+    fn settle_sst(&mut self, sst: Sst, now: Timestamp) -> PstmResult<(CommitResult, StepEffects)> {
         // Global commit: one SST for all writes. Transient failures
         // (I/O) are retried per the recovery policy; constraint
         // violations are permanent.
-        let write_count = writes.len() as u32;
-        let sst = Sst::new(txn, writes);
+        let txn = sst.origin;
+        let write_count = sst.writes.len() as u32;
         self.tracer.emit(now, TraceEvent::SstAttempt { txn, writes: write_count });
         let mut at = now;
         let mut sst_result = sst.execute(&self.db, &self.bindings);
@@ -802,6 +827,199 @@ impl Gtm {
         effects.reconcile_span = Some((now, now));
         effects.sst_span = Some((now, at));
         Ok((result, effects))
+    }
+
+    /// The resources `txn` currently holds **mutating** grants on — the
+    /// conservative write-set estimate a group-commit station needs for
+    /// its disjointness cut *before* reconciliation computes the real
+    /// writes (reconciliation can only shrink the set, never grow it).
+    #[must_use]
+    pub fn mutated_resources(&self, txn: TxnId) -> Vec<ResourceId> {
+        self.txns
+            .get(&txn)
+            .map(|rec| {
+                rec.classes.iter().filter(|(_, c)| c.is_mutation()).map(|(r, _)| *r).collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Group commit (the batched form of [`Gtm::commit`]): fuses members
+    /// with pairwise-disjoint write sets into [`SstBatch`]es and flushes
+    /// each batch as **one** SST attempt instead of one per member.
+    ///
+    /// The disjointness cut happens *before* any member reconciles, on
+    /// the conservative [`Gtm::mutated_resources`] estimate. Order
+    /// matters: reconciliation (in [`Gtm::commit_local`]) reads the
+    /// current permanent state, so a member whose writes overlap an
+    /// earlier member's must not reconcile until that member's SST has
+    /// applied — cutting only at flush time would fuse a stale
+    /// reconciliation and lose an update. An overlap therefore closes the
+    /// current group; reconcile → flush runs group by group.
+    ///
+    /// Retry accounting is per *batch* attempt: a transiently-failing
+    /// fused flush charges [`GtmConfig::sst_retry_delay`] once per retry
+    /// for the whole group, not once per member. A fused constraint
+    /// violation falls back to settling members individually, so only the
+    /// violating members abort. Returns each member's fate plus the
+    /// merged side effects.
+    pub fn commit_group(
+        &mut self,
+        txns: &[TxnId],
+        now: Timestamp,
+    ) -> PstmResult<(Vec<(TxnId, CommitResult)>, StepEffects)> {
+        let mut results = Vec::with_capacity(txns.len());
+        let mut effects = StepEffects::none();
+        let mut remaining: Vec<TxnId> = txns.to_vec();
+        // `at` advances only by per-*batch* retry charges, so deferred
+        // members reconcile at a time after the flush they overlapped.
+        let mut at = now;
+        while !remaining.is_empty() {
+            let local = self.commit_group_local(&remaining, at)?;
+            results.extend(local.settled);
+            effects.merge(local.effects);
+            let Some(batch) = local.batch else {
+                // No batch ⇒ nothing parked ⇒ nothing deferred (the cut
+                // only defers against parked members' estimates).
+                debug_assert!(local.deferred.is_empty());
+                break;
+            };
+            let mut flush = batch.execute(&self.db, &self.bindings);
+            let mut attempts = 0;
+            while attempts < self.config.sst_retries && matches!(flush, Err(PstmError::Io(_))) {
+                attempts += 1;
+                at += self.config.sst_retry_delay;
+                self.tracer.emit(at, TraceEvent::SstRetry { txn: batch.leader, attempt: attempts });
+                flush = batch.execute(&self.db, &self.bindings);
+            }
+            let (settled, fx) = self.commit_group_finish(batch, flush, at)?;
+            results.extend(settled);
+            effects.merge(fx);
+            remaining = local.deferred;
+        }
+        // Merge (not assign): fallback settles above already folded their
+        // own busy time and spans into `effects`.
+        let mut stamps = StepEffects::none();
+        stamps.sst_busy = at.since(now);
+        stamps.reconcile_span = Some((now, now));
+        stamps.sst_span = Some((now, at));
+        effects.merge(stamps);
+        Ok((results, effects))
+    }
+
+    /// Phase one of a split group commit: the reconcile-and-park half of
+    /// [`Gtm::commit_group`], for coordinators that must flush **outside**
+    /// the lock protecting this GTM (the front-end's group-commit station
+    /// releases the shard while the fused batch pays the device
+    /// round-trip, so waiting committers can keep executing).
+    ///
+    /// Walks `txns` in arrival order: a member whose pre-reconcile write
+    /// estimate ([`Gtm::mutated_resources`]) is disjoint from every
+    /// already-parked member reconciles ([`Gtm::commit_local`]) and joins
+    /// the fused batch; an overlapping member is **deferred** untouched —
+    /// its reconciliation reads permanent state, so it must not run until
+    /// the batch it overlaps has applied. Members that abort during
+    /// reconciliation settle immediately.
+    ///
+    /// The caller owns the returned batch's members (they are parked in
+    /// `Committing`) and MUST settle them with [`Gtm::commit_group_finish`]
+    /// after attempting the flush — on the same GTM, before reconciling
+    /// anything else on it. Deferred transactions stay fully active and
+    /// can be resubmitted once the flush lands.
+    pub fn commit_group_local(&mut self, txns: &[TxnId], now: Timestamp) -> PstmResult<GroupLocal> {
+        let mut settled = Vec::new();
+        let mut effects = StepEffects::none();
+        let mut deferred = Vec::new();
+        let mut batch: Option<SstBatch> = None;
+        let mut held: Vec<ResourceId> = Vec::new();
+        for &txn in txns {
+            let mutated = self.mutated_resources(txn);
+            if mutated.iter().any(|r| held.contains(r)) {
+                deferred.push(txn);
+                continue;
+            }
+            match self.commit_local(txn, now)? {
+                LocalCommit::Prepared(writes) => {
+                    let sst = Sst::new(txn, writes);
+                    match batch.as_mut() {
+                        // Disjoint by construction: real writes are a
+                        // subset of the mutating grants the cut used.
+                        Some(b) => {
+                            if let Err(rejected) = b.push(sst) {
+                                let (r, e) = self.settle_sst(rejected, now)?;
+                                effects.merge(e);
+                                settled.push((txn, r));
+                                continue;
+                            }
+                        }
+                        None => batch = Some(SstBatch::of(sst)),
+                    }
+                    held.extend(mutated);
+                }
+                LocalCommit::Aborted(reason, e) => {
+                    // An aborted member parks nothing: its resources are
+                    // released, so it constrains no later member.
+                    effects.merge(e);
+                    settled.push((txn, CommitResult::Aborted(reason)));
+                }
+            }
+        }
+        if let Some(b) = &batch {
+            for m in &b.members {
+                self.tracer.emit(
+                    now,
+                    TraceEvent::SstAttempt { txn: m.origin, writes: m.writes.len() as u32 },
+                );
+            }
+            self.tracer
+                .emit(now, TraceEvent::GroupCommit { leader: b.leader, members: b.len() as u32 });
+        }
+        Ok(GroupLocal { settled, batch, deferred, effects })
+    }
+
+    /// Phase two of a split group commit: settles every member of `batch`
+    /// according to the fused flush's outcome. `Ok` finishes all members;
+    /// a constraint/type violation falls back to settling members
+    /// individually (only the violators abort); an I/O failure aborts all
+    /// members with `SstFailure`. A `Crashed` flush propagates untouched —
+    /// the simulated process is dead and the members' parked state dies
+    /// with it, exactly as in the unbatched coordinated path.
+    pub fn commit_group_finish(
+        &mut self,
+        batch: SstBatch,
+        flush: PstmResult<()>,
+        now: Timestamp,
+    ) -> PstmResult<(Vec<(TxnId, CommitResult)>, StepEffects)> {
+        let mut results = Vec::with_capacity(batch.len());
+        let mut effects = StepEffects::none();
+        match flush {
+            Ok(()) => {
+                for m in &batch.members {
+                    if !m.is_empty() {
+                        self.tracer.emit(now, TraceEvent::SstApplied { txn: m.origin });
+                    }
+                    effects.merge(self.commit_finish(m.origin, now)?);
+                    results.push((m.origin, CommitResult::Committed));
+                }
+            }
+            Err(PstmError::ConstraintViolation { .. }) | Err(PstmError::TypeMismatch { .. }) => {
+                // Per-transaction abort unwind: some member's reconciled
+                // value broke a constraint. Settle each member
+                // individually so only the violators abort.
+                for m in &batch.members {
+                    let (r, e) = self.settle_sst(m.clone(), now)?;
+                    effects.merge(e);
+                    results.push((m.origin, r));
+                }
+            }
+            Err(PstmError::Io(_)) => {
+                for m in &batch.members {
+                    effects.merge(self.commit_abort(m.origin, AbortReason::SstFailure, now)?);
+                    results.push((m.origin, CommitResult::Aborted(AbortReason::SstFailure)));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+        Ok((results, effects))
     }
 
     /// Phase one of a coordinated commit (Algorithm 3): moves the

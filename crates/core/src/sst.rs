@@ -71,6 +71,109 @@ impl Sst {
     }
 }
 
+/// Offset forming the engine-level transaction id of a **fused** SST
+/// batch. Disjoint from both middleware ids (`< SST_ID_BASE`) and
+/// single-SST engine ids (`SST_ID_BASE + origin`), so a batch's WAL
+/// frames can never collide with any member's own id space. The leader's
+/// origin id makes it unique — a transaction commits at most once.
+pub(crate) const SST_BATCH_ID_BASE: u64 = 1 << 49;
+
+/// A fused SST batch: N ready commits on one shard flushed as **one**
+/// engine transaction — one lock acquisition, one framed WAL flush, one
+/// atomic apply — instead of N.
+///
+/// Members must have pairwise-disjoint write sets (enforced by
+/// [`SstBatch::push`]): every member's `commit_local` reconciled against
+/// the pre-batch permanent image, so two members writing one resource
+/// would silently drop the earlier member's update (a lost update).
+/// Overlapping candidates cut the group instead and flush separately.
+///
+/// Because the fusion is a single engine transaction, a crash anywhere
+/// inside it is whole-batch-or-nothing after recovery: no member's
+/// frames can surface without every member's.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SstBatch {
+    /// The member whose commit leads the group (first pushed).
+    pub leader: TxnId,
+    /// Member SSTs in arrival order; empty members are legal (read-only
+    /// transactions ride along for the group ack).
+    pub members: Vec<Sst>,
+}
+
+impl SstBatch {
+    /// An empty batch led by `leader`'s commit.
+    #[must_use]
+    pub fn new(leader: TxnId) -> Self {
+        SstBatch { leader, members: Vec::new() }
+    }
+
+    /// A batch seeded with its first member, which leads the group.
+    /// Unlike [`SstBatch::push`] this cannot be refused — a singleton
+    /// batch has nothing to overlap with.
+    #[must_use]
+    pub fn of(first: Sst) -> Self {
+        SstBatch { leader: first.origin, members: vec![first] }
+    }
+
+    /// Adds `sst` if its writes are disjoint from every member's, else
+    /// returns it back — the caller must cut the group there.
+    pub fn push(&mut self, sst: Sst) -> Result<(), Sst> {
+        let overlaps = self
+            .members
+            .iter()
+            .any(|m| m.writes.iter().any(|(r, _)| sst.writes.iter().any(|(r2, _)| r == r2)));
+        if overlaps {
+            return Err(sst);
+        }
+        self.members.push(sst);
+        Ok(())
+    }
+
+    /// Number of member commits in the group.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the batch has no members at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The engine transaction id the fused flush runs under.
+    #[must_use]
+    pub fn engine_txn(&self) -> TxnId {
+        TxnId(SST_BATCH_ID_BASE + self.leader.0)
+    }
+
+    /// Executes every member's writes as one atomic write set. Disjoint
+    /// members make the fused order irrelevant; writes are re-sorted by
+    /// resource across the whole group for deterministic WAL content.
+    /// On any error (constraint violation, injected fault) nothing is
+    /// applied for *any* member.
+    pub fn execute(&self, db: &Database, bindings: &BindingRegistry) -> PstmResult<()> {
+        let mut writes: Vec<(ResourceId, Value)> =
+            self.members.iter().flat_map(|m| m.writes.iter().cloned()).collect();
+        if writes.is_empty() {
+            return Ok(());
+        }
+        writes.sort_by_key(|(r, _)| *r);
+        let mut ws = WriteSet::new();
+        for (resource, value) in &writes {
+            let b = bindings.resolve(*resource)?;
+            ws = ws.with(WriteOp::Update {
+                table: b.table,
+                row_id: b.row,
+                column: b.column,
+                value: value.clone(),
+            });
+        }
+        db.apply_write_set(self.engine_txn(), &ws)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +245,62 @@ mod tests {
         let (_, _, rs) = setup();
         let sst = Sst::new(TxnId(1), vec![(rs[1], Value::Int(1)), (rs[0], Value::Int(2))]);
         assert!(sst.writes[0].0 < sst.writes[1].0);
+    }
+
+    #[test]
+    fn batch_fuses_disjoint_members_into_one_apply() {
+        let (db, bindings, rs) = setup();
+        let commits_before = db.stats().commits;
+        let mut batch = SstBatch::new(TxnId(1));
+        batch.push(Sst::new(TxnId(1), vec![(rs[0], Value::Int(7))])).unwrap();
+        batch.push(Sst::new(TxnId(2), vec![(rs[1], Value::Int(6))])).unwrap();
+        assert_eq!(batch.len(), 2);
+        batch.execute(&db, &bindings).unwrap();
+        let b0 = bindings.resolve(rs[0]).unwrap();
+        let b1 = bindings.resolve(rs[1]).unwrap();
+        assert_eq!(db.get_col(b0.table, b0.row, b0.column).unwrap(), Value::Int(7));
+        assert_eq!(db.get_col(b1.table, b1.row, b1.column).unwrap(), Value::Int(6));
+        assert_eq!(db.stats().commits, commits_before + 1, "one engine commit for the group");
+    }
+
+    #[test]
+    fn batch_rejects_overlapping_members() {
+        let (_, _, rs) = setup();
+        let mut batch = SstBatch::new(TxnId(1));
+        batch.push(Sst::new(TxnId(1), vec![(rs[0], Value::Int(7))])).unwrap();
+        let rejected = batch
+            .push(Sst::new(TxnId(2), vec![(rs[0], Value::Int(5)), (rs[1], Value::Int(4))]))
+            .unwrap_err();
+        assert_eq!(rejected.origin, TxnId(2), "the overlapping SST comes back whole");
+        assert_eq!(batch.len(), 1);
+        // A disjoint member still fits after the rejection.
+        batch.push(Sst::new(TxnId(3), vec![(rs[1], Value::Int(3))])).unwrap();
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn batch_constraint_violation_applies_nothing_for_any_member() {
+        let (db, bindings, rs) = setup();
+        let mut batch = SstBatch::new(TxnId(1));
+        batch.push(Sst::new(TxnId(1), vec![(rs[0], Value::Int(5))])).unwrap();
+        batch.push(Sst::new(TxnId(2), vec![(rs[1], Value::Int(-1))])).unwrap();
+        let err = batch.execute(&db, &bindings).unwrap_err();
+        assert!(matches!(err, PstmError::ConstraintViolation { .. }));
+        let b0 = bindings.resolve(rs[0]).unwrap();
+        assert_eq!(
+            db.get_col(b0.table, b0.row, b0.column).unwrap(),
+            Value::Int(10),
+            "the innocent member's write must not survive a fused failure"
+        );
+    }
+
+    #[test]
+    fn batch_engine_ids_are_disjoint_from_sst_and_middleware_ids() {
+        let mut batch = SstBatch::new(TxnId(42));
+        batch.push(Sst::new(TxnId(42), vec![])).unwrap();
+        assert!(batch.engine_txn().0 >= SST_BATCH_ID_BASE);
+        assert_ne!(batch.engine_txn(), Sst::new(TxnId(42), vec![]).engine_txn());
+        let empty = SstBatch::new(TxnId(9));
+        assert!(empty.is_empty());
     }
 }

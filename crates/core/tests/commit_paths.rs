@@ -213,6 +213,112 @@ fn midloop_reconciliation_error_strands_no_resource() {
 }
 
 #[test]
+fn group_commit_fuses_disjoint_members_and_all_land() {
+    // Three bookings on three distinct counters commit as one group: one
+    // fused SST applies all writes, every member finishes Committed, and
+    // the LDBS shows each member's effect exactly once.
+    let (mut gtm, res) = setup(3, 100, GtmConfig::default());
+    for (i, r) in res.iter().enumerate() {
+        let txn = t(i as u64 + 1);
+        gtm.begin(txn, T0).unwrap();
+        gtm.execute(txn, *r, ScalarOp::Sub(Value::Int(i as i64 + 1)), T0).unwrap();
+    }
+
+    let (results, fx) = gtm.commit_group(&[t(1), t(2), t(3)], ts(1.0)).unwrap();
+    assert_eq!(results.len(), 3);
+    for (txn, r) in &results {
+        assert_eq!(*r, CommitResult::Committed, "{txn:?}");
+    }
+    assert_eq!(fx.sst_busy, pstm_types::Duration(0), "no retries, no busy charge");
+    for (i, r) in res.iter().enumerate() {
+        assert_eq!(value_of(&gtm, *r), Value::Int(100 - (i as i64 + 1)));
+    }
+    gtm.verify_serializable().unwrap();
+    gtm.check_invariants().unwrap();
+}
+
+#[test]
+fn group_commit_overlap_cuts_before_reconciliation_and_loses_no_update() {
+    // Two compatible subtractors share one counter. Their write sets
+    // overlap, so they must NOT fuse: the second may only reconcile after
+    // the first's SST applied, or its write would be computed against the
+    // stale permanent value and clobber the first's booking.
+    let (mut gtm, res) = setup(1, 100, GtmConfig::default());
+    let x = res[0];
+    gtm.begin(t(1), T0).unwrap();
+    gtm.begin(t(2), T0).unwrap();
+    gtm.execute(t(1), x, ScalarOp::Sub(Value::Int(1)), T0).unwrap();
+    gtm.execute(t(2), x, ScalarOp::Sub(Value::Int(2)), T0).unwrap();
+
+    let (results, _) = gtm.commit_group(&[t(1), t(2)], ts(1.0)).unwrap();
+    for (txn, r) in &results {
+        assert_eq!(*r, CommitResult::Committed, "{txn:?}");
+    }
+    // 100 − 1 − 2: both bookings durable — the lost-update sentinel.
+    assert_eq!(value_of(&gtm, x), Value::Int(97));
+    gtm.verify_serializable().unwrap();
+    gtm.check_invariants().unwrap();
+}
+
+#[test]
+fn group_commit_constraint_violator_aborts_alone() {
+    // One member's reconciled value violates the CHECK; the fused flush
+    // is rejected atomically, then the per-member fallback settles each
+    // member individually — innocents commit, only the violator aborts.
+    let (mut gtm, res) = setup(2, 100, GtmConfig::default());
+    gtm.begin(t(1), T0).unwrap();
+    gtm.execute(t(1), res[0], ScalarOp::Sub(Value::Int(1)), T0).unwrap();
+    gtm.begin(t(2), T0).unwrap();
+    gtm.execute(t(2), res[1], ScalarOp::Sub(Value::Int(150)), T0).unwrap();
+
+    let (results, _) = gtm.commit_group(&[t(1), t(2)], ts(1.0)).unwrap();
+    let fate = |txn: TxnId| results.iter().find(|(x, _)| *x == txn).unwrap().1.clone();
+    assert_eq!(fate(t(1)), CommitResult::Committed, "innocent member lands");
+    assert_eq!(fate(t(2)), CommitResult::Aborted(AbortReason::Constraint));
+    assert_eq!(value_of(&gtm, res[0]), Value::Int(99));
+    assert_eq!(value_of(&gtm, res[1]), Value::Int(100), "violator left no trace");
+    gtm.verify_serializable().unwrap();
+    gtm.check_invariants().unwrap();
+}
+
+#[test]
+fn group_commit_retry_delay_is_charged_once_per_batch_attempt() {
+    // A transient I/O failure on the fused flush charges sst_retry_delay
+    // once per *batch* retry — not once per member. With 2 members and a
+    // persistent I/O fault exhausting `sst_retries` retries, the busy
+    // charge is exactly retries × delay (the unbatched path would pay
+    // that per member).
+    use pstm_faults::{FaultInjector, FaultPlan};
+    let config = GtmConfig {
+        sst_retries: 3,
+        sst_retry_delay: pstm_types::Duration::from_secs_f64(0.010),
+        ..GtmConfig::default()
+    };
+    let (mut gtm, res) = setup(2, 100, config);
+    gtm.begin(t(1), T0).unwrap();
+    gtm.execute(t(1), res[0], ScalarOp::Sub(Value::Int(1)), T0).unwrap();
+    gtm.begin(t(2), T0).unwrap();
+    gtm.execute(t(2), res[1], ScalarOp::Sub(Value::Int(2)), T0).unwrap();
+
+    // Every sst-apply arrival fails with I/O (ppm = 1_000_000).
+    let injector = Arc::new(FaultInjector::new(FaultPlan::new(7).io_on_sst_apply_each(1_000_000)));
+    gtm.database().set_fault_hook(Arc::clone(&injector) as _);
+
+    let (results, fx) = gtm.commit_group(&[t(1), t(2)], ts(1.0)).unwrap();
+    for (txn, r) in &results {
+        assert_eq!(*r, CommitResult::Aborted(AbortReason::SstFailure), "{txn:?}");
+    }
+    let expected = pstm_types::Duration(config.sst_retry_delay.0 * u64::from(config.sst_retries));
+    assert_eq!(
+        fx.sst_busy, expected,
+        "one busy charge per batch attempt, not per member (got {:?}, want {:?})",
+        fx.sst_busy, expected
+    );
+    gtm.database().clear_fault_hook();
+    gtm.check_invariants().unwrap();
+}
+
+#[test]
 fn sst_constraint_abort_restores_admission_headroom() {
     // Admission bounds concurrent subtractors by the resource value; a
     // holder whose SST is rejected by the CHECK must *give back* its

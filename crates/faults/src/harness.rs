@@ -36,7 +36,7 @@
 use crate::injector::{FaultInjector, FiredFault};
 use crate::plan::FaultPlan;
 use pstm_check::{stitch_streams, verify_streams, TraceStream, Verdict};
-use pstm_core::gtm::{Gtm, GtmConfig, LocalCommit};
+use pstm_core::gtm::{CommitResult, Gtm, GtmConfig, LocalCommit};
 use pstm_core::sst::Sst;
 use pstm_obs::{RingHandle, RingSink, Tracer};
 use pstm_storage::{BindingRegistry, Database};
@@ -75,6 +75,12 @@ pub struct ChaosConfig {
     /// guaranteed to finish (a plan of unbounded crashes would otherwise
     /// never drain the session list).
     pub max_recoveries: u32,
+    /// Commit single-shard sessions through the fused group-commit
+    /// protocol (the front-end station's split
+    /// `commit_group_local`/`commit_group_finish` API) instead of one
+    /// coordinated commit each. Multi-shard sessions still go through the
+    /// cross-shard path, exactly like the production front-end.
+    pub group_commit: bool,
 }
 
 impl ChaosConfig {
@@ -91,7 +97,16 @@ impl ChaosConfig {
             ops_per_session: 3,
             plan,
             max_recoveries: 8,
+            group_commit: false,
         }
+    }
+
+    /// Builder: same shape, but batched — single-shard sessions fuse
+    /// into per-shard group commits.
+    #[must_use]
+    pub fn with_group_commit(mut self) -> Self {
+        self.group_commit = true;
+        self
     }
 }
 
@@ -167,8 +182,15 @@ struct Chaos {
     /// Per-resource acknowledged `Sub` total.
     acked: Vec<i64>,
     /// Write intents (resource index → subs) of the commit in flight, if
-    /// a commit attempt is mid-protocol.
+    /// a commit attempt is mid-protocol. For a fused group this is the
+    /// *union* of the batch members' intents: the batch applies as one
+    /// all-or-nothing engine write, so invariant 2 sees one in-flight
+    /// unit either fully absent or fully applied.
     in_flight: Option<BTreeMap<usize, i64>>,
+    /// How many sessions the in-flight unit carries (1 for a solo
+    /// commit, the batch size for a fused group) — the reclassification
+    /// quantum when a crashed unit turns out to have survived whole.
+    in_flight_members: u64,
     epochs: Vec<Vec<TraceStream>>,
     violations: Vec<String>,
 }
@@ -353,6 +375,90 @@ impl Chaos {
         }
         Ok(Settle::Aborted(reason))
     }
+
+    /// The front-end's group-commit station, replicated on the virtual
+    /// clock: the `pre-sst` seam, [`Gtm::commit_group_local`]'s greedy
+    /// cut, one fused flush with transient-I/O retries, the `pre-finish`
+    /// seam, then [`Gtm::commit_group_finish`] — looping until the
+    /// deferred members (write estimates overlapping an earlier batch)
+    /// drain. Settles append to `settles` incrementally so a crash keeps
+    /// the accounting of members settled by earlier batches.
+    fn commit_group_wave(
+        &mut self,
+        epoch: &mut Epoch,
+        shard: usize,
+        idxs: &[usize],
+        wave: &[WaveSession],
+        settles: &mut Vec<(usize, Settle)>,
+    ) -> PstmResult<()> {
+        let idx_of = |txn: TxnId| idxs.iter().copied().find(|&i| wave[i].0 == txn);
+        let settle_of = |result: CommitResult| match result {
+            CommitResult::Committed => Settle::Committed,
+            CommitResult::Aborted(reason) => Settle::Aborted(reason),
+        };
+        let mut remaining: Vec<usize> = idxs.to_vec();
+        while !remaining.is_empty() {
+            match self.injector.decide(FaultSite::PreSst) {
+                pstm_types::FaultDecision::Proceed => {}
+                _ => return Err(PstmError::Crashed(FaultSite::PreSst.label())),
+            }
+            let txns: Vec<TxnId> = remaining.iter().map(|&i| wave[i].0).collect();
+            let now = self.now();
+            let mut local = epoch.gtms[shard].commit_group_local(&txns, now)?;
+            for (txn, result) in &local.settled {
+                if let Some(i) = idx_of(*txn) {
+                    settles.push((i, settle_of(result.clone())));
+                }
+            }
+            let deferred: Vec<usize> = local.deferred.iter().filter_map(|&t| idx_of(t)).collect();
+            let Some(batch) = local.batch.take() else {
+                // No batch ⇒ nothing parked ⇒ nothing deferred (the cut
+                // only defers against parked members).
+                debug_assert!(deferred.is_empty());
+                remaining = deferred;
+                continue;
+            };
+            let mut intents: BTreeMap<usize, i64> = BTreeMap::new();
+            for m in &batch.members {
+                if let Some(i) = idx_of(m.origin) {
+                    for (&r, &n) in &wave[i].2 {
+                        *intents.entry(r).or_insert(0) += n;
+                    }
+                }
+            }
+            self.in_flight = Some(intents);
+            self.in_flight_members = batch.len() as u64;
+            let mut flush = batch.execute(&self.db, &self.bindings);
+            let retries = GtmConfig { sst_retries: 2, ..GtmConfig::default() }.sst_retries;
+            let mut attempts = 0;
+            while attempts < retries && matches!(flush, Err(PstmError::Io(_))) {
+                attempts += 1;
+                self.clock += Duration::from_secs_f64(0.001).0; // virtual back-off
+                flush = batch.execute(&self.db, &self.bindings);
+            }
+            if flush.is_ok() {
+                // The fused SST is durable but no member has learned the
+                // outcome: a crash here must leave the whole group
+                // visible exactly once after recovery.
+                match self.injector.decide(FaultSite::PreFinish) {
+                    pstm_types::FaultDecision::Proceed => {}
+                    _ => return Err(PstmError::Crashed(FaultSite::PreFinish.label())),
+                }
+            }
+            let settled_at = self.now();
+            let (group_settles, _fx) =
+                epoch.gtms[shard].commit_group_finish(batch, flush, settled_at)?;
+            self.in_flight = None;
+            self.in_flight_members = 1;
+            for (txn, result) in group_settles {
+                if let Some(i) = idx_of(txn) {
+                    settles.push((i, settle_of(result)));
+                }
+            }
+            remaining = deferred;
+        }
+        Ok(())
+    }
 }
 
 /// One session in a wave: txn id, its (sorted, deduped) shard set, its
@@ -381,6 +487,7 @@ pub fn run_chaos(config: &ChaosConfig) -> PstmResult<ChaosReport> {
         clock: 0,
         acked: vec![0; config.resources],
         in_flight: None,
+        in_flight_members: 1,
         epochs: Vec::new(),
         violations: Vec::new(),
     };
@@ -457,35 +564,90 @@ pub fn run_chaos(config: &ChaosConfig) -> PstmResult<ChaosReport> {
             }
         }
 
-        // ---- Commit the wave, one coordinated commit at a time -------
-        for (txn, shards, subs, alive) in &wave {
-            if !*alive {
-                continue;
-            }
-            chaos.in_flight = Some(subs.clone());
-            match chaos.commit_session(&mut epoch, *txn, shards) {
-                Ok(Settle::Committed) => {
-                    for (&r, &n) in subs {
-                        chaos.acked[r] += n;
-                    }
-                    chaos.in_flight = None;
-                    committed += 1;
+        // ---- Commit the wave, one coordinated unit at a time ---------
+        // A unit is one commit-protocol run: a solo session through the
+        // cross-shard phased path, or (group-commit mode) all of a
+        // shard's single-shard sessions fused through the station's
+        // split protocol.
+        enum Unit {
+            Solo(usize),
+            Group(usize, Vec<usize>),
+        }
+        let mut units: Vec<Unit> = Vec::new();
+        if chaos.config.group_commit {
+            let mut per_shard: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+            for (i, (_, shards, _, alive)) in wave.iter().enumerate() {
+                if !*alive {
+                    continue;
                 }
-                Ok(Settle::Aborted(reason)) => {
-                    chaos.in_flight = None;
-                    aborted += 1;
-                    if reason == AbortReason::SstFailure {
-                        aborted_sst_failure += 1;
+                if shards.len() == 1 {
+                    per_shard.entry(shards[0]).or_default().push(i);
+                } else {
+                    units.push(Unit::Solo(i));
+                }
+            }
+            units.extend(per_shard.into_iter().map(|(s, idxs)| Unit::Group(s, idxs)));
+        } else {
+            units.extend(
+                wave.iter()
+                    .enumerate()
+                    .filter(|(_, (_, _, _, alive))| *alive)
+                    .map(|(i, _)| Unit::Solo(i)),
+            );
+        }
+        let mut settled_flags = vec![false; wave.len()];
+        for unit in units {
+            let mut settles: Vec<(usize, Settle)> = Vec::new();
+            let result = match &unit {
+                Unit::Solo(i) => {
+                    let (txn, shards, subs, _) = &wave[*i];
+                    chaos.in_flight = Some(subs.clone());
+                    chaos.in_flight_members = 1;
+                    chaos.commit_session(&mut epoch, *txn, shards).map(|settle| {
+                        settles.push((*i, settle));
+                    })
+                }
+                Unit::Group(shard, idxs) => {
+                    chaos.commit_group_wave(&mut epoch, *shard, idxs, &wave, &mut settles)
+                }
+            };
+            // Fold whatever settled before the unit ended — on a crash,
+            // members settled by earlier batches of a group keep their
+            // acknowledged outcome.
+            for (i, settle) in settles {
+                settled_flags[i] = true;
+                match settle {
+                    Settle::Committed => {
+                        for (&r, &n) in &wave[i].2 {
+                            chaos.acked[r] += n;
+                        }
+                        committed += 1;
                     }
+                    Settle::Aborted(reason) => {
+                        aborted += 1;
+                        if reason == AbortReason::SstFailure {
+                            aborted_sst_failure += 1;
+                        }
+                    }
+                }
+            }
+            match result {
+                Ok(()) => {
+                    chaos.in_flight = None;
+                    chaos.in_flight_members = 1;
                 }
                 Err(PstmError::Crashed(_)) => {
                     // The process died. Volatile state (managers, the
                     // wave's other sessions) perishes; the engine
                     // recovers from checkpoint + WAL.
                     crashes += 1;
-                    lost += 1; // the committing session, pending reclassification
-                    let stranded =
-                        wave.iter().filter(|(t, _, _, a)| *a && t.0 > txn.0).count() as u64;
+                    // Every alive-but-unsettled session is lost, pending
+                    // reclassification of the in-flight unit below.
+                    let stranded = wave
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, (_, _, _, alive))| *alive && !settled_flags[*i])
+                        .count() as u64;
                     lost += stranded;
                     chaos.close_epoch(&epoch);
 
@@ -501,10 +663,12 @@ pub fn run_chaos(config: &ChaosConfig) -> PstmResult<ChaosReport> {
                     chaos.check_ledger(true)?;
                     if chaos.in_flight.take().is_some() {
                         // check_ledger signalled "applied whole": the
-                        // session saw a crash but its commit survived.
-                        committed_in_doubt += 1;
-                        lost -= 1;
+                        // unit saw a crash but its fused SST survived —
+                        // every member visible exactly once.
+                        committed_in_doubt += chaos.in_flight_members;
+                        lost -= chaos.in_flight_members;
                     }
+                    chaos.in_flight_members = 1;
                     if crashes < u64::from(config.max_recoveries) {
                         chaos.injector.arm();
                     }

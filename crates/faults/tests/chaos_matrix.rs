@@ -86,6 +86,92 @@ fn random_chaos_matrix_holds_invariants() {
     assert!(total_crashes > 20, "matrix too gentle: {total_crashes} crashes over 96 runs");
 }
 
+/// Fault-free group-commit run: single-shard sessions fuse into
+/// per-shard batches and everything still commits exactly once.
+#[test]
+fn group_commit_fault_free_run_commits_everything() {
+    let config = ChaosConfig::new(1, FaultPlan::new(1)).with_group_commit();
+    let report = run_chaos(&config).unwrap();
+    assert_eq!(report.committed, 24);
+    assert_eq!(report.crashes, 0);
+    assert_eq!(report.aborted, 0);
+    assert!(report.clean(), "violations: {:?}", report.violations);
+}
+
+/// The crash matrix again, but with the group-commit protocol: all six
+/// site kinds × arrival ordinals, each crashing a run whose single-shard
+/// sessions commit through fused batches. A crash mid-batch — including
+/// inside the batch's WAL appends — must never surface a member subset
+/// or another transaction's frames after recovery: either the whole
+/// fused SST survives or none of it does.
+#[test]
+fn group_commit_crash_matrix_recovers_clean() {
+    let mut crashes_seen = 0u64;
+    let mut whole_batches_in_doubt = 0u64;
+    for (k, kind) in SITE_KINDS.iter().enumerate() {
+        for n in 1..=8u64 {
+            let seed = 5000 + (k as u64) * 100 + n;
+            let plan = FaultPlan::new(seed).crash_at_kind(kind, n);
+            let config = ChaosConfig::new(seed, plan).with_group_commit();
+            let report = run_chaos(&config).unwrap();
+            assert!(report.crashes <= 1, "one-shot crash rule fired twice");
+            crashes_seen += report.crashes;
+            if report.committed_in_doubt > 1 {
+                whole_batches_in_doubt += 1;
+            }
+            assert_clean(&report, &config, &format!("group crash@{kind}#{n}"));
+        }
+    }
+    assert!(crashes_seen >= 30, "only {crashes_seen}/48 grouped plans produced a crash");
+    // The matrix must actually crash *fused* flushes, not only singleton
+    // batches: at least one crash between the group's durable SST and
+    // its finish must have reclassified a whole multi-member batch as
+    // committed-in-doubt (visible exactly once, as a unit).
+    assert!(whole_batches_in_doubt >= 1, "no crash ever caught a multi-member batch in flight");
+}
+
+/// Torn WAL tail under group commit: the fused batch's frames are torn
+/// at every prefix length and the process killed. Recovery must drop the
+/// batch whole or keep it whole — never a prefix of its members.
+#[test]
+fn torn_group_tail_at_every_prefix_length_recovers_clean() {
+    for keep in 1..=16u32 {
+        let seed = 6000 + u64::from(keep);
+        let plan = FaultPlan::new(seed).torn_wal_append(1 + u64::from(keep % 5), keep);
+        let config = ChaosConfig::new(seed, plan).with_group_commit();
+        let report = run_chaos(&config).unwrap();
+        assert_eq!(report.crashes, 1, "torn write must crash the process");
+        assert_eq!(report.faults[0].action, "torn");
+        assert_clean(&report, &config, &format!("group torn keep={keep}"));
+    }
+}
+
+/// The random chaos matrix with grouping on: 48 random adversaries
+/// against the batched commit path.
+#[test]
+fn random_chaos_matrix_with_group_commit_holds_invariants() {
+    let mut total_crashes = 0u64;
+    for seed in 100..148u64 {
+        let config = ChaosConfig::new(seed, FaultPlan::random(seed)).with_group_commit();
+        let report = run_chaos(&config).unwrap();
+        total_crashes += report.crashes;
+        assert_clean(&report, &config, &format!("group random seed={seed}"));
+    }
+    assert!(total_crashes > 10, "matrix too gentle: {total_crashes} crashes over 48 runs");
+}
+
+/// Group-commit runs replay byte-identically too.
+#[test]
+fn group_commit_replays_byte_identically() {
+    for seed in [0u64, 11, 57] {
+        let config = ChaosConfig::new(seed, FaultPlan::random(seed)).with_group_commit();
+        let a = run_chaos(&config).unwrap();
+        let b = run_chaos(&config).unwrap();
+        assert_eq!(a.fingerprint, b.fingerprint, "grouped seed {seed} diverged");
+        assert_eq!(a.faults, b.faults, "grouped seed {seed} fault schedule diverged");
+    }
+}
+
 /// Determinism: the same `(seed, plan)` must replay with a byte-identical
 /// fault schedule and fingerprint; workload seed and plan seed must both
 /// matter.

@@ -61,7 +61,7 @@ use pstm_types::{
     AbortReason, Duration, ExecOutcome, FaultDecision, FaultSite, PstmError, PstmResult,
     ResourceId, ScalarOp, SharedFaultHook, StepEffects, Timestamp, TxnId, Value,
 };
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -77,6 +77,16 @@ pub struct FrontConfig {
     pub gtm: GtmConfig,
     /// How long a blocked session sleeps between mailbox polls.
     pub poll_interval: std::time::Duration,
+    /// Route single-shard commits through the per-shard group-commit
+    /// station: concurrent committers enqueue, one becomes the leader and
+    /// flushes every queued commit with pairwise-disjoint writes as *one*
+    /// fused SST ([`Gtm::commit_group`]), amortizing the WAL flush and
+    /// engine apply. Cross-shard commits always take the phased
+    /// coordinated path regardless of this flag.
+    pub group_commit: bool,
+    /// Upper bound on commits fused per group flush (≥ 1); only read
+    /// when [`FrontConfig::group_commit`] is on.
+    pub max_group: usize,
 }
 
 impl Default for FrontConfig {
@@ -88,6 +98,8 @@ impl Default for FrontConfig {
                 ..GtmConfig::default()
             },
             poll_interval: std::time::Duration::from_micros(100),
+            group_commit: false,
+            max_group: 8,
         }
     }
 }
@@ -149,6 +161,11 @@ impl FleetSnapshot {
     }
 }
 
+/// A parked committer's result cell in the group-commit station: `None`
+/// until a leader settles the transaction, then its commit outcome (or
+/// the leader's error, e.g. a simulated crash mid-group).
+type CommitSlot = Arc<Mutex<Option<PstmResult<CommitResult>>>>;
+
 struct FrontInner {
     db: Arc<Database>,
     bindings: BindingRegistry,
@@ -160,6 +177,28 @@ struct FrontInner {
     config: FrontConfig,
     next_txn: AtomicU64,
     epoch: WallEpoch,
+    /// Wall-clock microseconds since the Unix epoch at construction —
+    /// the single wall sample every front-emitted span stamp derives
+    /// from (`wall_base_us + epoch.elapsed_us()`), so the workspace's
+    /// wall-clock seam is consulted exactly once, here.
+    wall_base_us: Option<u64>,
+    /// Per-shard group-commit queues (only used when
+    /// [`FrontConfig::group_commit`] is on): FIFO of committers waiting
+    /// for a leader to fuse and flush them.
+    groups: Vec<Mutex<VecDeque<(TxnId, CommitSlot)>>>,
+    /// Per-shard flush fences: one level *above* the shard mutexes in the
+    /// lock order (fences ascending, then shard locks ascending; no path
+    /// acquires a fence while holding any shard). Every reconciliation
+    /// site — the group-commit station's leader round and the coordinated
+    /// `commit_across` — holds its shard's fence across reconcile → SST
+    /// flush → finish, so no commit anywhere reconciles against permanent
+    /// state while a flush to that state is in flight (the lost-update
+    /// window delta reconciliation cannot close on its own). Grants,
+    /// executes, and wakeups take only the shard mutex and legitimately
+    /// overlap a flush — that is the whole point: the station releases
+    /// the shard during the device round-trip so waiting committers keep
+    /// executing and fuse into the next wave.
+    flush_fences: Vec<Mutex<()>>,
     mail: Mutex<BTreeMap<TxnId, Signal>>,
     /// Fault seam consulted at the front-end's own phased-commit sites
     /// (`pre-sst`, `pre-finish`); `None` outside chaos runs. Lives here
@@ -220,6 +259,8 @@ impl ShardedFront {
                 )
             })
             .collect();
+        let groups = (0..config.shards).map(|_| Mutex::new(VecDeque::new())).collect();
+        let flush_fences = (0..config.shards).map(|_| Mutex::new(())).collect();
         ShardedFront {
             inner: Arc::new(FrontInner {
                 db,
@@ -229,6 +270,9 @@ impl ShardedFront {
                 config,
                 next_txn: AtomicU64::new(1),
                 epoch: WallEpoch::now(),
+                wall_base_us: pstm_obs::wallclock::wall_now_us(),
+                groups,
+                flush_fences,
                 mail: Mutex::new(BTreeMap::new()),
                 fault_hook: Mutex::new(None),
             }),
@@ -400,6 +444,17 @@ impl ShardedFront {
         shards.iter().map(|&s| self.inner.shards[s].lock()).collect()
     }
 
+    /// Acquires the flush fences for the given shard `indices`, ascending
+    /// — always BEFORE any shard mutex (see [`FrontInner::flush_fences`]
+    /// for the two-level lock order).
+    fn lock_flush_fences(&self, indices: &[usize]) -> Vec<MutexGuard<'_, ()>> {
+        assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "fence lock order must be strictly ascending, got {indices:?}"
+        );
+        indices.iter().map(|&s| self.inner.flush_fences[s].lock()).collect()
+    }
+
     /// Deposits resume/abort notifications for *other* sessions.
     fn deposit(&self, fx: &StepEffects) {
         if fx.resumed.is_empty() && fx.aborted.is_empty() {
@@ -464,9 +519,11 @@ impl Session {
 
     /// Wall-clock microseconds since the Unix epoch — the second clock
     /// every front-emitted span carries next to the virtual timestamp.
-    /// Delegates to the workspace's one sanctioned wall-clock seam.
-    fn wall_now_us() -> Option<u64> {
-        pstm_obs::wallclock::wall_now_us()
+    /// Derived from the construction-time wall sample plus the monotonic
+    /// epoch, so the wall-clock seam itself is consulted only in
+    /// `with_shard_tracers`.
+    fn wall_now_us(&self) -> Option<u64> {
+        self.front.inner.wall_base_us.map(|base| base + self.front.inner.epoch.elapsed_us())
     }
 
     /// Emits an event into the home shard's tracer (no-op before the
@@ -478,11 +535,11 @@ impl Session {
     }
 
     fn open_span(&self, kind: SpanKind) {
-        self.emit_home(TraceEvent::SpanOpen { txn: self.id, kind, wall_us: Self::wall_now_us() });
+        self.emit_home(TraceEvent::SpanOpen { txn: self.id, kind, wall_us: self.wall_now_us() });
     }
 
     fn close_span(&self, kind: SpanKind) {
-        self.emit_home(TraceEvent::SpanClose { txn: self.id, kind, wall_us: Self::wall_now_us() });
+        self.emit_home(TraceEvent::SpanClose { txn: self.id, kind, wall_us: self.wall_now_us() });
     }
 
     /// Opens `kind` as the current leaf phase.
@@ -645,9 +702,214 @@ impl Session {
             // A session that never touched a resource has nothing to do.
             return Ok(CommitResult::Committed);
         }
-        let result = self.commit_across(&shards);
+        let result = if shards.len() == 1 && self.front.inner.config.group_commit {
+            self.commit_grouped(shards[0])
+        } else {
+            self.commit_across(&shards)
+        };
         self.clear_mail();
         result
+    }
+
+    /// Single-shard commit through the per-shard group-commit station:
+    /// enqueue, then either a concurrent leader settles this transaction
+    /// (our slot fills while we wait for the shard lock) or we take the
+    /// shard lock ourselves, become the leader, and flush a whole wave of
+    /// queued commits as fused SST batches via [`Gtm::commit_group`].
+    fn commit_grouped(&mut self, shard: usize) -> PstmResult<CommitResult> {
+        self.close_leaf();
+        self.open_span(SpanKind::Commit);
+        let slot: CommitSlot = Arc::new(Mutex::new(None));
+        self.front.inner.groups[shard].lock().push_back((self.id, Arc::clone(&slot)));
+        let result = self.group_station(shard, &slot);
+        match &result {
+            Ok(CommitResult::Committed) => {
+                self.close_span(SpanKind::Commit);
+                self.close_span(SpanKind::Session);
+            }
+            Ok(CommitResult::Aborted(_)) => {
+                self.close_span(SpanKind::Commit);
+                self.close_session_aborted();
+            }
+            // A simulated crash: the process is dead; spans die with it
+            // (mirrors `commit_across`'s crash path).
+            Err(_) => {}
+        }
+        result
+    }
+
+    /// The station loop. Returns once this session's slot is settled —
+    /// by another leader, or by our own leader round.
+    ///
+    /// A leader round holds the shard's *flush fence* end to end but the
+    /// shard mutex only for the two brief bookkeeping halves
+    /// ([`Gtm::commit_group_local`], [`Gtm::commit_group_finish`]). The
+    /// fused flush itself — the part that pays the device round-trip —
+    /// runs with the shard unlocked, so concurrent sessions keep
+    /// executing against the shard and their commits pile onto the queue
+    /// to fuse into the next wave. Members the greedy cut defers (write
+    /// estimate overlapping the in-flight batch) are re-queued at the
+    /// queue front in their original order.
+    fn group_station(&mut self, shard: usize, slot: &CommitSlot) -> PstmResult<CommitResult> {
+        // Everything from enqueue to settlement is the group-wait
+        // station; the leader's nested commit work (reconcile, WAL, SST
+        // apply, bookkeeping) carves out its own exclusive time, so
+        // followers accrue pure wait.
+        let _wait = prof::PhaseTimer::start(CommitPhase::GroupWait);
+        loop {
+            let _fence = {
+                let _adm = prof::PhaseTimer::start(CommitPhase::Admission);
+                self.front.inner.flush_fences[shard].lock()
+            };
+            if let Some(result) = slot.lock().take() {
+                return result;
+            }
+            // Nobody settled us before we won the fence: we lead this
+            // round. Drain a wave (FIFO, bounded by `max_group`); our own
+            // entry may sit beyond the bound, in which case the loop
+            // leads another round after this one.
+            let wave: Vec<(TxnId, CommitSlot)> = {
+                let mut queue = self.front.inner.groups[shard].lock();
+                let take = queue.len().min(self.front.inner.config.max_group.max(1));
+                queue.drain(..take).collect()
+            };
+            // Labeled fault seam: the wave is chosen, nothing reconciled
+            // or flushed yet. A crash here kills the process with every
+            // wave member still Active — recovery must show none of them.
+            match self.front.fault_decision(FaultSite::PreSst) {
+                FaultDecision::Proceed => {}
+                _ => {
+                    self.emit_home(TraceEvent::FaultInjected {
+                        site: FaultSite::PreSst.label(),
+                        action: "crash".into(),
+                    });
+                    let err = PstmError::Crashed(FaultSite::PreSst.label());
+                    self.settle_wave_err(&wave, &err);
+                    return Err(err);
+                }
+            }
+            let txns: Vec<TxnId> = wave.iter().map(|(txn, _)| *txn).collect();
+
+            // Reconcile-and-park half, under the shard mutex — brief.
+            let mut local = {
+                let mut guards = {
+                    let _adm = prof::PhaseTimer::start(CommitPhase::Admission);
+                    self.front.lock_shards_ascending(&[shard])
+                };
+                let now = self.front.now();
+                match guards[0].commit_group_local(&txns, now) {
+                    Ok(local) => local,
+                    Err(err) => {
+                        // A leader-level failure dooms the whole wave:
+                        // every member learns the error, the caller
+                        // recovers the engine.
+                        drop(guards);
+                        self.settle_wave_err(&wave, &err);
+                        return Err(err);
+                    }
+                }
+            };
+            self.front.deposit(&local.effects);
+            // Deferred members overlap the batch about to flush; their
+            // reconciliation must read post-flush permanent state. Back
+            // to the queue front, original order, for the next round.
+            if !local.deferred.is_empty() {
+                let mut queue = self.front.inner.groups[shard].lock();
+                for txn in local.deferred.iter().rev() {
+                    if let Some(entry) = wave.iter().find(|(member, _)| member == txn) {
+                        queue.push_front(entry.clone());
+                    }
+                }
+            }
+            let (settled, fx) = match local.batch.take() {
+                Some(batch) => {
+                    // The fused flush, outside the shard mutex: the fence
+                    // alone guards permanent state while the device
+                    // round-trip is paid. Transient (I/O) failures retry
+                    // per the shared config in real wall time.
+                    let config = self.front.inner.config.gtm;
+                    let mut flush = batch.execute(&self.front.inner.db, &self.front.inner.bindings);
+                    let mut attempts = 0;
+                    while attempts < config.sst_retries && matches!(flush, Err(PstmError::Io(_))) {
+                        attempts += 1;
+                        if config.sst_retry_delay > Duration::ZERO {
+                            std::thread::sleep(std::time::Duration::from_micros(
+                                config.sst_retry_delay.0,
+                            ));
+                        }
+                        self.emit_home(TraceEvent::SstRetry {
+                            txn: batch.leader,
+                            attempt: attempts,
+                        });
+                        flush = batch.execute(&self.front.inner.db, &self.front.inner.bindings);
+                    }
+                    if flush.is_ok() {
+                        // Labeled fault seam: the fused SST is durable
+                        // but no member has learned the outcome — the
+                        // window where the group's commit decision lives
+                        // only in the log. A crash here must leave every
+                        // member's write set visible exactly once after
+                        // recovery.
+                        match self.front.fault_decision(FaultSite::PreFinish) {
+                            FaultDecision::Proceed => {}
+                            _ => {
+                                self.emit_home(TraceEvent::FaultInjected {
+                                    site: FaultSite::PreFinish.label(),
+                                    action: "crash".into(),
+                                });
+                                let err = PstmError::Crashed(FaultSite::PreFinish.label());
+                                self.settle_wave_err(&wave, &err);
+                                return Err(err);
+                            }
+                        }
+                    }
+                    // Settlement half, back under the shard mutex. A
+                    // crashed flush propagates untouched: the simulated
+                    // process is dead and the members' parked state dies
+                    // with it.
+                    let mut guards = {
+                        let _adm = prof::PhaseTimer::start(CommitPhase::Admission);
+                        self.front.lock_shards_ascending(&[shard])
+                    };
+                    let now = self.front.now();
+                    match guards[0].commit_group_finish(batch, flush, now) {
+                        Ok(settled) => settled,
+                        Err(err) => {
+                            drop(guards);
+                            self.settle_wave_err(&wave, &err);
+                            return Err(err);
+                        }
+                    }
+                }
+                None => (Vec::new(), StepEffects::none()),
+            };
+            self.front.deposit(&fx);
+            let mut own = None;
+            for (txn, result) in local.settled.into_iter().chain(settled) {
+                if txn == self.id {
+                    own = Some(result);
+                } else if let Some((_, member_slot)) =
+                    wave.iter().find(|(member, _)| *member == txn)
+                {
+                    *member_slot.lock() = Some(Ok(result));
+                }
+            }
+            if let Some(result) = own {
+                return Ok(result);
+            }
+            // Our entry was beyond the wave bound or deferred: lead (or
+            // follow) another round.
+        }
+    }
+
+    /// Posts `err` into every wave member's slot except this session's
+    /// own — the leader's error return carries its own copy.
+    fn settle_wave_err(&self, wave: &[(TxnId, CommitSlot)], err: &PstmError) {
+        for (txn, member_slot) in wave {
+            if *txn != self.id {
+                *member_slot.lock() = Some(Err(err.clone()));
+            }
+        }
     }
 
     /// The coordinated commit. `shards` is ascending and non-empty.
@@ -659,6 +921,15 @@ impl Session {
         let _phase = prof::PhaseTimer::start(CommitPhase::Fencing);
         self.close_leaf();
         self.open_span(SpanKind::Commit);
+        // Flush fences first (two-level lock order, see
+        // `FrontInner::flush_fences`): reconciliation below must not read
+        // permanent state while a group-commit station's fused flush to
+        // any of these shards is in flight with the shard mutex released.
+        let front = self.front.clone();
+        let _fences = {
+            let _adm = prof::PhaseTimer::start(CommitPhase::Admission);
+            front.lock_flush_fences(shards)
+        };
         let mut guards: Vec<MutexGuard<'_, Gtm>> = {
             let _adm = prof::PhaseTimer::start(CommitPhase::Admission);
             self.front.lock_shards_ascending(shards)

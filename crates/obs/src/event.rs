@@ -202,6 +202,14 @@ pub enum TraceEvent {
         /// Engine-level transaction.
         txn: TxnId,
     },
+    /// A group-commit leader flushed a fused batch of `members`
+    /// pairwise-disjoint commits as one SST attempt.
+    GroupCommit {
+        /// The member whose id names the fused engine transaction.
+        leader: TxnId,
+        /// Transactions fused into this batch (including the leader).
+        members: u32,
+    },
     /// A record was flushed to the write-ahead log.
     WalFlush {
         /// Log sequence number of the record.

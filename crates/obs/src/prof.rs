@@ -59,11 +59,14 @@ pub enum CommitPhase {
     Fencing,
     /// Abort and unwind work (restore, release, requeue).
     AbortUnwind,
+    /// Time a group-commit follower spends parked while the leader
+    /// flushes the fused batch (enqueue → settled).
+    GroupWait,
 }
 
 impl CommitPhase {
     /// Number of phases.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every phase, in taxonomy (display) order.
     pub const ALL: [CommitPhase; CommitPhase::COUNT] = [
@@ -75,6 +78,7 @@ impl CommitPhase {
         CommitPhase::SstApply,
         CommitPhase::Fencing,
         CommitPhase::AbortUnwind,
+        CommitPhase::GroupWait,
     ];
 
     /// Stable snake_case label (metric label, JSON key, report row).
@@ -89,6 +93,7 @@ impl CommitPhase {
             CommitPhase::SstApply => "sst_apply",
             CommitPhase::Fencing => "fencing",
             CommitPhase::AbortUnwind => "abort_unwind",
+            CommitPhase::GroupWait => "group_wait",
         }
     }
 

@@ -42,6 +42,8 @@ pub enum Ctr {
     SstAttempts,
     SstsExecuted,
     SstRetries,
+    GroupCommits,
+    GroupMembers,
     TxnsSlept,
     TxnsAwoke,
     LockImmediateGrants,
@@ -93,6 +95,8 @@ impl Ctr {
         Ctr::SstAttempts,
         Ctr::SstsExecuted,
         Ctr::SstRetries,
+        Ctr::GroupCommits,
+        Ctr::GroupMembers,
         Ctr::TxnsSlept,
         Ctr::TxnsAwoke,
         Ctr::LockImmediateGrants,
@@ -142,6 +146,8 @@ impl Ctr {
             Ctr::SstAttempts => "sst_attempts",
             Ctr::SstsExecuted => "ssts_executed",
             Ctr::SstRetries => "sst_retries",
+            Ctr::GroupCommits => "group_commits",
+            Ctr::GroupMembers => "group_members",
             Ctr::TxnsSlept => "txns_slept",
             Ctr::TxnsAwoke => "txns_awoke",
             Ctr::LockImmediateGrants => "lock_immediate_grants",
@@ -398,6 +404,10 @@ impl MetricsRegistry {
             TraceEvent::SstAttempt { .. } => self.bump(Ctr::SstAttempts),
             TraceEvent::SstRetry { .. } => self.bump(Ctr::SstRetries),
             TraceEvent::SstApplied { .. } => self.bump(Ctr::SstsExecuted),
+            TraceEvent::GroupCommit { members, .. } => {
+                self.bump(Ctr::GroupCommits);
+                self.add(Ctr::GroupMembers, u64::from(*members));
+            }
             TraceEvent::Committed { txn } => {
                 self.bump(Ctr::Committed);
                 if let Some(begun) = self.begin_at.remove(txn) {

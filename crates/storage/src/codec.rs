@@ -120,17 +120,65 @@ pub fn decode_row(buf: &[u8]) -> PstmResult<Vec<Value>> {
 /// cryptographic — it only needs to catch torn/truncated writes.
 #[must_use]
 pub fn checksum(data: &[u8]) -> u32 {
-    let mut a: u32 = 0xF1E2;
-    let mut b: u32 = 0xD3C4;
-    for chunk in data.chunks(359) {
-        for &byte in chunk {
-            a = a.wrapping_add(byte as u32);
-            b = b.wrapping_add(a);
-        }
-        a %= 65_535;
-        b %= 65_535;
+    let mut s = ChecksumStream::new();
+    s.update(data);
+    s.finish()
+}
+
+/// Incremental form of [`checksum`]: feed any number of slices via
+/// [`ChecksumStream::update`] and the digest equals `checksum` over their
+/// concatenation. The 359-byte fold boundaries are tracked logically
+/// (bytes since the last fold), not per `update` call, so callers can
+/// checksum a frame header and payload without concatenating them first.
+#[derive(Clone, Debug)]
+pub struct ChecksumStream {
+    a: u32,
+    b: u32,
+    /// Bytes accumulated since the last modular fold (`0..CHUNK`).
+    fill: usize,
+}
+
+/// Fold interval of the Fletcher accumulators — the largest run for
+/// which `b` cannot overflow between folds.
+const CHUNK: usize = 359;
+
+impl Default for ChecksumStream {
+    fn default() -> Self {
+        ChecksumStream::new()
     }
-    (b << 16) | a
+}
+
+impl ChecksumStream {
+    /// A fresh digest (equals `checksum(&[])` if finished immediately).
+    #[must_use]
+    pub fn new() -> Self {
+        ChecksumStream { a: 0xF1E2, b: 0xD3C4, fill: 0 }
+    }
+
+    /// Absorbs `data`, folding at every 359th byte of the logical stream.
+    pub fn update(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.a = self.a.wrapping_add(u32::from(byte));
+            self.b = self.b.wrapping_add(self.a);
+            self.fill += 1;
+            if self.fill == CHUNK {
+                self.a %= 65_535;
+                self.b %= 65_535;
+                self.fill = 0;
+            }
+        }
+    }
+
+    /// Final digest; a partial trailing chunk folds exactly as
+    /// `checksum`'s last `chunks(359)` iteration does.
+    #[must_use]
+    pub fn finish(mut self) -> u32 {
+        if self.fill > 0 {
+            self.a %= 65_535;
+            self.b %= 65_535;
+        }
+        (self.b << 16) | self.a
+    }
 }
 
 #[cfg(test)]
@@ -199,6 +247,17 @@ mod tests {
         assert_ne!(checksum(&copy), base);
     }
 
+    #[test]
+    fn stream_matches_one_shot_across_chunk_boundaries() {
+        // Lengths straddling the 359-byte fold boundary, plus empty.
+        for len in [0usize, 1, 358, 359, 360, 717, 718, 719, 1024] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 7 + 13) as u8).collect();
+            let mut s = ChecksumStream::new();
+            s.update(&data);
+            assert_eq!(s.finish(), checksum(&data), "len {len}");
+        }
+    }
+
     fn arb_value() -> impl Strategy<Value = Value> {
         prop_oneof![
             Just(Value::Null),
@@ -221,6 +280,25 @@ mod tests {
         #[test]
         fn prop_decode_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
             let _ = decode_row(&bytes); // must not panic
+        }
+
+        #[test]
+        fn prop_stream_split_invariant(
+            bytes in prop::collection::vec(any::<u8>(), 0..1024),
+            cuts in prop::collection::vec(0usize..1024, 0..6),
+        ) {
+            // However the input is split into update() calls, the digest
+            // equals the one-shot checksum of the concatenation.
+            let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c.min(bytes.len())).collect();
+            cuts.sort_unstable();
+            let mut s = ChecksumStream::new();
+            let mut prev = 0usize;
+            for c in cuts {
+                s.update(&bytes[prev..c]);
+                prev = c;
+            }
+            s.update(&bytes[prev..]);
+            prop_assert_eq!(s.finish(), checksum(&bytes));
         }
     }
 }

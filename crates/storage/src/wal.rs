@@ -17,7 +17,7 @@
 //! crash mid-write in tests.
 
 use crate::catalog::TableId;
-use crate::codec::checksum;
+use crate::codec::ChecksumStream;
 use crate::row::{Row, RowId};
 use pstm_obs::{TraceEvent, Tracer};
 use pstm_types::{FaultDecision, FaultSite, PstmError, PstmResult, SharedFaultHook, TxnId, Value};
@@ -124,19 +124,35 @@ impl LogRecord {
 
 /// Frame checksum over the length field and the payload together, so a
 /// corrupted length inside the buffer cannot masquerade as a valid frame.
+/// Streamed — the header and payload are never concatenated.
 fn frame_checksum(len_bytes: &[u8; 4], payload: &[u8]) -> u32 {
-    let mut buf = Vec::with_capacity(4 + payload.len());
-    buf.extend_from_slice(len_bytes);
-    buf.extend_from_slice(payload);
-    checksum(&buf)
+    let mut s = ChecksumStream::new();
+    s.update(len_bytes);
+    s.update(payload);
+    s.finish()
+}
+
+/// Serializes `rec` and appends its complete frame to `out`, returning
+/// the frame's size in bytes. Writes nothing on a serialization error.
+fn frame_into(rec: &LogRecord, out: &mut Vec<u8>) -> PstmResult<u64> {
+    let payload =
+        serde_json::to_vec(rec).map_err(|e| PstmError::internal(format!("WAL serialize: {e}")))?;
+    let len_bytes = (payload.len() as u32).to_le_bytes();
+    out.extend_from_slice(&len_bytes);
+    out.extend_from_slice(&frame_checksum(&len_bytes, &payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok((payload.len() + 8) as u64)
 }
 
 /// The append-only log device.
 #[derive(Default)]
 pub struct Wal {
     buf: Vec<u8>,
-    /// Number of append() calls — exposed for write-amplification stats.
+    /// Number of records appended — exposed for write-amplification stats.
     appended: u64,
+    /// Reused frame-assembly buffer: appends in steady state allocate
+    /// only the serialized payload, not a fresh frame per record.
+    scratch: Vec<u8>,
     tracer: Tracer,
     /// Fault seam consulted on every append (see `pstm_types::fault`);
     /// `None` outside chaos runs.
@@ -175,21 +191,16 @@ impl Wal {
     pub fn append(&mut self, rec: &LogRecord) -> PstmResult<Lsn> {
         let _phase = pstm_obs::prof::PhaseTimer::start(pstm_obs::prof::CommitPhase::WalAppend);
         let lsn = Lsn(self.buf.len() as u64);
-        let payload = serde_json::to_vec(rec)
-            .map_err(|e| PstmError::internal(format!("WAL serialize: {e}")))?;
-        let len_bytes = (payload.len() as u32).to_le_bytes();
-        let mut frame = Vec::with_capacity(payload.len() + 8);
-        frame.extend_from_slice(&len_bytes);
-        frame.extend_from_slice(&frame_checksum(&len_bytes, &payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
+        self.scratch.clear();
+        let frame_bytes = frame_into(rec, &mut self.scratch)?;
         if let Some(hook) = self.hook.as_ref() {
             match hook.decide(FaultSite::WalAppend) {
                 FaultDecision::Proceed => {}
                 FaultDecision::Torn { keep } => {
                     // Clamp so the frame is genuinely torn: at least the
                     // final byte is lost and recovery sees a torn tail.
-                    let keep = (keep as usize).min(frame.len() - 1);
-                    self.buf.extend_from_slice(&frame[..keep]);
+                    let keep = (keep as usize).min(self.scratch.len() - 1);
+                    self.buf.extend_from_slice(&self.scratch[..keep]);
                     self.tracer.emit_unclocked(TraceEvent::FaultInjected {
                         site: FaultSite::WalAppend.label(),
                         action: "torn".into(),
@@ -208,11 +219,66 @@ impl Wal {
                 }
             }
         }
-        self.buf.extend_from_slice(&frame);
+        self.buf.extend_from_slice(&self.scratch);
         self.appended += 1;
-        self.tracer
-            .emit_unclocked(TraceEvent::WalFlush { lsn: lsn.0, bytes: (payload.len() + 8) as u64 });
+        self.tracer.emit_unclocked(TraceEvent::WalFlush { lsn: lsn.0, bytes: frame_bytes });
         Ok(lsn)
+    }
+
+    /// Appends a group of records as **one framed flush**: every frame is
+    /// assembled in the scratch buffer and the log device grows by a
+    /// single contiguous write, amortizing the flush cost the group-commit
+    /// layer exists to save. Each record keeps its own frame and `Lsn`, so
+    /// readers and recovery are oblivious to grouping.
+    ///
+    /// The fault seam is consulted **once per group** — the group is one
+    /// device write. `Torn { keep }` keeps a prefix of the whole group
+    /// (clamped so at least the final frame is torn): leading frames
+    /// survive intact, the tear is confined to the tail, and recovery's
+    /// stop-at-first-invalid policy discards exactly the torn suffix. An
+    /// `Io`/`Crash` decision lands nothing, as in [`Wal::append`].
+    pub fn append_batch(&mut self, recs: &[LogRecord]) -> PstmResult<Vec<Lsn>> {
+        let _phase = pstm_obs::prof::PhaseTimer::start(pstm_obs::prof::CommitPhase::WalAppend);
+        if recs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let base = self.buf.len() as u64;
+        let mut lsns = Vec::with_capacity(recs.len());
+        let mut frame_bytes = Vec::with_capacity(recs.len());
+        self.scratch.clear();
+        for rec in recs {
+            lsns.push(Lsn(base + self.scratch.len() as u64));
+            frame_bytes.push(frame_into(rec, &mut self.scratch)?);
+        }
+        if let Some(hook) = self.hook.as_ref() {
+            match hook.decide(FaultSite::WalAppend) {
+                FaultDecision::Proceed => {}
+                FaultDecision::Torn { keep } => {
+                    let keep = (keep as usize).min(self.scratch.len() - 1);
+                    self.buf.extend_from_slice(&self.scratch[..keep]);
+                    self.tracer.emit_unclocked(TraceEvent::FaultInjected {
+                        site: FaultSite::WalAppend.label(),
+                        action: "torn".into(),
+                    });
+                    return Err(PstmError::Crashed(FaultSite::WalAppend.label()));
+                }
+                FaultDecision::Io | FaultDecision::Crash => {
+                    self.tracer.emit_unclocked(TraceEvent::FaultInjected {
+                        site: FaultSite::WalAppend.label(),
+                        action: "crash".into(),
+                    });
+                    return Err(PstmError::Crashed(FaultSite::WalAppend.label()));
+                }
+            }
+        }
+        self.buf.extend_from_slice(&self.scratch);
+        self.appended += recs.len() as u64;
+        // One WalFlush per record: replayed counters must not depend on
+        // how appends were grouped.
+        for (lsn, bytes) in lsns.iter().zip(&frame_bytes) {
+            self.tracer.emit_unclocked(TraceEvent::WalFlush { lsn: lsn.0, bytes: *bytes });
+        }
+        Ok(lsns)
     }
 
     /// Size of the log in bytes.
@@ -532,6 +598,81 @@ mod tests {
         assert!(matches!(err, PstmError::Crashed(ref s) if s == "wal-append"));
         assert_eq!(wal.len_bytes(), before, "a crashed append leaves no bytes");
         assert_eq!(wal.records().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn append_batch_is_byte_identical_to_sequential_appends() {
+        let recs = sample_records();
+        let mut one_by_one = Wal::new();
+        let solo_lsns: Vec<Lsn> = recs.iter().map(|r| one_by_one.append(r).unwrap()).collect();
+        let mut batched = Wal::new();
+        let lsns = batched.append_batch(&recs).unwrap();
+        assert_eq!(lsns, solo_lsns, "grouping must not move any record's LSN");
+        assert_eq!(batched.buf, one_by_one.buf, "grouping must not change the device image");
+        assert_eq!(batched.appended(), recs.len() as u64);
+        let back = batched.records().unwrap();
+        assert_eq!(back.len(), recs.len());
+        for ((lsn, rec), (expect_lsn, expect)) in back.iter().zip(lsns.iter().zip(&recs)) {
+            assert_eq!(lsn, expect_lsn);
+            assert_eq!(rec, expect);
+        }
+        assert!(batched.append_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn torn_batch_keeps_leading_frames_and_recovery_drops_the_tail() {
+        // Tear the group so the first record's frame survives whole: the
+        // intact prefix must replay, the torn suffix must trim away, and
+        // no frame may surface partially.
+        let recs = sample_records();
+        let first_frame = {
+            let mut probe = Wal::new();
+            probe.append(&recs[0]).unwrap();
+            probe.len_bytes()
+        };
+        let mut wal = Wal::new();
+        wal.set_fault_hook(Some(std::sync::Arc::new(DecideOnNth {
+            nth: std::sync::atomic::AtomicU64::new(1),
+            decision: FaultDecision::Torn { keep: (first_frame + 3) as u32 },
+        })));
+        let err = wal.append_batch(&recs).unwrap_err();
+        assert!(matches!(err, PstmError::Crashed(ref s) if s == "wal-append"));
+        assert_eq!(wal.len_bytes(), first_frame + 3, "exactly `keep` bytes land");
+        let survivors = wal.records().unwrap();
+        assert_eq!(survivors.len(), 1, "only the fully-written leading frame replays");
+        assert_eq!(survivors[0].1, recs[0]);
+        assert_eq!(wal.trim_torn_tail(), 3);
+        assert_eq!(wal.records().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn torn_batch_keep_clamps_so_the_tail_frame_is_always_torn() {
+        let recs = sample_records();
+        let mut wal = Wal::new();
+        wal.set_fault_hook(Some(std::sync::Arc::new(DecideOnNth {
+            nth: std::sync::atomic::AtomicU64::new(1),
+            decision: FaultDecision::Torn { keep: u32::MAX },
+        })));
+        wal.append_batch(&recs).unwrap_err();
+        let survivors = wal.records().unwrap();
+        assert!(survivors.len() < recs.len(), "the final frame must not land whole");
+        assert!(wal.trim_torn_tail() > 0);
+    }
+
+    #[test]
+    fn crashed_batch_writes_nothing() {
+        let recs = sample_records();
+        let mut wal = Wal::new();
+        wal.append(&recs[0]).unwrap();
+        let before = wal.len_bytes();
+        wal.set_fault_hook(Some(std::sync::Arc::new(DecideOnNth {
+            nth: std::sync::atomic::AtomicU64::new(1),
+            decision: FaultDecision::Crash,
+        })));
+        let err = wal.append_batch(&recs).unwrap_err();
+        assert!(matches!(err, PstmError::Crashed(_)));
+        assert_eq!(wal.len_bytes(), before, "a crashed group leaves no bytes");
+        assert_eq!(wal.records().unwrap().len(), 1);
     }
 
     #[test]

@@ -100,31 +100,27 @@ fn committed_sst_survives_while_in_flight_and_rejected_work_vanish() {
     assert_tickets(&db, table, &rows, [98, 99, 100, 100, 100]);
 }
 
-/// Crash before the WAL flush, at *every* frame of the SST: append 1 is
-/// T2's Begin, 2–3 its Updates, 4 the Commit record. Whichever frame dies
-/// unflushed, the commit never became durable — recovery must show the
-/// pristine baseline.
+/// Crash before the WAL flush. An all-Update SST frames its Begin,
+/// Updates, and Commit contiguously and flushes them with *one* group
+/// append, so a crash at that seam leaves no frame of the transaction in
+/// the log — recovery must show the pristine baseline.
 #[test]
 fn crash_before_wal_flush_drops_the_entire_write_set() {
-    for nth_append in 1..=4u64 {
-        let (db, table, rows) = flight_world();
-        let injector = Arc::new(FaultInjector::new(
-            FaultPlan::new(nth_append).crash_on_wal_append(nth_append),
-        ));
-        db.set_fault_hook(Arc::clone(&injector) as _);
+    let (db, table, rows) = flight_world();
+    let injector = Arc::new(FaultInjector::new(FaultPlan::new(1).crash_on_wal_append(1)));
+    db.set_fault_hook(Arc::clone(&injector) as _);
 
-        match db.apply_write_set(TxnId(2), &booking_sst(table, &rows)) {
-            Err(PstmError::Crashed(site)) => assert_eq!(site, "wal-append"),
-            other => panic!("append #{nth_append}: expected a crash, got {other:?}"),
-        }
-        db.simulate_crash_and_recover().unwrap();
-
-        assert_tickets(&db, table, &rows, [100; 5]);
-        assert_eq!(db.lookup_eq(table, 0, &Value::Int(0)).unwrap(), vec![rows[0]]);
-        // The one-shot crash budget is spent; the retried SST goes through.
-        db.apply_write_set(TxnId(3), &booking_sst(table, &rows)).unwrap();
-        assert_tickets(&db, table, &rows, [99, 99, 100, 100, 100]);
+    match db.apply_write_set(TxnId(2), &booking_sst(table, &rows)) {
+        Err(PstmError::Crashed(site)) => assert_eq!(site, "wal-append"),
+        other => panic!("expected the group append to crash, got {other:?}"),
     }
+    db.simulate_crash_and_recover().unwrap();
+
+    assert_tickets(&db, table, &rows, [100; 5]);
+    assert_eq!(db.lookup_eq(table, 0, &Value::Int(0)).unwrap(), vec![rows[0]]);
+    // The one-shot crash budget is spent; the retried SST goes through.
+    db.apply_write_set(TxnId(3), &booking_sst(table, &rows)).unwrap();
+    assert_tickets(&db, table, &rows, [99, 99, 100, 100, 100]);
 }
 
 /// Crash after the flush, before the apply is durable: T2's Commit record
@@ -155,15 +151,18 @@ fn crash_after_flush_before_apply_replays_the_sst_from_the_log() {
     assert_tickets(&db, table, &rows, [99, 99, 50, 100, 100]);
 }
 
-/// Torn page write: the Commit record (append #4) is cut to a `keep`-byte
-/// prefix by power loss. Recovery trims the tear, so T2 has Begin and
-/// Updates in the log but no Commit — a loser, dropped wholesale.
+/// Torn page write: power fails mid-group, keeping only a `keep`-byte
+/// prefix of the fused Begin/Updates/Commit flush. Wherever the tear
+/// lands — inside the first frame, at a frame boundary, or one byte shy
+/// of the end — the Commit record is never intact (the tail frame of a
+/// torn group is always cut), so T2 is a loser: recovery trims the tear
+/// and drops the transaction wholesale.
 #[test]
 fn torn_commit_record_makes_the_sst_a_loser() {
-    for keep in [1u32, 3, 9, 20] {
+    for keep in [1u32, 9, 50, 120, u32::MAX] {
         let (db, table, rows) = flight_world();
         let injector =
-            Arc::new(FaultInjector::new(FaultPlan::new(u64::from(keep)).torn_wal_append(4, keep)));
+            Arc::new(FaultInjector::new(FaultPlan::new(u64::from(keep)).torn_wal_append(1, keep)));
         db.set_fault_hook(Arc::clone(&injector) as _);
 
         match db.apply_write_set(TxnId(2), &booking_sst(table, &rows)) {

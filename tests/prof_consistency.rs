@@ -57,6 +57,34 @@ fn run_traced_workload() -> (ShardedFront, Vec<pstm_obs::RingHandle>) {
     (front, handles)
 }
 
+/// Runs `SESSIONS` single-object sessions through a group-commit front:
+/// every commit is single-shard, so each one passes through the
+/// per-shard group station (as leader or follower).
+fn run_grouped_workload() -> (ShardedFront, Vec<pstm_obs::RingHandle>) {
+    let world = counter_world(OBJECTS, 10_000).expect("world");
+    let mut handles = Vec::new();
+    let front = ShardedFront::with_shard_tracers(
+        world.db.clone(),
+        world.bindings.clone(),
+        FrontConfig { shards: SHARDS, group_commit: true, ..FrontConfig::default() },
+        |_| {
+            let ring = RingSink::new(1 << 18);
+            handles.push(ring.handle());
+            Tracer::with_sink(Box::new(ring))
+        },
+    );
+    for k in 0..SESSIONS {
+        let mut session = front.session();
+        match session.execute(world.resources[k % OBJECTS], ScalarOp::Sub(Value::Int(1))) {
+            Ok(SessionOutcome::Value(_)) => {}
+            other => panic!("uncontended execute: {other:?}"),
+        }
+        let outcome = session.commit().expect("commit");
+        assert!(matches!(outcome, CommitResult::Committed), "single-threaded grouped commit");
+    }
+    (front, handles)
+}
+
 #[test]
 fn phase_totals_fit_inside_session_spans_and_survive_replay() {
     // --- disabled profiler is inert -----------------------------------
@@ -132,6 +160,43 @@ fn phase_totals_fit_inside_session_spans_and_survive_replay() {
     replayed.absorb_phases(&profile);
     assert_eq!(replayed.commit_phases(), snap.registry.commit_phases());
 
+    // --- group-commit path banks GroupWait and stays consistent --------
+    // Every single-shard commit parks in the station exactly once
+    // (leaders included: their nested phases carve out of the same
+    // GroupWait window under exclusive accounting), and the absorbed /
+    // replayed bookkeeping identity holds with batching on.
+    prof::reset();
+    prof::set_enabled(true);
+    let (gfront, ghandles) = run_grouped_workload();
+    prof::set_enabled(false);
+    let gprofile = prof::snapshot();
+    assert_eq!(
+        gprofile.ops(CommitPhase::GroupWait) as usize,
+        SESSIONS,
+        "one station pass per grouped commit"
+    );
+    assert_eq!(gprofile.ops(CommitPhase::Fencing), 0, "single-shard commits never fence");
+    for phase in [
+        CommitPhase::Admission,
+        CommitPhase::Reconcile,
+        CommitPhase::WalAppend,
+        CommitPhase::SstApply,
+    ] {
+        assert!(gprofile.ops(phase) as usize >= SESSIONS, "missing grouped phase {}", phase.name());
+    }
+    let gsnap = gfront.fleet_snapshot();
+    assert_eq!(gsnap.registry.commit_phases(), &gprofile);
+    let mut grecords = Vec::new();
+    for h in &ghandles {
+        let (recs, dropped) = h.snapshot_with_drops();
+        assert_eq!(dropped, 0, "ring too small");
+        grecords.extend(recs);
+    }
+    let mut greplayed = pstm_obs::replay(&grecords);
+    assert!(greplayed.commit_phases().is_empty(), "replay must not invent phase time");
+    greplayed.absorb_phases(&gprofile);
+    assert_eq!(greplayed.commit_phases(), gsnap.registry.commit_phases());
+
     // --- reset really zeroes the table ---------------------------------
     prof::reset();
     assert!(prof::snapshot().is_empty(), "reset must clear every slot");
@@ -144,7 +209,7 @@ proptest! {
     /// profiles and registries, merging recovers the same totals.
     #[test]
     fn prop_phase_totals_survive_registry_merges(
-        obs in prop::collection::vec((0usize..8, 1u64..2_000_000_000), 1..80),
+        obs in prop::collection::vec((0usize..CommitPhase::COUNT, 1u64..2_000_000_000), 1..80),
         split in 0usize..80,
     ) {
         let split = split.min(obs.len());
