@@ -1,20 +1,21 @@
 //! Observability-overhead benchmark: the `bench_concurrency` booking
-//! workload on 4 threads, run over the full 2×2 matrix of
-//! tracing {off, on} × phase profiler {off, on}, interleaved best-of-N
-//! to damp scheduler noise.
+//! workload on 4 threads, run over the full 2×2×2 matrix of
+//! tracing {off, on} × phase profiler {off, on} × flight recorder
+//! {off, on}, interleaved best-of-N to damp scheduler noise.
 //!
 //! Writes `results/BENCH_obs_overhead.json` and asserts the acceptance
-//! criterion: every instrumented cell — including both layers at once —
-//! stays within 10% of the fully-dark baseline. Think-time sleeps
+//! criterion: every instrumented cell — including all three layers at
+//! once — stays within 10% of the fully-dark baseline. Think-time sleeps
 //! dominate the session, exactly as in production use, so the emit path
-//! (one short mutex section plus a ring push) and the phase timers (two
-//! `Instant` reads plus relaxed atomics per station) must disappear
-//! into the idle time.
+//! (one short mutex section plus a ring push), the phase timers (two
+//! `Instant` reads plus relaxed atomics per station) and the recorder's
+//! write-through appends (a varint encode plus a buffered positional
+//! file write under the device mutex) must disappear into the idle time.
 
 use pstm_bench::{print_header, write_results};
 use pstm_core::gtm::CommitResult;
 use pstm_front::{FrontConfig, SessionOutcome, ShardedFront};
-use pstm_obs::{prof, RingSink, Tracer, WallEpoch};
+use pstm_obs::{prof, Recorder, RingSink, Sink, TeeSink, Tracer, WallEpoch};
 use pstm_types::{ResourceId, ScalarOp, Value};
 use pstm_workload::counter_world;
 use serde::Serialize;
@@ -29,8 +30,9 @@ const RUNS: usize = 3;
 struct Cell {
     tracing: bool,
     profiler: bool,
+    recorder: bool,
     tps: f64,
-    /// Throughput cost vs the dark (both-off) cell, percent.
+    /// Throughput cost vs the dark (all-off) cell, percent.
     overhead_pct: f64,
 }
 
@@ -41,17 +43,22 @@ struct Report {
     sessions: usize,
     think_us: u64,
     runs_per_mode: usize,
-    /// The 2×2 matrix: (tracing, profiler) in off/off, off/on, on/off,
-    /// on/on order.
+    /// The 2×2×2 matrix: (tracing, profiler, recorder) with recorder the
+    /// fastest-varying axis, dark cell first.
     cells: Vec<Cell>,
-    /// Combined-cell overhead (tracing AND profiler on) — the budgeted
-    /// number.
+    /// Combined-cell overhead (tracing AND profiler AND recorder on) —
+    /// the budgeted number.
     overhead_pct: f64,
     events_traced: u64,
     trace_dropped: u64,
     /// Phase-timer observations in the profiled cells (sanity: the
     /// profiler must actually have been on).
     phase_ops_profiled: u64,
+    /// Frames the recorder wrote in the all-on cell (sanity: the recorder
+    /// must actually have been streaming).
+    recorder_frames: u64,
+    /// Records the recorder dropped in the all-on cell.
+    recorder_dropped: u64,
 }
 
 /// One closed-loop client, same shape as `bench_concurrency`.
@@ -74,17 +81,65 @@ fn run_session(
     matches!(session.commit().expect("commit failed"), CommitResult::Committed)
 }
 
-/// Runs one measured point; returns `(tps, events_traced, dropped,
-/// phase_ops)`.
-fn run_point(sessions: usize, think_us: u64, traced: bool, profiled: bool) -> (f64, u64, u64, u64) {
+/// One measured point's observability knobs.
+#[derive(Clone, Copy, PartialEq)]
+struct Mode {
+    traced: bool,
+    profiled: bool,
+    recorded: bool,
+}
+
+/// What one measured point reports back.
+struct PointStats {
+    tps: f64,
+    events: u64,
+    dropped: u64,
+    phase_ops: u64,
+    recorder_frames: u64,
+    recorder_dropped: u64,
+}
+
+/// Runs one measured point of the matrix.
+fn run_point(sessions: usize, think_us: u64, mode: Mode) -> PointStats {
+    let Mode { traced, profiled, recorded } = mode;
     let world = counter_world(OBJECTS, INITIAL).expect("world");
     let config = FrontConfig { shards: SHARDS, ..FrontConfig::default() };
-    let front = if traced {
-        ShardedFront::with_shard_tracers(world.db.clone(), world.bindings.clone(), config, |_| {
-            Tracer::with_sink(Box::new(RingSink::new(1 << 16)))
-        })
-    } else {
-        ShardedFront::new(world.db.clone(), world.bindings.clone(), config)
+    let rec_path =
+        std::env::temp_dir().join(format!("pstm-bench-obs-overhead-{}.rec", std::process::id()));
+    // Write-through (durable) mode, same as the chaos harness flies: the
+    // overhead budget covers the crash-first configuration, not a
+    // buffered best case.
+    let recorder = recorded.then(|| Recorder::create(&rec_path, 1 << 20, true).expect("recorder"));
+    let front = match (&recorder, traced) {
+        (None, false) => ShardedFront::new(world.db.clone(), world.bindings.clone(), config),
+        (None, true) => ShardedFront::with_shard_tracers(
+            world.db.clone(),
+            world.bindings.clone(),
+            config,
+            |_| Tracer::with_sink(Box::new(RingSink::new(1 << 16))),
+        ),
+        (Some(rec), false) => ShardedFront::with_recorder(
+            world.db.clone(),
+            world.bindings.clone(),
+            config,
+            rec.clone(),
+        ),
+        (Some(rec), true) => {
+            let front = ShardedFront::with_shard_tracers(
+                world.db.clone(),
+                world.bindings.clone(),
+                config,
+                |i| {
+                    let tee: Box<dyn Sink> = Box::new(TeeSink::new(
+                        Box::new(RingSink::new(1 << 16)),
+                        Box::new(rec.sink(i as u32)),
+                    ));
+                    Tracer::with_sink(tee)
+                },
+            );
+            front.attach_recorder(rec.clone());
+            front
+        }
     };
     let think = std::time::Duration::from_micros(think_us);
     let per_thread = sessions / THREADS;
@@ -124,13 +179,31 @@ fn run_point(sessions: usize, think_us: u64, traced: bool, profiled: bool) -> (f
     } else {
         assert_eq!(phase_ops, 0, "unprofiled cell recorded phase observations");
     }
-    let (events, dropped) = if traced {
+    let (events, dropped) = if traced || recorded {
         let snap = front.fleet_snapshot();
         (snap.registry.counter(pstm_obs::Ctr::SpansOpened), snap.trace_dropped)
     } else {
         (0, 0)
     };
-    (committed as f64 / wall_s, events, dropped, phase_ops)
+    let (recorder_frames, recorder_dropped) = match &recorder {
+        Some(rec) => {
+            let stats = rec.stats();
+            assert!(stats.frames > 0, "recorded cell wrote no frames");
+            assert_eq!(stats.io_errors, 0, "recorder hit I/O errors");
+            (stats.frames, stats.dropped)
+        }
+        None => (0, 0),
+    };
+    drop(recorder);
+    std::fs::remove_file(&rec_path).ok();
+    PointStats {
+        tps: committed as f64 / wall_s,
+        events,
+        dropped,
+        phase_ops,
+        recorder_frames,
+        recorder_dropped,
+    }
 }
 
 fn main() {
@@ -138,43 +211,62 @@ fn main() {
     let sessions = if quick { 64 } else { 256 };
     let think_us = if quick { 200 } else { 500 };
 
-    const MODES: [(bool, bool); 4] = [(false, false), (false, true), (true, false), (true, true)];
-    let mode_label = |(t, p): (bool, bool)| format!("trace={}/prof={}", u8::from(t), u8::from(p));
+    let mut modes = Vec::with_capacity(8);
+    for traced in [false, true] {
+        for profiled in [false, true] {
+            for recorded in [false, true] {
+                modes.push(Mode { traced, profiled, recorded });
+            }
+        }
+    }
+    let all_on = Mode { traced: true, profiled: true, recorded: true };
+    let mode_label = |m: Mode| {
+        format!(
+            "trace={}/prof={}/rec={}",
+            u8::from(m.traced),
+            u8::from(m.profiled),
+            u8::from(m.recorded)
+        )
+    };
 
-    print_header("BENCH obs overhead — tracing x profiler", &["mode", "run", "tps"]);
-    // Interleave all four modes within each round so drift (thermal,
+    print_header("BENCH obs overhead — tracing x profiler x recorder", &["mode", "run", "tps"]);
+    // Interleave all eight modes within each round so drift (thermal,
     // noisy neighbors) hits every cell equally; keep the best of each.
-    let mut best = [0f64; 4];
+    let mut best = [0f64; 8];
     let (mut events, mut dropped, mut phase_ops) = (0u64, 0u64, 0u64);
+    let (mut rec_frames, mut rec_dropped) = (0u64, 0u64);
     for run in 0..RUNS {
-        for (i, mode) in MODES.into_iter().enumerate() {
-            let (tps, ev, dr, po) = run_point(sessions, think_us, mode.0, mode.1);
-            println!("{}\t{run}\t{tps:.1}", mode_label(mode));
-            best[i] = best[i].max(tps);
-            if mode == (true, true) {
-                (events, dropped, phase_ops) = (ev, dr, po);
+        for (i, &mode) in modes.iter().enumerate() {
+            let point = run_point(sessions, think_us, mode);
+            println!("{}\t{run}\t{:.1}", mode_label(mode), point.tps);
+            best[i] = best[i].max(point.tps);
+            if mode == all_on {
+                (events, dropped, phase_ops) = (point.events, point.dropped, point.phase_ops);
+                (rec_frames, rec_dropped) = (point.recorder_frames, point.recorder_dropped);
             }
         }
     }
 
     let tps_base = best[0];
-    let cells: Vec<Cell> = MODES
-        .into_iter()
+    let cells: Vec<Cell> = modes
+        .iter()
         .zip(best)
-        .map(|((tracing, profiler), tps)| Cell {
-            tracing,
-            profiler,
+        .map(|(&m, tps)| Cell {
+            tracing: m.traced,
+            profiler: m.profiled,
+            recorder: m.recorded,
             tps,
             overhead_pct: 100.0 * (tps_base - tps) / tps_base,
         })
         .collect();
-    let overhead_pct = cells[3].overhead_pct;
+    let overhead_pct = cells[7].overhead_pct;
     println!("\nbase {tps_base:.1} tps; combined overhead {overhead_pct:.2}%");
     for c in &cells {
         println!(
-            "trace={}/prof={}: {:.1} tps ({:+.2}%)",
+            "trace={}/prof={}/rec={}: {:.1} tps ({:+.2}%)",
             u8::from(c.tracing),
             u8::from(c.profiler),
+            u8::from(c.recorder),
             c.tps,
             c.overhead_pct
         );
@@ -191,6 +283,8 @@ fn main() {
         events_traced: events,
         trace_dropped: dropped,
         phase_ops_profiled: phase_ops,
+        recorder_frames: rec_frames,
+        recorder_dropped: rec_dropped,
     };
     let path = write_results("BENCH_obs_overhead", &report).expect("write results");
     println!("wrote {}", path.display());
@@ -198,11 +292,12 @@ fn main() {
     for c in &report.cells {
         assert!(
             c.tps >= tps_base * 0.90,
-            "overhead {:.2}% (trace={}, prof={}) exceeds the 10% budget \
+            "overhead {:.2}% (trace={}, prof={}, rec={}) exceeds the 10% budget \
              ({:.1} tps vs {tps_base:.1} tps dark)",
             c.overhead_pct,
             c.tracing,
             c.profiler,
+            c.recorder,
             c.tps
         );
     }

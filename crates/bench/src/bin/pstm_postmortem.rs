@@ -1,0 +1,69 @@
+//! `pstm_postmortem` — crash forensics over a flight-recorder file.
+//!
+//! Reads the bounded black-box ring a crashed (or healthy) process left
+//! behind, reconstructs the picture at the moment the stream stopped, and
+//! prints the post-mortem report: the transactions in flight at death and
+//! how far each had progressed, the in-doubt set (engine-durable but
+//! never acknowledged), commit-group composition, the last-known
+//! phase-latency profile, per-shard tail state, and the counters covered
+//! by the recorded window.
+//!
+//! ```text
+//! pstm_postmortem FLIGHT.rec
+//! pstm_postmortem --json FLIGHT.rec
+//! ```
+//!
+//! Torn tails are expected — the recorder is written crash-first, so the
+//! reader truncates at the last intact frame and reports how much of the
+//! stream wrapped away. Exit status is 0 when the file decoded (even to
+//! an empty window), 1 on an unreadable file, 2 on usage errors.
+
+use pstm_obs::postmortem::analyze;
+use pstm_obs::read_recorder;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: pstm_postmortem [--json] FLIGHT.rec";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut file: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if file.is_none() => file = Some(arg),
+            _ => {
+                eprintln!("unexpected argument: {arg}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+
+    let replay = match read_recorder(std::path::Path::new(&file)) {
+        Ok(replay) => replay,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let pm = analyze(&replay);
+    if json {
+        match serde_json::to_string_pretty(&pm) {
+            Ok(doc) => println!("{doc}"),
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        print!("{}", pm.render());
+    }
+    ExitCode::SUCCESS
+}

@@ -9,6 +9,7 @@
 //! ```text
 //! pstm_top [--top K] [--snapshots N] TRACE.jsonl [TRACE.jsonl ...]
 //! pstm_top --phases [--breakdown BENCH_breakdown.json] TRACE.jsonl ...
+//! pstm_top --from-recorder FLIGHT.rec [TRACE.jsonl ...]
 //! ```
 //!
 //! `--phases` switches to the phase view: the commit-path nanosecond
@@ -16,22 +17,30 @@
 //! names one) joined with the trace's span-phase times and hot objects
 //! by blocked time.
 //!
+//! `--from-recorder` feeds the profiler from a flight-recorder ring file
+//! instead of (or alongside) JSONL traces: the file's surviving window is
+//! decoded, split back into per-shard record streams, and merged into the
+//! same timeline — so the exact tooling that profiles a healthy run also
+//! profiles the last seconds before a crash.
+//!
 //! Live rings profile the same way: snapshot them in-process and call
 //! `pstm_bench::profile::profile` on the records — this binary is just
 //! the file front door.
 
 use pstm_bench::profile::{merge_records, profile, render, render_phases};
-use pstm_obs::load_jsonl;
+use pstm_obs::{load_jsonl, read_recorder};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: pstm_top [--top K] [--snapshots N] [--phases] \
-                     [--breakdown BENCH_breakdown.json] TRACE.jsonl [TRACE.jsonl ...]";
+                     [--breakdown BENCH_breakdown.json] \
+                     [--from-recorder FLIGHT.rec] [TRACE.jsonl ...]";
 
 fn main() -> ExitCode {
     let mut top_k = 10usize;
     let mut n_snapshots = 4usize;
     let mut phases_view = false;
     let mut breakdown_path: Option<String> = None;
+    let mut recorder_files = Vec::new();
     let mut files = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -56,6 +65,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--from-recorder" => match args.next() {
+                Some(f) => recorder_files.push(f),
+                None => {
+                    eprintln!("--from-recorder needs a file\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -63,7 +79,7 @@ fn main() -> ExitCode {
             _ => files.push(arg),
         }
     }
-    if files.is_empty() {
+    if files.is_empty() && recorder_files.is_empty() {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
@@ -83,6 +99,30 @@ fn main() -> ExitCode {
     };
 
     let mut shards = Vec::new();
+    for file in &recorder_files {
+        match read_recorder(std::path::Path::new(file)) {
+            Ok(replay) => {
+                for (shard, records) in replay.records_by_shard() {
+                    if shard == pstm_obs::ENGINE_SHARD {
+                        eprintln!("{file}: engine: {} record(s)", records.len());
+                    } else {
+                        eprintln!("{file}: shard {shard}: {} record(s)", records.len());
+                    }
+                    shards.push(records);
+                }
+                if replay.gaps > 0 {
+                    eprintln!(
+                        "{file}: {} record(s) wrapped away — window is a suffix",
+                        replay.gaps
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     for file in &files {
         match load_jsonl(file) {
             Ok(records) => {

@@ -35,6 +35,13 @@
 //!   helpers. A new function that grows the log without passing through
 //!   `append` would silently escape fault injection — and the chaos
 //!   suite's crash-recovery guarantees with it.
+//! - **`recorder-seam`** — the flight recorder's raw file plumbing (the
+//!   positional open-for-write and data-sync calls) may appear only in
+//!   `crates/obs/src/recorder.rs`. Every other crate talks to the
+//!   recorder through `Recorder`/`RecorderSink`, so the single device
+//!   implementation is the one place torn-tail semantics, write-through
+//!   durability and drop accounting are decided. This rule ships with
+//!   **zero** allowlist entries — nothing is grandfathered.
 //!
 //! Scanning is line-based: `//` comments are stripped (string-literal
 //! aware), `#[cfg(test)]` items are skipped by brace counting, and each
@@ -87,6 +94,15 @@ const CORE_COMMIT_PATH_FILES: [&str; 5] =
 /// The one function allowed to take several shard locks at once.
 const ORDERED_LOCK_HELPER: &str = "lock_shards_ascending";
 
+/// The flight-recorder seam: the only file allowed to touch the raw
+/// recorder file plumbing below.
+const RECORDER_SEAM_FILE: &str = "crates/obs/src/recorder.rs";
+
+/// Raw file-device tokens confined to the recorder seam: the
+/// open-for-write entry point and the data-sync call. Built with
+/// `concat!` so this file never contains the banned tokens itself.
+const RECORDER_IO_TOKENS: [&str; 2] = [concat!("Open", "Options"), concat!("sync", "_data")];
+
 /// The file the `wal-seam` rule applies to.
 const WAL_SEAM_FILE: &str = "crates/storage/src/wal.rs";
 
@@ -127,6 +143,8 @@ pub enum Rule {
     LockOrder,
     /// WAL buffer mutation outside the hooked `append` seam.
     WalSeam,
+    /// Recorder file I/O outside `crates/obs/src/recorder.rs`.
+    RecorderSeam,
     /// An allowlist entry that matched nothing.
     StaleAllowlist,
 }
@@ -140,6 +158,7 @@ impl Rule {
             Rule::NoPanicCommitPath => "no-panic-commit-path",
             Rule::LockOrder => "lock-order",
             Rule::WalSeam => "wal-seam",
+            Rule::RecorderSeam => "recorder-seam",
             Rule::StaleAllowlist => "stale-allowlist",
         }
     }
@@ -357,6 +376,7 @@ struct Scope {
     no_panic: bool,
     lock_order: bool,
     wal_seam: bool,
+    recorder_seam: bool,
 }
 
 fn scope_of(file: &str) -> Scope {
@@ -367,12 +387,18 @@ fn scope_of(file: &str) -> Scope {
             || file.starts_with("crates/front/src/");
     let lock_order = file.starts_with("crates/front/src/");
     let wal_seam = file == WAL_SEAM_FILE;
-    Scope { wall_clock, timing, no_panic, lock_order, wal_seam }
+    let recorder_seam = file != RECORDER_SEAM_FILE;
+    Scope { wall_clock, timing, no_panic, lock_order, wal_seam, recorder_seam }
 }
 
 fn scan_file(file: &str, text: &str, allow: &mut Allowlist, out: &mut Vec<Violation>) {
     let scope = scope_of(file);
-    if !scope.wall_clock && !scope.timing && !scope.no_panic && !scope.lock_order && !scope.wal_seam
+    if !scope.wall_clock
+        && !scope.timing
+        && !scope.no_panic
+        && !scope.lock_order
+        && !scope.wal_seam
+        && !scope.recorder_seam
     {
         return;
     }
@@ -457,6 +483,16 @@ fn scan_file(file: &str, text: &str, allow: &mut Allowlist, out: &mut Vec<Violat
                     && !allow.allows(Rule::WalSeam, file, current_fn.as_deref())
                 {
                     out.push(violation(Rule::WalSeam, file, line_no, &current_fn, raw));
+                    break;
+                }
+            }
+        }
+        if scope.recorder_seam {
+            for token in RECORDER_IO_TOKENS {
+                if code.contains(token)
+                    && !allow.allows(Rule::RecorderSeam, file, current_fn.as_deref())
+                {
+                    out.push(violation(Rule::RecorderSeam, file, line_no, &current_fn, raw));
                     break;
                 }
             }
@@ -644,6 +680,25 @@ mod tests {
         let mut elsewhere = Vec::new();
         scan_file("crates/storage/src/engine.rs", src, &mut allow, &mut elsewhere);
         assert!(elsewhere.iter().all(|v| v.rule != Rule::WalSeam), "{elsewhere:?}");
+    }
+
+    #[test]
+    fn recorder_io_confined_to_the_seam_file() {
+        let src = concat!(
+            "fn open_rec() { let f = Open",
+            "Options::new().write(true); }\n",
+            "fn settle(&mut self) { self.file.sync",
+            "_data().ok(); }\n"
+        );
+        let mut allow = Allowlist::default();
+        let mut out = Vec::new();
+        scan_file(RECORDER_SEAM_FILE, src, &mut allow, &mut out);
+        assert!(out.is_empty(), "the seam file itself must be exempt: {out:?}");
+        scan_file("crates/storage/src/wal.rs", src, &mut allow, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|v| v.rule == Rule::RecorderSeam), "{out:?}");
+        assert_eq!(out[0].func.as_deref(), Some("open_rec"));
+        assert_eq!(out[1].func.as_deref(), Some("settle"));
     }
 
     #[test]

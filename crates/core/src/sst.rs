@@ -23,8 +23,9 @@ pub struct Sst {
 /// Offset added to the origin transaction id to form the engine-level SST
 /// transaction id (keeps middleware and SST ids disjoint in the WAL).
 /// [`crate::gtm::Gtm::begin`] rejects middleware ids at or above this
-/// base, so the addition below cannot overflow or collide.
-pub(crate) const SST_ID_BASE: u64 = 1 << 48;
+/// base, so the addition below cannot overflow or collide. The canonical
+/// definition lives on [`TxnId`] so offline forensics can invert it.
+pub(crate) const SST_ID_BASE: u64 = TxnId::SST_ENGINE_BASE;
 
 impl Sst {
     /// Builds an SST from reconciled `(resource, X_new)` pairs. Pairs are
@@ -38,7 +39,7 @@ impl Sst {
     /// The engine transaction id this SST runs under.
     #[must_use]
     pub fn engine_txn(&self) -> TxnId {
-        TxnId(SST_ID_BASE + self.origin.0)
+        self.origin.sst_engine()
     }
 
     /// Whether there is anything to write (read-only transactions produce
@@ -70,13 +71,6 @@ impl Sst {
         Ok(())
     }
 }
-
-/// Offset forming the engine-level transaction id of a **fused** SST
-/// batch. Disjoint from both middleware ids (`< SST_ID_BASE`) and
-/// single-SST engine ids (`SST_ID_BASE + origin`), so a batch's WAL
-/// frames can never collide with any member's own id space. The leader's
-/// origin id makes it unique — a transaction commits at most once.
-pub(crate) const SST_BATCH_ID_BASE: u64 = 1 << 49;
 
 /// A fused SST batch: N ready commits on one shard flushed as **one**
 /// engine transaction — one lock acquisition, one framed WAL flush, one
@@ -144,7 +138,7 @@ impl SstBatch {
     /// The engine transaction id the fused flush runs under.
     #[must_use]
     pub fn engine_txn(&self) -> TxnId {
-        TxnId(SST_BATCH_ID_BASE + self.leader.0)
+        self.leader.batch_engine()
     }
 
     /// Executes every member's writes as one atomic write set. Disjoint
@@ -298,7 +292,7 @@ mod tests {
     fn batch_engine_ids_are_disjoint_from_sst_and_middleware_ids() {
         let mut batch = SstBatch::new(TxnId(42));
         batch.push(Sst::new(TxnId(42), vec![])).unwrap();
-        assert!(batch.engine_txn().0 >= SST_BATCH_ID_BASE);
+        assert!(batch.engine_txn().0 >= TxnId::SST_BATCH_ENGINE_BASE);
         assert_ne!(batch.engine_txn(), Sst::new(TxnId(42), vec![]).engine_txn());
         let empty = SstBatch::new(TxnId(9));
         assert!(empty.is_empty());

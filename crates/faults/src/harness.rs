@@ -38,7 +38,9 @@ use crate::plan::FaultPlan;
 use pstm_check::{stitch_streams, verify_streams, TraceStream, Verdict};
 use pstm_core::gtm::{CommitResult, Gtm, GtmConfig, LocalCommit};
 use pstm_core::sst::Sst;
-use pstm_obs::{RingHandle, RingSink, Tracer};
+use pstm_obs::postmortem::{analyze, Postmortem};
+use pstm_obs::recorder::{read_recorder, Recorder, ENGINE_SHARD};
+use pstm_obs::{RingHandle, RingSink, Sink, TeeSink, TraceEvent, Tracer};
 use pstm_storage::{BindingRegistry, Database};
 use pstm_types::{
     AbortReason, Duration, ExecOutcome, FaultHook, FaultSite, PstmError, PstmResult, ResourceId,
@@ -48,6 +50,7 @@ use pstm_workload::counter_world;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Shape of one chaos run. `seed` drives the workload generator; the
@@ -81,6 +84,15 @@ pub struct ChaosConfig {
     /// coordinated commit each. Multi-shard sessions still go through the
     /// cross-shard path, exactly like the production front-end.
     pub group_commit: bool,
+    /// When set, every epoch's trace streams *also* flow into a durable
+    /// flight-recorder file `epoch{N}.rec` under this directory (one file
+    /// per process lifetime), and at every crash the crash picture
+    /// `pstm_obs::postmortem` reconstructs from the file alone is checked
+    /// against the harness's fault ledger: the reconstructed unresolved
+    /// set must equal the stranded sessions, and the reconstructed
+    /// in-doubt set must equal the ledger's whole-SST-survived
+    /// reclassification.
+    pub recorder_dir: Option<PathBuf>,
 }
 
 impl ChaosConfig {
@@ -98,6 +110,7 @@ impl ChaosConfig {
             plan,
             max_recoveries: 8,
             group_commit: false,
+            recorder_dir: None,
         }
     }
 
@@ -106,6 +119,15 @@ impl ChaosConfig {
     #[must_use]
     pub fn with_group_commit(mut self) -> Self {
         self.group_commit = true;
+        self
+    }
+
+    /// Builder: record every epoch into a flight-recorder file under
+    /// `dir` and cross-check the post-mortem against the fault ledger at
+    /// every crash. The directory is created on first use.
+    #[must_use]
+    pub fn with_recorder(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.recorder_dir = Some(dir.into());
         self
     }
 }
@@ -143,6 +165,10 @@ pub struct ChaosReport {
     pub recovery_wall_us: Vec<Option<u64>>,
     /// Final engine value per resource.
     pub final_values: Vec<i64>,
+    /// Post-mortem-vs-ledger cross-checks performed (recorder mode only:
+    /// one per crash plus one final quiescent check; 0 with the recorder
+    /// off). Any mismatch lands in `violations`.
+    pub recorder_checks: u64,
 }
 
 impl ChaosReport {
@@ -191,6 +217,15 @@ struct Chaos {
     /// commit, the batch size for a fused group) — the reclassification
     /// quantum when a crashed unit turns out to have survived whole.
     in_flight_members: u64,
+    /// The transactions riding the in-flight unit (the solo committer,
+    /// or the fused batch members' origins) — what the post-mortem's
+    /// in-doubt set is compared against when the unit survives a crash.
+    in_flight_txns: Vec<TxnId>,
+    /// The live epoch's flight recorder, when recorder mode is on.
+    recorder: Option<Recorder>,
+    /// Epochs started so far (names the per-epoch recorder files).
+    epoch_no: u32,
+    recorder_checks: u64,
     epochs: Vec<Vec<TraceStream>>,
     violations: Vec<String>,
 }
@@ -207,24 +242,92 @@ impl Chaos {
 
     /// Builds a fresh epoch: new ring sinks, new shard managers, hooks
     /// re-installed (the engine keeps its hook across recovery, but the
-    /// managers are new objects).
-    fn new_epoch(&mut self) -> Epoch {
+    /// managers are new objects). In recorder mode each epoch also opens
+    /// its own flight-recorder file — one file per process lifetime — and
+    /// every stream is teed into it alongside the in-memory rings.
+    fn new_epoch(&mut self) -> PstmResult<Epoch> {
+        self.recorder = match &self.config.recorder_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| PstmError::Io(format!("recorder dir: {e}")))?;
+                let path = dir.join(format!("epoch{}.rec", self.epoch_no));
+                // Durable write-through and half-segments far larger than
+                // an epoch's traffic: the file must hold the *whole*
+                // epoch for the post-mortem cross-check to be exact.
+                let rec = Recorder::create(&path, 1 << 20, true)
+                    .map_err(|e| PstmError::Io(format!("recorder create: {e}")))?;
+                rec.write_meta(self.config.shards as u32, pstm_obs::wallclock::wall_now_us());
+                Some(rec)
+            }
+            None => None,
+        };
+        self.epoch_no += 1;
+        let tee = |ring: RingSink, shard: u32, rec: &Option<Recorder>| -> Box<dyn Sink> {
+            match rec {
+                Some(r) => Box::new(TeeSink::new(Box::new(ring), Box::new(r.sink(shard)))),
+                None => Box::new(ring),
+            }
+        };
         let engine = RingSink::new(1 << 20);
         let engine_ring = engine.handle();
-        self.db.set_tracer(Tracer::with_sink(Box::new(engine)));
+        self.db.set_tracer(Tracer::with_sink(tee(engine, ENGINE_SHARD, &self.recorder)));
         let mut gtms = Vec::with_capacity(self.config.shards);
         let mut shard_rings = Vec::with_capacity(self.config.shards);
         for i in 0..self.config.shards {
             let ring = RingSink::new(1 << 20);
             shard_rings.push(ring.handle());
-            let tracer = Tracer::with_sink(Box::new(ring));
+            let tracer = Tracer::with_sink(tee(ring, i as u32, &self.recorder));
             let gtm_config = GtmConfig { sst_retries: 2, ..GtmConfig::default() };
             let mut gtm = Gtm::new(Arc::clone(&self.db), self.bindings.clone(), gtm_config)
                 .with_tracer(tracer);
             gtm.set_fault_hook(Arc::clone(&self.injector) as _, i as u32);
             gtms.push(gtm);
         }
-        Epoch { gtms, shard_rings, engine_ring }
+        Ok(Epoch { gtms, shard_rings, engine_ring })
+    }
+
+    /// Recorder mode: flush the live epoch's recorder and rebuild the
+    /// crash picture from the *file alone* — exactly what a post-mortem
+    /// of a dead process would see. `None` when the recorder is off.
+    fn recorder_postmortem(&mut self) -> Option<Postmortem> {
+        let rec = self.recorder.as_ref()?;
+        rec.flush();
+        match read_recorder(rec.path()) {
+            Ok(replay) => Some(analyze(&replay)),
+            Err(e) => {
+                self.violations
+                    .push(format!("recorder file unreadable at crash: {e} (recorder check)"));
+                None
+            }
+        }
+    }
+
+    /// The per-crash cross-check: the post-mortem's reconstructed
+    /// unresolved and in-doubt transaction sets must match the harness's
+    /// own ledger exactly.
+    fn check_postmortem(
+        &mut self,
+        pm: &Postmortem,
+        mut stranded: Vec<TxnId>,
+        mut expect_in_doubt: Vec<TxnId>,
+    ) {
+        stranded.sort_unstable();
+        expect_in_doubt.sort_unstable();
+        let unresolved = pm.unresolved_txns();
+        if unresolved != stranded {
+            self.violations.push(format!(
+                "post-mortem unresolved set {unresolved:?} != ledger stranded set {stranded:?} \
+                 (recorder check)"
+            ));
+        }
+        if pm.in_doubt != expect_in_doubt {
+            self.violations.push(format!(
+                "post-mortem in-doubt set {:?} != ledger in-doubt set {expect_in_doubt:?} \
+                 (recorder check)",
+                pm.in_doubt
+            ));
+        }
+        self.recorder_checks += 1;
     }
 
     /// Snapshots the epoch's streams (shards first, engine last) into the
@@ -336,7 +439,19 @@ impl Chaos {
         let pre_sst_io = match self.injector.decide(FaultSite::PreSst) {
             pstm_types::FaultDecision::Proceed => false,
             pstm_types::FaultDecision::Io => true,
-            _ => return Err(PstmError::Crashed(FaultSite::PreSst.label())),
+            _ => {
+                // Mirror the front-end: the seam announces itself before
+                // the simulated process dies, so a post-mortem over the
+                // recorder file can name the crash site.
+                epoch.gtms[shards[0]].tracer().emit(
+                    now,
+                    TraceEvent::FaultInjected {
+                        site: FaultSite::PreSst.label(),
+                        action: "crash".into(),
+                    },
+                );
+                return Err(PstmError::Crashed(FaultSite::PreSst.label()));
+            }
         };
         let mut sst_result = if pre_sst_io {
             Err(PstmError::Io("injected pre-SST fault".into()))
@@ -356,7 +471,16 @@ impl Chaos {
             Ok(()) => {
                 match self.injector.decide(FaultSite::PreFinish) {
                     pstm_types::FaultDecision::Proceed => {}
-                    _ => return Err(PstmError::Crashed(FaultSite::PreFinish.label())),
+                    _ => {
+                        epoch.gtms[shards[0]].tracer().emit(
+                            settled_at,
+                            TraceEvent::FaultInjected {
+                                site: FaultSite::PreFinish.label(),
+                                action: "crash".into(),
+                            },
+                        );
+                        return Err(PstmError::Crashed(FaultSite::PreFinish.label()));
+                    }
                 }
                 for &s in shards {
                     epoch.gtms[s].commit_finish(txn, settled_at)?;
@@ -400,7 +524,16 @@ impl Chaos {
         while !remaining.is_empty() {
             match self.injector.decide(FaultSite::PreSst) {
                 pstm_types::FaultDecision::Proceed => {}
-                _ => return Err(PstmError::Crashed(FaultSite::PreSst.label())),
+                _ => {
+                    epoch.gtms[shard].tracer().emit(
+                        self.now(),
+                        TraceEvent::FaultInjected {
+                            site: FaultSite::PreSst.label(),
+                            action: "crash".into(),
+                        },
+                    );
+                    return Err(PstmError::Crashed(FaultSite::PreSst.label()));
+                }
             }
             let txns: Vec<TxnId> = remaining.iter().map(|&i| wave[i].0).collect();
             let now = self.now();
@@ -428,6 +561,7 @@ impl Chaos {
             }
             self.in_flight = Some(intents);
             self.in_flight_members = batch.len() as u64;
+            self.in_flight_txns = batch.members.iter().map(|m| m.origin).collect();
             let mut flush = batch.execute(&self.db, &self.bindings);
             let retries = GtmConfig { sst_retries: 2, ..GtmConfig::default() }.sst_retries;
             let mut attempts = 0;
@@ -442,7 +576,16 @@ impl Chaos {
                 // visible exactly once after recovery.
                 match self.injector.decide(FaultSite::PreFinish) {
                     pstm_types::FaultDecision::Proceed => {}
-                    _ => return Err(PstmError::Crashed(FaultSite::PreFinish.label())),
+                    _ => {
+                        epoch.gtms[shard].tracer().emit(
+                            self.now(),
+                            TraceEvent::FaultInjected {
+                                site: FaultSite::PreFinish.label(),
+                                action: "crash".into(),
+                            },
+                        );
+                        return Err(PstmError::Crashed(FaultSite::PreFinish.label()));
+                    }
                 }
             }
             let settled_at = self.now();
@@ -450,6 +593,7 @@ impl Chaos {
                 epoch.gtms[shard].commit_group_finish(batch, flush, settled_at)?;
             self.in_flight = None;
             self.in_flight_members = 1;
+            self.in_flight_txns.clear();
             for (txn, result) in group_settles {
                 if let Some(i) = idx_of(txn) {
                     settles.push((i, settle_of(result)));
@@ -488,10 +632,14 @@ pub fn run_chaos(config: &ChaosConfig) -> PstmResult<ChaosReport> {
         acked: vec![0; config.resources],
         in_flight: None,
         in_flight_members: 1,
+        in_flight_txns: Vec::new(),
+        recorder: None,
+        epoch_no: 0,
+        recorder_checks: 0,
         epochs: Vec::new(),
         violations: Vec::new(),
     };
-    let mut epoch = chaos.new_epoch();
+    let mut epoch = chaos.new_epoch()?;
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut committed = 0u64;
@@ -603,6 +751,7 @@ pub fn run_chaos(config: &ChaosConfig) -> PstmResult<ChaosReport> {
                     let (txn, shards, subs, _) = &wave[*i];
                     chaos.in_flight = Some(subs.clone());
                     chaos.in_flight_members = 1;
+                    chaos.in_flight_txns = vec![*txn];
                     chaos.commit_session(&mut epoch, *txn, shards).map(|settle| {
                         settles.push((*i, settle));
                     })
@@ -635,6 +784,7 @@ pub fn run_chaos(config: &ChaosConfig) -> PstmResult<ChaosReport> {
                 Ok(()) => {
                     chaos.in_flight = None;
                     chaos.in_flight_members = 1;
+                    chaos.in_flight_txns.clear();
                 }
                 Err(PstmError::Crashed(_)) => {
                     // The process died. Volatile state (managers, the
@@ -643,13 +793,19 @@ pub fn run_chaos(config: &ChaosConfig) -> PstmResult<ChaosReport> {
                     crashes += 1;
                     // Every alive-but-unsettled session is lost, pending
                     // reclassification of the in-flight unit below.
-                    let stranded = wave
+                    let stranded_txns: Vec<TxnId> = wave
                         .iter()
                         .enumerate()
                         .filter(|(i, (_, _, _, alive))| *alive && !settled_flags[*i])
-                        .count() as u64;
-                    lost += stranded;
+                        .map(|(_, (txn, _, _, _))| *txn)
+                        .collect();
+                    lost += stranded_txns.len() as u64;
                     chaos.close_epoch(&epoch);
+                    // Reconstruct the crash picture from the recorder
+                    // file *now*, before recovery appends its own events
+                    // to the dying epoch's stream — a real post-mortem
+                    // reads the file of a process that is already dead.
+                    let postmortem = chaos.recorder_postmortem();
 
                     chaos.injector.disarm();
                     let t0 = pstm_obs::wallclock::wall_now_us();
@@ -661,18 +817,29 @@ pub fn run_chaos(config: &ChaosConfig) -> PstmResult<ChaosReport> {
                     });
 
                     chaos.check_ledger(true)?;
-                    if chaos.in_flight.take().is_some() {
+                    let unit_survived = chaos.in_flight.take().is_some();
+                    if unit_survived {
                         // check_ledger signalled "applied whole": the
                         // unit saw a crash but its fused SST survived —
                         // every member visible exactly once.
                         committed_in_doubt += chaos.in_flight_members;
                         lost -= chaos.in_flight_members;
                     }
+                    if let Some(pm) = postmortem {
+                        // The recorder's in-doubt classification must
+                        // agree with the ledger's: exactly the in-flight
+                        // unit's members when the SST survived whole,
+                        // empty otherwise.
+                        let expect_in_doubt =
+                            if unit_survived { chaos.in_flight_txns.clone() } else { Vec::new() };
+                        chaos.check_postmortem(&pm, stranded_txns, expect_in_doubt);
+                    }
                     chaos.in_flight_members = 1;
+                    chaos.in_flight_txns.clear();
                     if crashes < u64::from(config.max_recoveries) {
                         chaos.injector.arm();
                     }
-                    epoch = chaos.new_epoch();
+                    epoch = chaos.new_epoch()?;
                     continue 'run;
                 }
                 Err(e) => return Err(e),
@@ -689,6 +856,11 @@ pub fn run_chaos(config: &ChaosConfig) -> PstmResult<ChaosReport> {
         }
     }
     chaos.close_epoch(&epoch);
+    // Final quiescent check: with every session settled, the last
+    // epoch's post-mortem must reconstruct an empty in-flight picture.
+    if let Some(pm) = chaos.recorder_postmortem() {
+        chaos.check_postmortem(&pm, Vec::new(), Vec::new());
+    }
 
     let stitched = stitch_streams(&chaos.epochs);
     let certified = match verify_streams(&stitched) {
@@ -721,6 +893,7 @@ pub fn run_chaos(config: &ChaosConfig) -> PstmResult<ChaosReport> {
         certified,
         recovery_wall_us,
         final_values,
+        recorder_checks: chaos.recorder_checks,
     })
 }
 
@@ -770,6 +943,49 @@ mod tests {
         // ledger (then re-proven un-duplicated in the next epoch).
         assert_eq!(report.committed_in_doubt, 1);
         assert!(report.clean(), "violations: {:?}", report.violations);
+    }
+
+    fn recorder_dir(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("pstm-chaos-rec-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn recorder_mode_cross_checks_every_crash() {
+        let dir = recorder_dir("crash");
+        let plan = FaultPlan::new(2).crash_on_wal_append(3);
+        let report = run_chaos(&ChaosConfig::new(2, plan).with_recorder(&dir)).unwrap();
+        assert_eq!(report.crashes, 1);
+        assert!(report.clean(), "violations: {:?}", report.violations);
+        // One post-mortem per crash plus the final quiescent check.
+        assert_eq!(report.recorder_checks, report.crashes + 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recorder_mode_agrees_with_ledger_on_in_doubt_survivors() {
+        // A pre-finish crash strands a durable-but-unacknowledged commit:
+        // the ledger reclassifies it as committed-in-doubt, and the
+        // post-mortem must reconstruct exactly that set from the file.
+        let dir = recorder_dir("indoubt");
+        let plan = FaultPlan::new(3).crash_at_kind("pre-finish", 2);
+        let report = run_chaos(&ChaosConfig::new(3, plan).with_recorder(&dir)).unwrap();
+        assert_eq!(report.committed_in_doubt, 1);
+        assert!(report.clean(), "violations: {:?}", report.violations);
+        assert_eq!(report.recorder_checks, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recorder_mode_leaves_the_fingerprint_untouched() {
+        let dir = recorder_dir("parity");
+        let config = ChaosConfig::new(7, FaultPlan::random(7));
+        let dark = run_chaos(&config).unwrap();
+        let recorded = run_chaos(&config.clone().with_recorder(&dir)).unwrap();
+        assert_eq!(dark.fingerprint, recorded.fingerprint, "recording must not perturb the run");
+        assert_eq!(dark.faults, recorded.faults);
+        assert_eq!(recorded.recorder_checks, recorded.crashes + 1);
+        assert_eq!(dark.recorder_checks, 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -7,10 +7,24 @@
 //! recovery invariants held after every crash (no acked commit lost or
 //! duplicated; no partial SST visible) and `pstm-check` certified the
 //! stitched pre+post-crash trace serializable.
+//!
+//! The matrix runs with the flight recorder **on**: every epoch is also
+//! written to a durable recorder file, and at every crash the harness
+//! reconstructs the crash picture from the file alone
+//! (`pstm_obs::postmortem`) and asserts the reconstructed in-flight and
+//! in-doubt sets match the fault ledger's classification exactly —
+//! mismatches surface as violations and fail `assert_clean`.
 
 use proptest::prelude::*;
 use pstm_faults::plan::SITE_KINDS;
 use pstm_faults::{run_chaos, ChaosConfig, FaultPlan};
+use std::path::PathBuf;
+
+/// Per-test scratch directory for flight-recorder files; recreated by
+/// each run (`Recorder::create` truncates), removed when the test ends.
+fn recorder_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pstm-chaos-matrix-{}-{tag}", std::process::id()))
+}
 
 /// Shared assertion: the run held its invariants, its stitched trace
 /// certified, and every session is accounted for exactly once.
@@ -28,6 +42,16 @@ fn assert_clean(report: &pstm_faults::ChaosReport, config: &ChaosConfig, context
         "{context}: sessions leaked or double-counted ({})",
         report.fingerprint
     );
+    if config.recorder_dir.is_some() {
+        // Recorder mode: one post-mortem-vs-ledger cross-check per crash
+        // plus the final quiescent check must all have run (mismatches
+        // land in `violations`, already asserted empty above).
+        assert_eq!(
+            report.recorder_checks,
+            report.crashes + 1,
+            "{context}: post-mortem cross-checks missing"
+        );
+    }
 }
 
 /// Crash at every labeled point, deterministically: all six site kinds ×
@@ -41,7 +65,7 @@ fn crash_at_every_labeled_point_recovers_clean() {
         for n in 1..=8u64 {
             let seed = 1000 + (k as u64) * 100 + n;
             let plan = FaultPlan::new(seed).crash_at_kind(kind, n);
-            let config = ChaosConfig::new(seed, plan);
+            let config = ChaosConfig::new(seed, plan).with_recorder(recorder_dir("crash-points"));
             let report = run_chaos(&config).unwrap();
             assert!(report.crashes <= 1, "one-shot crash rule fired twice");
             crashes_seen += report.crashes;
@@ -51,6 +75,7 @@ fn crash_at_every_labeled_point_recovers_clean() {
     // The matrix must actually exercise crashes at scale, not vacuously
     // pass because no arrival ever matched.
     assert!(crashes_seen >= 30, "only {crashes_seen}/48 plans produced a crash");
+    std::fs::remove_dir_all(recorder_dir("crash-points")).ok();
 }
 
 /// Torn-page sweep: tear the WAL frame at every prefix length on several
@@ -60,12 +85,13 @@ fn torn_wal_writes_at_every_prefix_length_recover_clean() {
     for keep in 1..=16u32 {
         let seed = 2000 + u64::from(keep);
         let plan = FaultPlan::new(seed).torn_wal_append(1 + u64::from(keep % 5), keep);
-        let config = ChaosConfig::new(seed, plan);
+        let config = ChaosConfig::new(seed, plan).with_recorder(recorder_dir("torn"));
         let report = run_chaos(&config).unwrap();
         assert_eq!(report.crashes, 1, "torn write must crash the process");
         assert_eq!(report.faults[0].action, "torn");
         assert_clean(&report, &config, &format!("torn keep={keep}"));
     }
+    std::fs::remove_dir_all(recorder_dir("torn")).ok();
 }
 
 /// The random chaos matrix: 96 seeds, each deriving a random 1–3 rule
@@ -76,7 +102,8 @@ fn random_chaos_matrix_holds_invariants() {
     let mut total_crashes = 0u64;
     let mut total_faults = 0usize;
     for seed in 0..96u64 {
-        let config = ChaosConfig::new(seed, FaultPlan::random(seed));
+        let config =
+            ChaosConfig::new(seed, FaultPlan::random(seed)).with_recorder(recorder_dir("random"));
         let report = run_chaos(&config).unwrap();
         total_crashes += report.crashes;
         total_faults += report.faults.len();
@@ -84,6 +111,7 @@ fn random_chaos_matrix_holds_invariants() {
     }
     assert!(total_faults > 96, "matrix too quiet: {total_faults} faults over 96 runs");
     assert!(total_crashes > 20, "matrix too gentle: {total_crashes} crashes over 96 runs");
+    std::fs::remove_dir_all(recorder_dir("random")).ok();
 }
 
 /// Fault-free group-commit run: single-shard sessions fuse into
@@ -112,7 +140,9 @@ fn group_commit_crash_matrix_recovers_clean() {
         for n in 1..=8u64 {
             let seed = 5000 + (k as u64) * 100 + n;
             let plan = FaultPlan::new(seed).crash_at_kind(kind, n);
-            let config = ChaosConfig::new(seed, plan).with_group_commit();
+            let config = ChaosConfig::new(seed, plan)
+                .with_group_commit()
+                .with_recorder(recorder_dir("group-crash"));
             let report = run_chaos(&config).unwrap();
             assert!(report.crashes <= 1, "one-shot crash rule fired twice");
             crashes_seen += report.crashes;
@@ -122,6 +152,7 @@ fn group_commit_crash_matrix_recovers_clean() {
             assert_clean(&report, &config, &format!("group crash@{kind}#{n}"));
         }
     }
+    std::fs::remove_dir_all(recorder_dir("group-crash")).ok();
     assert!(crashes_seen >= 30, "only {crashes_seen}/48 grouped plans produced a crash");
     // The matrix must actually crash *fused* flushes, not only singleton
     // batches: at least one crash between the group's durable SST and
@@ -138,12 +169,15 @@ fn torn_group_tail_at_every_prefix_length_recovers_clean() {
     for keep in 1..=16u32 {
         let seed = 6000 + u64::from(keep);
         let plan = FaultPlan::new(seed).torn_wal_append(1 + u64::from(keep % 5), keep);
-        let config = ChaosConfig::new(seed, plan).with_group_commit();
+        let config = ChaosConfig::new(seed, plan)
+            .with_group_commit()
+            .with_recorder(recorder_dir("group-torn"));
         let report = run_chaos(&config).unwrap();
         assert_eq!(report.crashes, 1, "torn write must crash the process");
         assert_eq!(report.faults[0].action, "torn");
         assert_clean(&report, &config, &format!("group torn keep={keep}"));
     }
+    std::fs::remove_dir_all(recorder_dir("group-torn")).ok();
 }
 
 /// The random chaos matrix with grouping on: 48 random adversaries
@@ -152,12 +186,15 @@ fn torn_group_tail_at_every_prefix_length_recovers_clean() {
 fn random_chaos_matrix_with_group_commit_holds_invariants() {
     let mut total_crashes = 0u64;
     for seed in 100..148u64 {
-        let config = ChaosConfig::new(seed, FaultPlan::random(seed)).with_group_commit();
+        let config = ChaosConfig::new(seed, FaultPlan::random(seed))
+            .with_group_commit()
+            .with_recorder(recorder_dir("group-random"));
         let report = run_chaos(&config).unwrap();
         total_crashes += report.crashes;
         assert_clean(&report, &config, &format!("group random seed={seed}"));
     }
     assert!(total_crashes > 10, "matrix too gentle: {total_crashes} crashes over 48 runs");
+    std::fs::remove_dir_all(recorder_dir("group-random")).ok();
 }
 
 /// Group-commit runs replay byte-identically too.
@@ -200,7 +237,8 @@ proptest! {
         arrival in 1u64..12,
     ) {
         let plan = FaultPlan::random(seed).crash_at_kind(SITE_KINDS[kind_idx], arrival);
-        let config = ChaosConfig::new(seed, plan);
+        let config =
+            ChaosConfig::new(seed, plan).with_recorder(recorder_dir("prop-crash"));
         let report = run_chaos(&config).unwrap();
         prop_assert!(
             report.violations.is_empty(),

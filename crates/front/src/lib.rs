@@ -55,7 +55,7 @@ use pstm_core::gtm::{CommitResult, Gtm, GtmConfig, GtmStats, LocalCommit};
 use pstm_core::sst::Sst;
 use pstm_obs::prof::{self, CommitPhase};
 use pstm_obs::wallclock::WallEpoch;
-use pstm_obs::{expo, MetricsRegistry, SpanKind, TraceEvent, Tracer};
+use pstm_obs::{expo, MetricsRegistry, Recorder, RecorderStats, SpanKind, TraceEvent, Tracer};
 use pstm_storage::{BindingRegistry, Database};
 use pstm_types::{
     AbortReason, Duration, ExecOutcome, FaultDecision, FaultSite, PstmError, PstmResult,
@@ -151,13 +151,17 @@ pub struct FleetSnapshot {
     /// non-zero means the persisted trace is incomplete even though the
     /// merged registry is not.
     pub trace_dropped: u64,
+    /// Flight-recorder device stats at snapshot time, when a recorder is
+    /// attached ([`ShardedFront::attach_recorder`]); `None` when the
+    /// fleet flies dark. Rendered as `pstm_recorder_*` series.
+    pub recorder: Option<RecorderStats>,
 }
 
 impl FleetSnapshot {
     /// Renders the merged view in Prometheus text exposition format.
     #[must_use]
     pub fn prometheus(&self) -> String {
-        expo::render(&self.registry, self.trace_dropped)
+        expo::render_with_recorder(&self.registry, self.trace_dropped, self.recorder.as_ref())
     }
 }
 
@@ -204,6 +208,12 @@ struct FrontInner {
     /// (`pre-sst`, `pre-finish`); `None` outside chaos runs. Lives here
     /// rather than in [`FrontConfig`] (which is `Copy`).
     fault_hook: Mutex<Option<SharedFaultHook>>,
+    /// Attached flight recorder, if any: every [`fleet_snapshot`]
+    /// appends a metrics-delta record to it and reports its device stats.
+    /// Lives here rather than in [`FrontConfig`] (which is `Copy`).
+    ///
+    /// [`fleet_snapshot`]: ShardedFront::fleet_snapshot
+    recorder: Mutex<Option<Recorder>>,
 }
 
 /// The sharded, thread-safe GTM front-end. Cheap to clone; clones share
@@ -275,8 +285,39 @@ impl ShardedFront {
                 flush_fences,
                 mail: Mutex::new(BTreeMap::new()),
                 fault_hook: Mutex::new(None),
+                recorder: Mutex::new(None),
             }),
         }
+    }
+
+    /// [`ShardedFront::new`] flying *recorded*: every shard gets its own
+    /// tracer whose sink streams straight into `recorder`'s bounded
+    /// crash-surviving ring file, and the recorder is attached so each
+    /// [`ShardedFront::fleet_snapshot`] also appends a metrics-delta
+    /// record. The stream `Meta` record is written here.
+    #[must_use]
+    pub fn with_recorder(
+        db: Arc<Database>,
+        bindings: BindingRegistry,
+        config: FrontConfig,
+        recorder: Recorder,
+    ) -> Self {
+        let front = Self::with_shard_tracers(db, bindings, config, |i| {
+            Tracer::with_sink(Box::new(recorder.sink(i as u32)))
+        });
+        front.attach_recorder(recorder);
+        front
+    }
+
+    /// Attaches a flight recorder to an already-built front-end: writes
+    /// the stream `Meta` record (shard count + this front-end's wall
+    /// base) and arms [`ShardedFront::fleet_snapshot`] to append a
+    /// metrics-delta record per snapshot and report device stats. Does
+    /// *not* rewire existing tracer sinks — to stream every trace event
+    /// into the file, construct via [`ShardedFront::with_recorder`].
+    pub fn attach_recorder(&self, recorder: Recorder) {
+        recorder.write_meta(self.inner.shards.len() as u32, self.inner.wall_base_us);
+        *self.inner.recorder.lock() = Some(recorder);
     }
 
     /// Installs `hook` across the whole stack this front-end drives: the
@@ -372,7 +413,15 @@ impl ShardedFront {
         // profile into the fresh merged registry, so repeated snapshots
         // never double-count.
         registry.absorb_phases(&prof::snapshot());
-        FleetSnapshot { registry, per_shard, trace_dropped }
+        // With a recorder attached, every fleet snapshot doubles as a
+        // black-box heartbeat: the merged counters and phase profile go
+        // into the ring as a delta record, so a post-mortem can replay
+        // the metrics timeline up to the crash.
+        let recorder = self.inner.recorder.lock().as_ref().map(|rec| {
+            rec.snapshot_delta(self.now(), &registry, &prof::snapshot());
+            rec.stats()
+        });
+        FleetSnapshot { registry, per_shard, trace_dropped, recorder }
     }
 
     /// Per-shard stats, shard order.

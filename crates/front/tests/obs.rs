@@ -188,6 +188,53 @@ fn four_thread_traces_are_gap_free_and_replay_to_the_live_snapshot() {
     assert_eq!(fleet.trace_dropped, 0);
 }
 
+/// A front built with [`ShardedFront::with_recorder`] streams every
+/// shard's trace into the flight-recorder file, heartbeats a metrics
+/// delta per fleet snapshot, and the file alone reconstructs the run:
+/// `pstm_obs::postmortem` over the re-read bytes agrees with the live
+/// registry on what committed, and nothing reads as in-flight after a
+/// clean shutdown.
+#[test]
+fn recorded_front_round_trips_through_postmortem() {
+    use pstm_obs::{analyze, read_recorder, Recorder};
+
+    let path =
+        std::env::temp_dir().join(format!("pstm-front-rec-{}-roundtrip.rec", std::process::id()));
+    let world = counter_world(OBJECTS, INITIAL).unwrap();
+    let recorder = Recorder::create(&path, 1 << 18, true).unwrap();
+    let front = ShardedFront::with_recorder(
+        world.db.clone(),
+        world.bindings.clone(),
+        FrontConfig { shards: 2, ..FrontConfig::default() },
+        recorder.clone(),
+    );
+    let mut committed = Vec::new();
+    for k in 0..6 {
+        let mut s = front.session();
+        s.execute(world.resources[k % OBJECTS], ScalarOp::Sub(Value::Int(1))).unwrap();
+        s.execute(world.resources[(k + 3) % OBJECTS], ScalarOp::Sub(Value::Int(1))).unwrap();
+        assert_eq!(s.commit().unwrap(), CommitResult::Committed);
+        committed.push(s.id());
+    }
+    let snap = front.fleet_snapshot();
+    let stats = snap.recorder.as_ref().expect("recorded front reports device stats");
+    assert!(stats.frames > 0, "trace events must have reached the file");
+    assert_eq!(stats.dropped, 0);
+    let page = snap.prometheus();
+    assert!(page.contains("pstm_recorder_frames_total"), "recorder series rendered");
+    assert!(page.contains("pstm_recorder_lag_bytes"));
+
+    recorder.flush();
+    let pm = analyze(&read_recorder(&path).unwrap());
+    for id in &committed {
+        assert!(pm.committed.contains(id), "{id} committed live but not in the file");
+    }
+    assert!(pm.in_flight.is_empty(), "clean shutdown leaves nothing in flight");
+    assert!(pm.snapshots > 0, "fleet snapshot heartbeat recorded");
+    assert_eq!(pm.gaps, 0, "nothing wrapped away");
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn fleet_snapshot_surfaces_ring_drops_and_renders_prometheus() {
     let world = counter_world(2, INITIAL).unwrap();

@@ -9,6 +9,7 @@
 
 use crate::hist::Histogram;
 use crate::prof::CommitPhase;
+use crate::recorder::RecorderStats;
 use crate::registry::{Ctr, MetricsRegistry};
 use std::fmt::Write as _;
 
@@ -21,6 +22,23 @@ use std::fmt::Write as _;
 /// registries must stay equal to live ones).
 #[must_use]
 pub fn render(reg: &MetricsRegistry, trace_dropped: u64) -> String {
+    render_with_recorder(reg, trace_dropped, None)
+}
+
+/// [`render`] plus flight-recorder health, when a recorder is attached.
+///
+/// The recorder series (`pstm_recorder_*`) cover the durable ring's
+/// backpressure and loss accounting: frames and bytes written, records
+/// dropped (I/O errors, oversized), whole-generation ring wraps, write
+/// errors, and bytes buffered but not yet on disk (lag). They render
+/// only when `recorder` is `Some`, so recorder-less deployments expose
+/// an unchanged page.
+#[must_use]
+pub fn render_with_recorder(
+    reg: &MetricsRegistry,
+    trace_dropped: u64,
+    recorder: Option<&RecorderStats>,
+) -> String {
     let mut out = String::with_capacity(4096);
     for c in Ctr::ALL {
         let name = c.name();
@@ -32,6 +50,29 @@ pub fn render(reg: &MetricsRegistry, trace_dropped: u64) -> String {
         writeln!(out, "# HELP pstm_trace_dropped_total Trace records lost to sink backpressure.");
     let _ = writeln!(out, "# TYPE pstm_trace_dropped_total counter");
     let _ = writeln!(out, "pstm_trace_dropped_total {trace_dropped}");
+
+    if let Some(stats) = recorder {
+        let series: [(&str, &str, u64); 5] = [
+            ("frames", "Frames written to the flight-recorder ring.", stats.frames),
+            ("bytes", "Payload and framing bytes written to the ring.", stats.bytes),
+            ("dropped", "Records the recorder dropped (I/O error, oversized).", stats.dropped),
+            ("wraps", "Ring wraps — each discards the oldest half-segment.", stats.wraps),
+            ("io_errors", "Write errors swallowed by the recorder.", stats.io_errors),
+        ];
+        for (name, help, value) in series {
+            let _ = writeln!(out, "# HELP pstm_recorder_{name}_total {help}");
+            let _ = writeln!(out, "# TYPE pstm_recorder_{name}_total counter");
+            let _ = writeln!(out, "pstm_recorder_{name}_total {value}");
+        }
+        // Lag is a point-in-time quantity (drains on flush), so it is a
+        // gauge, not a counter.
+        let _ = writeln!(
+            out,
+            "# HELP pstm_recorder_lag_bytes Bytes buffered in memory, not yet on disk."
+        );
+        let _ = writeln!(out, "# TYPE pstm_recorder_lag_bytes gauge");
+        let _ = writeln!(out, "pstm_recorder_lag_bytes {}", stats.lag_bytes);
+    }
 
     let _ = writeln!(
         out,
@@ -240,6 +281,33 @@ mod tests {
     #[test]
     fn label_values_escape_quotes_and_backslashes() {
         assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn recorder_series_render_only_when_attached() {
+        let reg = sample_registry();
+        let plain = render(&reg, 0);
+        assert!(!plain.contains("pstm_recorder_"), "no recorder → no recorder series");
+        let stats = RecorderStats {
+            frames: 10,
+            bytes: 640,
+            dropped: 2,
+            wraps: 1,
+            io_errors: 0,
+            lag_bytes: 128,
+        };
+        let page = render_with_recorder(&reg, 0, Some(&stats));
+        assert!(page.contains("# TYPE pstm_recorder_frames_total counter"));
+        assert!(page.contains("pstm_recorder_frames_total 10"));
+        assert!(page.contains("pstm_recorder_bytes_total 640"));
+        assert!(page.contains("pstm_recorder_dropped_total 2"));
+        assert!(page.contains("pstm_recorder_wraps_total 1"));
+        assert!(page.contains("pstm_recorder_io_errors_total 0"));
+        assert!(page.contains("# TYPE pstm_recorder_lag_bytes gauge"));
+        assert!(page.contains("pstm_recorder_lag_bytes 128"));
+        // Attaching a recorder leaves every other series untouched.
+        let without = render_with_recorder(&reg, 0, None);
+        assert_eq!(without, plain);
     }
 
     #[test]

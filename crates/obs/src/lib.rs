@@ -26,8 +26,11 @@
 pub mod dot;
 pub mod event;
 pub mod expo;
+pub mod frame;
 pub mod hist;
+pub mod postmortem;
 pub mod prof;
+pub mod recorder;
 pub mod registry;
 pub mod replay;
 pub mod sink;
@@ -38,10 +41,15 @@ pub mod wallclock;
 pub use dot::waits_for_dot;
 pub use event::{AbortOrigin, TraceEvent, TraceRecord};
 pub use hist::Histogram;
+pub use postmortem::{analyze, Postmortem};
 pub use prof::{CommitPhase, PhaseProfile, PhaseTimer};
+pub use recorder::{
+    read_recorder, Recorder, RecorderEntry, RecorderReplay, RecorderSink, RecorderStats,
+    ENGINE_SHARD,
+};
 pub use registry::{Ctr, MetricsRegistry};
 pub use replay::{load_jsonl, parse_jsonl, replay};
-pub use sink::{JsonlSink, NullSink, RingHandle, RingSink, Sink};
+pub use sink::{JsonlSink, NullSink, RingHandle, RingSink, Sink, TeeSink};
 pub use span::{build_span_trees, records_eq_ignoring_wall, strip_wall, SpanKind, SpanNode};
 pub use tracer::{current_thread_tag, Tracer};
 pub use wallclock::{wall_now_us, WallEpoch};

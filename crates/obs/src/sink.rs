@@ -198,6 +198,45 @@ impl Drop for JsonlSink {
     }
 }
 
+/// Fans every record out to two sinks — e.g. a [`RingSink`] for live
+/// inspection *and* a [`crate::recorder::RecorderSink`] for the durable
+/// flight recorder, without the tracer knowing about either.
+pub struct TeeSink {
+    a: Box<dyn Sink>,
+    b: Box<dyn Sink>,
+}
+
+impl TeeSink {
+    /// Tees records to `a` then `b` (in that order, under the tracer's
+    /// lock, so both see the same sequence).
+    #[must_use]
+    pub fn new(a: Box<dyn Sink>, b: Box<dyn Sink>) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl std::fmt::Debug for TeeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TeeSink")
+    }
+}
+
+impl Sink for TeeSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.a.record(rec);
+        self.b.record(rec);
+    }
+
+    fn flush(&mut self) {
+        self.a.flush();
+        self.b.flush();
+    }
+
+    fn dropped(&self) -> u64 {
+        self.a.dropped() + self.b.dropped()
+    }
+}
+
 struct SharedBuf {
     buf: Arc<Mutex<Vec<u8>>>,
 }
@@ -268,6 +307,21 @@ mod tests {
         ring.record(&rec(0));
         assert_eq!(handle.len(), 1);
         assert_eq!(handle.dropped(), 0);
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks_and_sums_drops() {
+        let ring_a = RingSink::new(2);
+        let ring_b = RingSink::new(8);
+        let (ha, hb) = (ring_a.handle(), ring_b.handle());
+        let mut tee = TeeSink::new(Box::new(ring_a), Box::new(ring_b));
+        for i in 0..4 {
+            tee.record(&rec(i));
+        }
+        assert_eq!(ha.len(), 2);
+        assert_eq!(hb.len(), 4);
+        assert_eq!(tee.dropped(), 2, "only the small ring dropped");
+        assert_eq!(hb.snapshot()[0].seq, 0);
     }
 
     #[test]

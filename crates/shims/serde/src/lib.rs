@@ -392,6 +392,19 @@ impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     }
 }
 
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let items = content.as_seq().ok_or_else(|| DeError::custom("expected sequence"))?;
+        items.iter().map(T::from_content).collect()
+    }
+}
+
 impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
     fn to_content(&self) -> Content {
         let mut entries: Vec<(String, Content)> =

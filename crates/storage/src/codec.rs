@@ -116,70 +116,10 @@ pub fn decode_row(buf: &[u8]) -> PstmResult<Vec<Value>> {
     Ok(values)
 }
 
-/// Fletcher-32 style checksum used by WAL records and page images. Not
-/// cryptographic — it only needs to catch torn/truncated writes.
-#[must_use]
-pub fn checksum(data: &[u8]) -> u32 {
-    let mut s = ChecksumStream::new();
-    s.update(data);
-    s.finish()
-}
-
-/// Incremental form of [`checksum`]: feed any number of slices via
-/// [`ChecksumStream::update`] and the digest equals `checksum` over their
-/// concatenation. The 359-byte fold boundaries are tracked logically
-/// (bytes since the last fold), not per `update` call, so callers can
-/// checksum a frame header and payload without concatenating them first.
-#[derive(Clone, Debug)]
-pub struct ChecksumStream {
-    a: u32,
-    b: u32,
-    /// Bytes accumulated since the last modular fold (`0..CHUNK`).
-    fill: usize,
-}
-
-/// Fold interval of the Fletcher accumulators — the largest run for
-/// which `b` cannot overflow between folds.
-const CHUNK: usize = 359;
-
-impl Default for ChecksumStream {
-    fn default() -> Self {
-        ChecksumStream::new()
-    }
-}
-
-impl ChecksumStream {
-    /// A fresh digest (equals `checksum(&[])` if finished immediately).
-    #[must_use]
-    pub fn new() -> Self {
-        ChecksumStream { a: 0xF1E2, b: 0xD3C4, fill: 0 }
-    }
-
-    /// Absorbs `data`, folding at every 359th byte of the logical stream.
-    pub fn update(&mut self, data: &[u8]) {
-        for &byte in data {
-            self.a = self.a.wrapping_add(u32::from(byte));
-            self.b = self.b.wrapping_add(self.a);
-            self.fill += 1;
-            if self.fill == CHUNK {
-                self.a %= 65_535;
-                self.b %= 65_535;
-                self.fill = 0;
-            }
-        }
-    }
-
-    /// Final digest; a partial trailing chunk folds exactly as
-    /// `checksum`'s last `chunks(359)` iteration does.
-    #[must_use]
-    pub fn finish(mut self) -> u32 {
-        if self.fill > 0 {
-            self.a %= 65_535;
-            self.b %= 65_535;
-        }
-        (self.b << 16) | self.a
-    }
-}
+// The Fletcher-32 style checksum these pages and the WAL frame on now
+// lives in `pstm_obs::frame` so the flight recorder shares one
+// torn-tail machinery with the WAL; re-exported here for compatibility.
+pub use pstm_obs::frame::{checksum, ChecksumStream};
 
 #[cfg(test)]
 mod tests {

@@ -17,8 +17,8 @@
 //! crash mid-write in tests.
 
 use crate::catalog::TableId;
-use crate::codec::ChecksumStream;
 use crate::row::{Row, RowId};
+use pstm_obs::frame::{next_frame, write_frame, FrameStep};
 use pstm_obs::{TraceEvent, Tracer};
 use pstm_types::{FaultDecision, FaultSite, PstmError, PstmResult, SharedFaultHook, TxnId, Value};
 use serde::{Deserialize, Serialize};
@@ -122,26 +122,13 @@ impl LogRecord {
     }
 }
 
-/// Frame checksum over the length field and the payload together, so a
-/// corrupted length inside the buffer cannot masquerade as a valid frame.
-/// Streamed — the header and payload are never concatenated.
-fn frame_checksum(len_bytes: &[u8; 4], payload: &[u8]) -> u32 {
-    let mut s = ChecksumStream::new();
-    s.update(len_bytes);
-    s.update(payload);
-    s.finish()
-}
-
-/// Serializes `rec` and appends its complete frame to `out`, returning
-/// the frame's size in bytes. Writes nothing on a serialization error.
+/// Serializes `rec` and appends its complete frame to `out` via the
+/// shared framing in [`pstm_obs::frame`], returning the frame's size in
+/// bytes. Writes nothing on a serialization error.
 fn frame_into(rec: &LogRecord, out: &mut Vec<u8>) -> PstmResult<u64> {
     let payload =
         serde_json::to_vec(rec).map_err(|e| PstmError::internal(format!("WAL serialize: {e}")))?;
-    let len_bytes = (payload.len() as u32).to_le_bytes();
-    out.extend_from_slice(&len_bytes);
-    out.extend_from_slice(&frame_checksum(&len_bytes, &payload).to_le_bytes());
-    out.extend_from_slice(&payload);
-    Ok((payload.len() + 8) as u64)
+    Ok(write_frame(&payload, out) as u64)
 }
 
 /// The append-only log device.
@@ -308,29 +295,21 @@ impl Wal {
         }
         while pos < self.buf.len() {
             let lsn = Lsn(pos as u64);
-            if pos + 8 > self.buf.len() {
-                break; // torn frame header at tail
-            }
-            let len_bytes: [u8; 4] = self.buf[pos..pos + 4].try_into().unwrap();
-            let len = u32::from_le_bytes(len_bytes) as usize;
-            let sum = u32::from_le_bytes(self.buf[pos + 4..pos + 8].try_into().unwrap());
-            let start = pos + 8;
-            if start.checked_add(len).is_none_or(|end| end > self.buf.len()) {
-                // Either a torn final write or a corrupted length running
-                // past the buffer — indistinguishable; stop replay here.
-                break;
-            }
-            let payload = &self.buf[start..start + len];
-            if frame_checksum(&len_bytes, payload) != sum {
-                if start + len == self.buf.len() {
-                    break; // corrupt final record: treat as torn tail
+            match next_frame(&self.buf, pos) {
+                FrameStep::Frame { payload, end } => {
+                    let rec: LogRecord = serde_json::from_slice(payload).map_err(|e| {
+                        PstmError::WalCorrupt(format!("bad payload at LSN {}: {e}", lsn.0))
+                    })?;
+                    out.push((lsn, rec));
+                    pos = end;
                 }
-                return Err(PstmError::WalCorrupt(format!("bad checksum at LSN {}", lsn.0)));
+                // Torn final write or a length running past the buffer:
+                // stop replay here (the crash contract).
+                FrameStep::Torn => break,
+                FrameStep::Corrupt => {
+                    return Err(PstmError::WalCorrupt(format!("bad checksum at LSN {}", lsn.0)));
+                }
             }
-            let rec: LogRecord = serde_json::from_slice(payload)
-                .map_err(|e| PstmError::WalCorrupt(format!("bad payload at LSN {}: {e}", lsn.0)))?;
-            out.push((lsn, rec));
-            pos = start + len;
         }
         Ok(out)
     }
@@ -380,30 +359,11 @@ impl Wal {
     pub fn trim_torn_tail(&mut self) -> usize {
         let mut pos = 0usize;
         while pos < self.buf.len() {
-            if pos + 8 > self.buf.len() {
-                break; // torn frame header
+            match next_frame(&self.buf, pos) {
+                FrameStep::Frame { end, .. } => pos = end,
+                FrameStep::Torn => break,
+                FrameStep::Corrupt => return 0, // mid-log corruption: not ours to repair
             }
-            let len_bytes: [u8; 4] = match self.buf[pos..pos + 4].try_into() {
-                Ok(b) => b,
-                Err(_) => break,
-            };
-            let len = u32::from_le_bytes(len_bytes) as usize;
-            let sum = u32::from_le_bytes(match self.buf[pos + 4..pos + 8].try_into() {
-                Ok(b) => b,
-                Err(_) => break,
-            });
-            let start = pos + 8;
-            if start.checked_add(len).is_none_or(|end| end > self.buf.len()) {
-                break; // torn frame body
-            }
-            let payload = &self.buf[start..start + len];
-            if frame_checksum(&len_bytes, payload) != sum {
-                if start + len == self.buf.len() {
-                    break; // corrupt final record: torn tail
-                }
-                return 0; // mid-log corruption: not ours to repair
-            }
-            pos = start + len;
         }
         let dropped = self.buf.len() - pos;
         self.buf.truncate(pos);

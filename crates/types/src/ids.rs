@@ -19,10 +19,49 @@ impl TxnId {
     /// First id handed out by an id allocator.
     pub const FIRST: TxnId = TxnId(1);
 
+    /// Base of the engine-transaction id namespace a **solo** SST runs
+    /// under: `SST_ENGINE_BASE + origin`. Middleware allocators stay
+    /// below this base, keeping the two id spaces disjoint in the WAL.
+    pub const SST_ENGINE_BASE: u64 = 1 << 48;
+
+    /// Base of the engine-transaction id namespace a **fused** SST batch
+    /// runs under: `SST_BATCH_ENGINE_BASE + leader`. Disjoint from both
+    /// middleware ids and solo-SST engine ids.
+    pub const SST_BATCH_ENGINE_BASE: u64 = 1 << 49;
+
     /// Returns the next id in allocation order.
     #[must_use]
     pub fn next(self) -> TxnId {
         TxnId(self.0 + 1)
+    }
+
+    /// The engine transaction id a solo SST for this origin runs under.
+    #[must_use]
+    pub fn sst_engine(self) -> TxnId {
+        TxnId(Self::SST_ENGINE_BASE + self.0)
+    }
+
+    /// The engine transaction id a fused batch led by this origin runs
+    /// under.
+    #[must_use]
+    pub fn batch_engine(self) -> TxnId {
+        TxnId(Self::SST_BATCH_ENGINE_BASE + self.0)
+    }
+
+    /// Inverts the engine-id namespaces: the middleware origin (the solo
+    /// committer, or the batch leader) for an SST-spaced engine id,
+    /// `None` for ids outside both namespaces. What crash forensics uses
+    /// to tie an engine-level `Commit` back to the transaction whose
+    /// durability it witnesses.
+    #[must_use]
+    pub fn engine_origin(self) -> Option<TxnId> {
+        if self.0 >= Self::SST_BATCH_ENGINE_BASE {
+            Some(TxnId(self.0 - Self::SST_BATCH_ENGINE_BASE))
+        } else if self.0 >= Self::SST_ENGINE_BASE {
+            Some(TxnId(self.0 - Self::SST_ENGINE_BASE))
+        } else {
+            None
+        }
     }
 }
 
