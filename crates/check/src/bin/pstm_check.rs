@@ -4,7 +4,9 @@
 //! pstm_check lint [--root DIR]     # invariant lints over the workspace source
 //! pstm_check verify FILE...        # certify one run's JSONL trace stream(s)
 //! pstm_check table                 # Table I small-scope commutativity proof
-//! pstm_check all [--root DIR]      # lint + table (verify needs trace files)
+//! pstm_check lockgraph [--root DIR] [--dot FILE]
+//!                                  # static lock-order graph + hold-across-flush
+//! pstm_check all [--root DIR]      # lint + table + lockgraph (verify needs traces)
 //! ```
 //!
 //! Exit status is 0 when every requested analysis passes, 1 otherwise
@@ -14,10 +16,13 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use pstm_check::{check_table, run_lint, verify_jsonl_files, Verdict};
+use pstm_check::{check_table, run_lint, run_lockgraph, verify_jsonl_files, Verdict};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: pstm_check <lint [--root DIR] | verify FILE... | table | all [--root DIR]>");
+    eprintln!(
+        "usage: pstm_check <lint [--root DIR] | verify FILE... | table | \
+         lockgraph [--root DIR] [--dot FILE] | all [--root DIR]>"
+    );
     ExitCode::from(2)
 }
 
@@ -40,11 +45,19 @@ fn main() -> ExitCode {
             run_verify_cmd(&files)
         }
         "table" => run_table_cmd(),
+        "lockgraph" => match parse_lockgraph_args(&args[1..]) {
+            Some((root, dot)) => run_lockgraph_cmd(&root, dot.as_deref()),
+            None => usage(),
+        },
         "all" => match parse_root(&args[1..]) {
             Some(root) => {
                 let lint = run_lint_cmd(&root);
                 let table = run_table_cmd();
-                if lint == ExitCode::SUCCESS && table == ExitCode::SUCCESS {
+                let lockgraph = run_lockgraph_cmd(&root, None);
+                if lint == ExitCode::SUCCESS
+                    && table == ExitCode::SUCCESS
+                    && lockgraph == ExitCode::SUCCESS
+                {
                     ExitCode::SUCCESS
                 } else {
                     ExitCode::FAILURE
@@ -96,6 +109,59 @@ fn run_lint_cmd(root: &Path) -> ExitCode {
         eprintln!("{}", report.render());
         eprintln!(
             "pstm_check lint: {} violation(s). Fix them or add an entry to pstm-check.allow.",
+            report.violations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// Parses `[--root DIR] [--dot FILE]` in either order.
+fn parse_lockgraph_args(rest: &[String]) -> Option<(PathBuf, Option<PathBuf>)> {
+    let mut root = None;
+    let mut dot = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let value = it.next()?;
+        match flag.as_str() {
+            "--root" if root.is_none() => root = Some(PathBuf::from(value)),
+            "--dot" if dot.is_none() => dot = Some(PathBuf::from(value)),
+            _ => return None,
+        }
+    }
+    Some((root.unwrap_or_else(default_root), dot))
+}
+
+fn run_lockgraph_cmd(root: &Path, dot: Option<&Path>) -> ExitCode {
+    let report = match run_lockgraph(root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pstm_check lockgraph: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = dot {
+        if let Err(e) = std::fs::write(path, report.dot()) {
+            eprintln!("pstm_check lockgraph: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("pstm_check lockgraph: DOT written to {}", path.display());
+    }
+    if report.is_clean() {
+        println!(
+            "pstm_check lockgraph: clean ({} classes, {} edges, {} flush points, {} fns, \
+             root {})",
+            report.classes.len(),
+            report.edges.len(),
+            report.flush_points.len(),
+            report.fns_scanned,
+            root.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("{}", report.render());
+        eprintln!(
+            "pstm_check lockgraph: {} violation(s). Fix them or add an entry to \
+             pstm-check.allow.",
             report.violations.len()
         );
         ExitCode::FAILURE

@@ -26,20 +26,37 @@
 //!    `pstm_types::OpClass::compatible_with` so the shipped table cannot
 //!    silently drift from the semantics it claims.
 //!
-//! The `pstm_check` binary exposes all three (`lint` / `verify` /
-//! `table` / `all`); the integration tests under `tests/` run them on
-//! every `cargo test`, and `tests/phased_commit_model.rs` adds a
-//! small-scope exhaustive interleaving model of the phased
+//! 4. **Concurrency analyzer** ([`lockgraph`], on the dep-free Rust
+//!    lexer/parser in [`syntax`]) — builds the whole-workspace static
+//!    lock-order graph (fences ≺ shard mutexes ≺ WAL/recorder
+//!    internals) and fails on cycles, up-level edges, or multi-shard
+//!    paths outside `lock_shards_ascending`; proves the PR 7
+//!    hold-across-flush rule (no shard `MutexGuard` live across
+//!    `Wal::append_batch`/`Database::apply_write_set`) with guard
+//!    liveness tracked across call edges; audits `Ordering::Relaxed`
+//!    against the declared seams; and flags blocking calls reachable
+//!    from `event-loop`-tagged functions.
+//!
+//! The `pstm_check` binary exposes all four (`lint` / `verify` /
+//! `table` / `lockgraph` / `all`); the integration tests under `tests/`
+//! run them on every `cargo test`, and `tests/phased_commit_model.rs`
+//! adds a small-scope exhaustive interleaving model of the phased
 //! `commit_local`/`commit_finish`/`commit_abort` handshake (the loom
 //! role, in-tree).
 
 #![warn(missing_docs)]
 
 pub mod lint;
+pub mod lockgraph;
+pub mod syntax;
 pub mod table;
 pub mod verify;
 
 pub use lint::{run_lint, Allowlist, LintReport, Rule, Violation};
+pub use lockgraph::{
+    analyze as analyze_lockgraph, class_level, run_lockgraph, LgRule, LgViolation, LockgraphReport,
+};
+pub use syntax::{acquisition_token_count, collect_workspace, parse_source, SourceFile};
 pub use table::{check_pair, check_table, PairReport, TableReport, Witness};
 pub use verify::{
     stitch_streams, verify_jsonl_files, verify_records, verify_streams, Certificate, CycleEdge,

@@ -255,11 +255,15 @@ impl Allowlist {
 
     /// True (and marks the entry used) if some entry covers the finding.
     fn allows(&mut self, rule: Rule, file: &str, func: Option<&str>) -> bool {
+        self.allows_name(rule.name(), file, func)
+    }
+
+    /// [`Self::allows`] keyed by rule name — the lockgraph analyzer owns
+    /// rules outside the [`Rule`] enum but shares this allowlist file.
+    pub fn allows_name(&mut self, rule: &str, file: &str, func: Option<&str>) -> bool {
         let mut hit = false;
         for e in &mut self.entries {
-            if e.rule == rule.name()
-                && e.path == file
-                && e.func.as_deref().is_none_or(|f| Some(f) == func)
+            if e.rule == rule && e.path == file && e.func.as_deref().is_none_or(|f| Some(f) == func)
             {
                 e.used = true;
                 hit = true;
@@ -268,19 +272,48 @@ impl Allowlist {
         hit
     }
 
+    /// Unused entries belonging to `rules`, as `(allowlist line, entry
+    /// text)` — the lockgraph run reports staleness for its own rules so
+    /// new-rule sections start empty-enforced.
+    #[must_use]
+    pub fn stale_in(&self, rules: &[&str]) -> Vec<(usize, String)> {
+        self.entries
+            .iter()
+            .filter(|e| !e.used && rules.contains(&e.rule.as_str()))
+            .map(|e| {
+                (
+                    e.line,
+                    format!(
+                        "{} {}{}",
+                        e.rule,
+                        e.path,
+                        e.func.as_deref().map(|f| format!("::{f}")).unwrap_or_default()
+                    ),
+                )
+            })
+            .collect()
+    }
+
     fn stale(&self) -> impl Iterator<Item = Violation> + '_ {
-        self.entries.iter().filter(|e| !e.used).map(|e| Violation {
-            rule: Rule::StaleAllowlist,
-            file: "pstm-check.allow".to_string(),
-            line: e.line,
-            func: None,
-            snippet: format!(
-                "{} {}{} matches nothing — remove it",
-                e.rule,
-                e.path,
-                e.func.as_deref().map(|f| format!("::{f}")).unwrap_or_default()
-            ),
-        })
+        // Rules owned by the lockgraph analyzer run their own stale pass
+        // (`stale_in`); double-reporting them here would make every
+        // lockgraph allowlist entry fail the plain lint.
+        self.entries
+            .iter()
+            .filter(|e| !crate::lockgraph::RULE_NAMES.contains(&e.rule.as_str()))
+            .filter(|e| !e.used)
+            .map(|e| Violation {
+                rule: Rule::StaleAllowlist,
+                file: "pstm-check.allow".to_string(),
+                line: e.line,
+                func: None,
+                snippet: format!(
+                    "{} {}{} matches nothing — remove it",
+                    e.rule,
+                    e.path,
+                    e.func.as_deref().map(|f| format!("::{f}")).unwrap_or_default()
+                ),
+            })
     }
 }
 

@@ -1,0 +1,348 @@
+//! Seeded-violation fixtures for the concurrency analyzer.
+//!
+//! Each test compiles in one known-bad snippet — inverted fence/shard
+//! order, a guard held across a flush, an unjustified `Relaxed`, a
+//! blocking call in event-loop context — and asserts the analyzer
+//! catches exactly its seed, with a witness report precise enough to
+//! act on. A sibling clean snippet per rule guards against the analyzer
+//! over-firing (a lint nobody trusts is a lint nobody runs).
+
+use pstm_check::lockgraph::{analyze, LgRule};
+use pstm_check::{parse_source, Allowlist, SourceFile};
+
+fn empty_allow() -> Allowlist {
+    Allowlist::parse("").expect("empty allowlist parses")
+}
+
+fn run(files: &[(&str, &str)]) -> pstm_check::LockgraphReport {
+    let parsed: Vec<SourceFile> = files.iter().map(|(path, src)| parse_source(path, src)).collect();
+    analyze(&parsed, &mut empty_allow())
+}
+
+/// Violations of one rule, as `(line, detail)` pairs.
+fn of_rule(report: &pstm_check::LockgraphReport, rule: LgRule) -> Vec<(usize, String)> {
+    report
+        .violations
+        .iter()
+        .filter(|v| v.rule == rule)
+        .map(|v| (v.line, v.detail.clone()))
+        .collect()
+}
+
+#[test]
+fn inverted_fence_shard_order_is_caught() {
+    // The sanctioned order is fence (level 0) before shard (level 1);
+    // this seed takes a shard guard, then a fence — an up-level edge.
+    let report = run(&[(
+        "crates/front/src/lib.rs",
+        r#"
+        impl Front {
+            fn bad(&self) {
+                let g = self.inner.shards[0].lock();
+                let f = self.inner.flush_fences[0].lock();
+                drop(f);
+                drop(g);
+            }
+        }
+        "#,
+    )]);
+    let hits = of_rule(&report, LgRule::OrderGraph);
+    assert_eq!(hits.len(), 1, "exactly the seeded inversion: {:?}", report.violations);
+    assert_eq!(hits[0].0, 5, "anchored at the fence acquisition");
+    assert!(
+        hits[0].1.contains("gtm_shard -> flush_fence"),
+        "edge named in the detail: {}",
+        hits[0].1
+    );
+    // The witness path points at the acquiring function.
+    let v = &report.violations[0];
+    assert!(v.path.iter().any(|s| s.contains("fn Front::bad")), "witness: {:?}", v.path);
+}
+
+#[test]
+fn multi_shard_outside_helper_is_caught_and_helper_is_exempt() {
+    let bad = r#"
+        impl Front {
+            fn two_shards(&self) {
+                let a = self.inner.shards[0].lock();
+                let b = self.inner.shards[1].lock();
+                drop(b);
+                drop(a);
+            }
+            fn lock_shards_ascending(&self) {
+                let a = self.inner.shards[0].lock();
+                let b = self.inner.shards[1].lock();
+                drop(b);
+                drop(a);
+            }
+        }
+        "#;
+    let report = run(&[("crates/front/src/lib.rs", bad)]);
+    let hits = of_rule(&report, LgRule::MultiShard);
+    assert_eq!(hits.len(), 1, "only the path outside the helper fires: {:?}", report.violations);
+    assert_eq!(hits[0].0, 5);
+    let v = report.violations.iter().find(|v| v.rule == LgRule::MultiShard).unwrap();
+    assert_eq!(v.func.as_deref(), Some("two_shards"));
+}
+
+#[test]
+fn guard_across_flush_is_caught_through_a_call_edge() {
+    // The flush sits two call hops away from the guard holder; the
+    // violation must carry the whole chain as its witness.
+    let report = run(&[(
+        "crates/front/src/lib.rs",
+        r#"
+        impl Front {
+            fn commit(&self, wal: Wal) {
+                let g = self.inner.shards[0].lock();
+                self.persist(wal);
+                drop(g);
+            }
+            fn persist(&self, wal: Wal) {
+                wal.append_batch();
+            }
+        }
+        impl Wal {
+            // pstm-lockgraph: flush-point
+            fn append_batch(&self) {}
+        }
+        "#,
+    )]);
+    let hits = of_rule(&report, LgRule::HoldAcrossFlush);
+    assert_eq!(hits.len(), 1, "{:?}", report.violations);
+    let v = report.violations.iter().find(|v| v.rule == LgRule::HoldAcrossFlush).unwrap();
+    assert_eq!(v.line, 5, "anchored at the call made while holding");
+    assert!(v.detail.contains("persist"), "names the offending call: {}", v.detail);
+    assert!(
+        v.path.iter().any(|s| s.contains("flush-point")),
+        "witness reaches the flush point: {:?}",
+        v.path
+    );
+}
+
+#[test]
+fn guard_dropped_before_flush_is_clean() {
+    let report = run(&[(
+        "crates/front/src/lib.rs",
+        r#"
+        impl Front {
+            fn commit(&self, wal: Wal) {
+                let g = self.inner.shards[0].lock();
+                drop(g);
+                wal.append_batch();
+            }
+        }
+        impl Wal {
+            // pstm-lockgraph: flush-point
+            fn append_batch(&self) {}
+        }
+        "#,
+    )]);
+    assert!(of_rule(&report, LgRule::HoldAcrossFlush).is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn relaxed_outside_seam_and_unjustified_in_seam_are_caught() {
+    let report = run(&[
+        // Outside any declared seam: always a finding.
+        (
+            "crates/core/src/gtm.rs",
+            r#"
+            impl Gtm {
+                fn count(&self) {
+                    self.n.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            "#,
+        ),
+        // In-seam but with no `relaxed:` justification comment.
+        (
+            "crates/obs/src/prof.rs",
+            r#"
+            impl Slot {
+                fn bump(&self) {
+                    self.n.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            "#,
+        ),
+        // In-seam and justified: clean.
+        (
+            "crates/types/src/ids.rs",
+            r#"
+            impl Alloc {
+                fn next(&self) -> u64 {
+                    // relaxed: plain counter, nothing published through it.
+                    self.n.fetch_add(1, Ordering::Relaxed)
+                }
+            }
+            "#,
+        ),
+    ]);
+    let hits = of_rule(&report, LgRule::Atomics);
+    assert_eq!(hits.len(), 2, "{:?}", report.violations);
+    let files: Vec<&str> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == LgRule::Atomics)
+        .map(|v| v.file.as_str())
+        .collect();
+    assert!(files.contains(&"crates/core/src/gtm.rs"));
+    assert!(files.contains(&"crates/obs/src/prof.rs"));
+}
+
+#[test]
+fn unpaired_acquire_in_seam_file_is_caught() {
+    // An Acquire load with no Release anywhere in the seam file cannot
+    // be half of a synchronizes-with pair.
+    let report = run(&[(
+        "crates/obs/src/tracer.rs",
+        r#"
+        impl Ring {
+            fn head(&self) -> u64 {
+                self.head.load(Ordering::Acquire)
+            }
+        }
+        "#,
+    )]);
+    let hits = of_rule(&report, LgRule::Atomics);
+    assert_eq!(hits.len(), 1, "{:?}", report.violations);
+    assert!(hits[0].1.contains("Acquire"), "{}", hits[0].1);
+}
+
+#[test]
+fn blocking_call_in_event_loop_context_is_caught() {
+    let report = run(&[(
+        "crates/front/src/lib.rs",
+        r#"
+        impl Front {
+            // pstm-lockgraph: event-loop
+            fn route(&self) {
+                self.helper();
+            }
+            fn helper(&self) {
+                std::thread::sleep(core::time::Duration::from_millis(1));
+            }
+            // pstm-lockgraph: event-loop
+            fn pure(&self) -> usize {
+                1 + 1
+            }
+        }
+        "#,
+    )]);
+    let hits = of_rule(&report, LgRule::Blocking);
+    assert_eq!(hits.len(), 1, "only the reaching fn fires: {:?}", report.violations);
+    let v = report.violations.iter().find(|v| v.rule == LgRule::Blocking).unwrap();
+    assert_eq!(v.func.as_deref(), Some("route"));
+    assert!(
+        v.path.iter().any(|s| s.contains("sleep")),
+        "witness names the blocking call: {:?}",
+        v.path
+    );
+    assert_eq!(report.event_loop_fns.len(), 2, "both tags registered");
+}
+
+#[test]
+fn lock_taken_in_event_loop_context_is_caught() {
+    let report = run(&[(
+        "crates/front/src/lib.rs",
+        r#"
+        impl Front {
+            // pstm-lockgraph: event-loop
+            fn route(&self) {
+                let g = self.inner.mail.lock();
+                drop(g);
+            }
+        }
+        "#,
+    )]);
+    assert_eq!(of_rule(&report, LgRule::Blocking).len(), 1, "{:?}", report.violations);
+}
+
+#[test]
+fn cycle_report_is_minimal_and_names_both_edges() {
+    // a -> b in one function, b -> a in another: a two-class cycle with
+    // no level declared for either (unleveled classes are still
+    // cycle-checked).
+    let report = run(&[(
+        "crates/core/src/gtm.rs",
+        r#"
+        impl Gtm {
+            fn ab(&self) {
+                let a = self.a.lock();
+                let b = self.b.lock();
+                drop(b);
+                drop(a);
+            }
+            fn ba(&self) {
+                let b = self.b.lock();
+                let a = self.a.lock();
+                drop(a);
+                drop(b);
+            }
+        }
+        "#,
+    )]);
+    let cycles: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == LgRule::OrderGraph && v.detail.contains("cycle"))
+        .collect();
+    assert_eq!(cycles.len(), 1, "one minimal cycle, not one per edge: {:?}", report.violations);
+    let v = cycles[0];
+    assert!(v.detail.contains("mx_a") && v.detail.contains("mx_b"), "{}", v.detail);
+    assert_eq!(v.path.len(), 2, "witness = the two edges: {:?}", v.path);
+}
+
+#[test]
+fn allowlist_suppresses_and_stale_entries_fail() {
+    let bad = r#"
+        impl Front {
+            fn two_shards(&self) {
+                let a = self.inner.shards[0].lock();
+                let b = self.inner.shards[1].lock();
+                drop(b);
+                drop(a);
+            }
+        }
+        "#;
+    let parsed = vec![parse_source("crates/front/src/lib.rs", bad)];
+
+    // A matching entry suppresses the finding and is not stale.
+    let mut allow =
+        Allowlist::parse("multi-shard-path crates/front/src/lib.rs::two_shards\n").unwrap();
+    let report = analyze(&parsed, &mut allow);
+    assert!(of_rule(&report, LgRule::MultiShard).is_empty(), "{:?}", report.violations);
+    assert!(of_rule(&report, LgRule::Stale).is_empty(), "{:?}", report.violations);
+
+    // An entry matching nothing is itself a violation — new-rule
+    // sections start empty-enforced and cannot rot.
+    let mut allow =
+        Allowlist::parse("hold-across-flush crates/front/src/lib.rs::nonexistent\n").unwrap();
+    let report = analyze(&parsed, &mut allow);
+    let stale = of_rule(&report, LgRule::Stale);
+    assert_eq!(stale.len(), 1, "{:?}", report.violations);
+    assert!(stale[0].1.contains("nonexistent"), "{}", stale[0].1);
+}
+
+#[test]
+fn report_renders_one_line_per_finding_with_witness_indent() {
+    let report = run(&[(
+        "crates/front/src/lib.rs",
+        r#"
+        impl Front {
+            fn bad(&self) {
+                let g = self.inner.shards[0].lock();
+                let f = self.inner.flush_fences[0].lock();
+                drop(f);
+                drop(g);
+            }
+        }
+        "#,
+    )]);
+    let rendered = report.render();
+    let mut lines = rendered.lines();
+    let head = lines.next().unwrap();
+    assert!(head.starts_with("lock-order-graph\tcrates/front/src/lib.rs:5"), "{head}");
+    assert!(lines.next().unwrap().starts_with("    via "), "witness lines indent under the head");
+}

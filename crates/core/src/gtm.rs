@@ -215,7 +215,27 @@ pub struct GroupLocal {
     /// Members whose write estimate overlapped a batch member; untouched
     /// and still active — resubmit after the batch's flush settles.
     pub deferred: Vec<TxnId>,
+    /// Reconciled members whose real writes the batch rejected: parked in
+    /// `Committing`, owed a **solo** flush. The caller must execute each
+    /// outside the lock protecting this GTM and settle it with
+    /// [`Gtm::commit_solo_finish`].
+    pub overflow: Vec<Sst>,
     /// Merged effects of the settles above (waiter mail, busy time).
+    pub effects: StepEffects,
+}
+
+/// Result of [`Gtm::commit_group_finish`].
+#[derive(Debug)]
+pub struct GroupFinish {
+    /// Members settled by the fused flush's outcome — final.
+    pub settled: Vec<(TxnId, CommitResult)>,
+    /// Members the fused flush could not decide (a constraint violation
+    /// somewhere in the batch): each is still parked and owed a solo
+    /// flush so only the violators abort. The caller must execute each
+    /// outside the lock protecting this GTM and settle it with
+    /// [`Gtm::commit_solo_finish`].
+    pub reflush: Vec<Sst>,
+    /// Merged effects of the settles above.
     pub effects: StepEffects,
 }
 
@@ -797,35 +817,37 @@ impl Gtm {
             sst_result = sst.execute(&self.db, &self.bindings);
         }
         let busy = at.since(now);
-        let (result, mut effects) = match sst_result {
-            Ok(()) => {
-                if !sst.is_empty() {
-                    self.tracer.emit(at, TraceEvent::SstApplied { txn });
-                }
-                (CommitResult::Committed, self.commit_finish(txn, at)?)
-            }
-            Err(PstmError::ConstraintViolation { .. }) | Err(PstmError::TypeMismatch { .. }) => {
-                // §VII problem 2: reconciliation violated an integrity
-                // constraint (or produced a value the column's declared
-                // type rejects) — the transaction aborts.
-                let reason = AbortReason::Constraint;
-                (CommitResult::Aborted(reason), self.commit_abort(txn, reason, at)?)
-            }
-            Err(PstmError::Io(_)) => {
-                // Persistent SST failure: §VII's open problem. Nothing
-                // reached the database (the write set is all-or-nothing),
-                // so cleanup is pure bookkeeping.
-                let reason = AbortReason::SstFailure;
-                (CommitResult::Aborted(reason), self.commit_abort(txn, reason, at)?)
-            }
-            Err(e) => return Err(e),
-        };
+        let (result, mut effects) = self.commit_solo_finish(&sst, sst_result, at)?;
         effects.sst_busy = busy;
         // Phase boundaries for span-emitting coordinators: reconciliation
         // runs entirely at `now` in virtual time; the SST phase covers the
         // first attempt through the last retry.
         effects.reconcile_span = Some((now, now));
         effects.sst_span = Some((now, at));
+        Ok((result, effects))
+    }
+
+    /// Solo flush for a member whose `SstAttempt` was already announced
+    /// (batch overflow, per-member reflush): execute with the configured
+    /// retries, then settle via [`Gtm::commit_solo_finish`]. Only for
+    /// coordinators that own this GTM outright — lock-holding callers
+    /// must execute the SST themselves, outside the lock.
+    fn solo_flush_settle(
+        &mut self,
+        sst: Sst,
+        now: Timestamp,
+    ) -> PstmResult<(CommitResult, StepEffects)> {
+        let mut at = now;
+        let mut flush = sst.execute(&self.db, &self.bindings);
+        let mut attempts = 0;
+        while attempts < self.config.sst_retries && matches!(flush, Err(PstmError::Io(_))) {
+            attempts += 1;
+            at += self.config.sst_retry_delay;
+            self.tracer.emit(at, TraceEvent::SstRetry { txn: sst.origin, attempt: attempts });
+            flush = sst.execute(&self.db, &self.bindings);
+        }
+        let (result, mut effects) = self.commit_solo_finish(&sst, flush, at)?;
+        effects.sst_busy += at.since(now);
         Ok((result, effects))
     }
 
@@ -877,6 +899,15 @@ impl Gtm {
             let local = self.commit_group_local(&remaining, at)?;
             results.extend(local.settled);
             effects.merge(local.effects);
+            // Batch-rejected members get their solo flush here — this
+            // coordinator owns the GTM outright, so there is no lock to
+            // release around the device round-trip.
+            for sst in local.overflow {
+                let txn = sst.origin;
+                let (r, e) = self.solo_flush_settle(sst, at)?;
+                effects.merge(e);
+                results.push((txn, r));
+            }
             let Some(batch) = local.batch else {
                 // No batch ⇒ nothing parked ⇒ nothing deferred (the cut
                 // only defers against parked members' estimates).
@@ -891,9 +922,15 @@ impl Gtm {
                 self.tracer.emit(at, TraceEvent::SstRetry { txn: batch.leader, attempt: attempts });
                 flush = batch.execute(&self.db, &self.bindings);
             }
-            let (settled, fx) = self.commit_group_finish(batch, flush, at)?;
-            results.extend(settled);
-            effects.merge(fx);
+            let fin = self.commit_group_finish(batch, flush, at)?;
+            results.extend(fin.settled);
+            effects.merge(fin.effects);
+            for sst in fin.reflush {
+                let txn = sst.origin;
+                let (r, e) = self.solo_flush_settle(sst, at)?;
+                effects.merge(e);
+                results.push((txn, r));
+            }
             remaining = local.deferred;
         }
         // Merge (not assign): fallback settles above already folded their
@@ -929,6 +966,7 @@ impl Gtm {
         let mut settled = Vec::new();
         let mut effects = StepEffects::none();
         let mut deferred = Vec::new();
+        let mut overflow = Vec::new();
         let mut batch: Option<SstBatch> = None;
         let mut held: Vec<ResourceId> = Vec::new();
         for &txn in txns {
@@ -943,11 +981,20 @@ impl Gtm {
                     match batch.as_mut() {
                         // Disjoint by construction: real writes are a
                         // subset of the mutating grants the cut used.
+                        // Should the estimate ever lie, the member is
+                        // handed back for a solo flush — never executed
+                        // here, under the caller's lock.
                         Some(b) => {
                             if let Err(rejected) = b.push(sst) {
-                                let (r, e) = self.settle_sst(rejected, now)?;
-                                effects.merge(e);
-                                settled.push((txn, r));
+                                self.tracer.emit(
+                                    now,
+                                    TraceEvent::SstAttempt {
+                                        txn,
+                                        writes: rejected.writes.len() as u32,
+                                    },
+                                );
+                                overflow.push(rejected);
+                                held.extend(mutated);
                                 continue;
                             }
                         }
@@ -973,23 +1020,26 @@ impl Gtm {
             self.tracer
                 .emit(now, TraceEvent::GroupCommit { leader: b.leader, members: b.len() as u32 });
         }
-        Ok(GroupLocal { settled, batch, deferred, effects })
+        Ok(GroupLocal { settled, batch, deferred, overflow, effects })
     }
 
     /// Phase two of a split group commit: settles every member of `batch`
     /// according to the fused flush's outcome. `Ok` finishes all members;
-    /// a constraint/type violation falls back to settling members
-    /// individually (only the violators abort); an I/O failure aborts all
-    /// members with `SstFailure`. A `Crashed` flush propagates untouched —
-    /// the simulated process is dead and the members' parked state dies
-    /// with it, exactly as in the unbatched coordinated path.
+    /// a constraint/type violation hands every member back as `reflush` —
+    /// each is owed a solo flush (executed by the caller, outside the
+    /// lock protecting this GTM) so only the violators abort; an I/O
+    /// failure aborts all members with `SstFailure`. A `Crashed` flush
+    /// propagates untouched — the simulated process is dead and the
+    /// members' parked state dies with it, exactly as in the unbatched
+    /// coordinated path.
     pub fn commit_group_finish(
         &mut self,
         batch: SstBatch,
         flush: PstmResult<()>,
         now: Timestamp,
-    ) -> PstmResult<(Vec<(TxnId, CommitResult)>, StepEffects)> {
-        let mut results = Vec::with_capacity(batch.len());
+    ) -> PstmResult<GroupFinish> {
+        let mut settled = Vec::with_capacity(batch.len());
+        let mut reflush = Vec::new();
         let mut effects = StepEffects::none();
         match flush {
             Ok(()) => {
@@ -998,28 +1048,69 @@ impl Gtm {
                         self.tracer.emit(now, TraceEvent::SstApplied { txn: m.origin });
                     }
                     effects.merge(self.commit_finish(m.origin, now)?);
-                    results.push((m.origin, CommitResult::Committed));
+                    settled.push((m.origin, CommitResult::Committed));
                 }
             }
             Err(PstmError::ConstraintViolation { .. }) | Err(PstmError::TypeMismatch { .. }) => {
                 // Per-transaction abort unwind: some member's reconciled
-                // value broke a constraint. Settle each member
-                // individually so only the violators abort.
-                for m in &batch.members {
-                    let (r, e) = self.settle_sst(m.clone(), now)?;
-                    effects.merge(e);
-                    results.push((m.origin, r));
+                // value broke a constraint. Each member needs its own
+                // flush to tell violator from victim — hand them back
+                // rather than paying device round-trips under the lock.
+                for m in batch.members {
+                    self.tracer.emit(
+                        now,
+                        TraceEvent::SstAttempt { txn: m.origin, writes: m.writes.len() as u32 },
+                    );
+                    reflush.push(m);
                 }
             }
             Err(PstmError::Io(_)) => {
                 for m in &batch.members {
                     effects.merge(self.commit_abort(m.origin, AbortReason::SstFailure, now)?);
-                    results.push((m.origin, CommitResult::Aborted(AbortReason::SstFailure)));
+                    settled.push((m.origin, CommitResult::Aborted(AbortReason::SstFailure)));
                 }
             }
             Err(e) => return Err(e),
         }
-        Ok((results, effects))
+        Ok(GroupFinish { settled, reflush, effects })
+    }
+
+    /// Settles one parked member from the outcome of a **solo** flush the
+    /// caller executed (the flush itself must run outside the lock
+    /// protecting this GTM — see [`GroupLocal::overflow`] and
+    /// [`GroupFinish::reflush`]). `Ok` finishes the member; a constraint
+    /// or type violation aborts it with `Constraint`; an I/O failure
+    /// aborts it with `SstFailure`; anything else propagates.
+    pub fn commit_solo_finish(
+        &mut self,
+        sst: &Sst,
+        flush: PstmResult<()>,
+        now: Timestamp,
+    ) -> PstmResult<(CommitResult, StepEffects)> {
+        let txn = sst.origin;
+        match flush {
+            Ok(()) => {
+                if !sst.is_empty() {
+                    self.tracer.emit(now, TraceEvent::SstApplied { txn });
+                }
+                Ok((CommitResult::Committed, self.commit_finish(txn, now)?))
+            }
+            Err(PstmError::ConstraintViolation { .. }) | Err(PstmError::TypeMismatch { .. }) => {
+                // §VII problem 2: reconciliation violated an integrity
+                // constraint (or produced a value the column's declared
+                // type rejects) — the transaction aborts.
+                let reason = AbortReason::Constraint;
+                Ok((CommitResult::Aborted(reason), self.commit_abort(txn, reason, now)?))
+            }
+            Err(PstmError::Io(_)) => {
+                // Persistent SST failure: §VII's open problem. Nothing
+                // reached the database (the write set is all-or-nothing),
+                // so cleanup is pure bookkeeping.
+                let reason = AbortReason::SstFailure;
+                Ok((CommitResult::Aborted(reason), self.commit_abort(txn, reason, now)?))
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Phase one of a coordinated commit (Algorithm 3): moves the

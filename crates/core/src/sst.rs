@@ -53,6 +53,7 @@ impl Sst {
     /// constraints are enforced inside; on violation nothing is applied
     /// and the error is returned for the GTM to convert into a global
     /// abort.
+    // pstm-lockgraph: flush-point
     pub fn execute(&self, db: &Database, bindings: &BindingRegistry) -> PstmResult<()> {
         if self.is_empty() {
             return Ok(());
@@ -146,6 +147,7 @@ impl SstBatch {
     /// resource across the whole group for deterministic WAL content.
     /// On any error (constraint violation, injected fault) nothing is
     /// applied for *any* member.
+    // pstm-lockgraph: flush-point
     pub fn execute(&self, db: &Database, bindings: &BindingRegistry) -> PstmResult<()> {
         let mut writes: Vec<(ResourceId, Value)> =
             self.members.iter().flat_map(|m| m.writes.iter().cloned()).collect();

@@ -544,6 +544,17 @@ impl Chaos {
                 }
             }
             let deferred: Vec<usize> = local.deferred.iter().filter_map(|&t| idx_of(t)).collect();
+            // Batch-rejected members: solo flush (no lock here — the
+            // harness owns every GTM), then settle on the outcome.
+            for sst in std::mem::take(&mut local.overflow) {
+                let txn = sst.origin;
+                let flush = sst.execute(&self.db, &self.bindings);
+                let (result, _fx) =
+                    epoch.gtms[shard].commit_solo_finish(&sst, flush, self.now())?;
+                if let Some(i) = idx_of(txn) {
+                    settles.push((i, settle_of(result)));
+                }
+            }
             let Some(batch) = local.batch.take() else {
                 // No batch ⇒ nothing parked ⇒ nothing deferred (the cut
                 // only defers against parked members).
@@ -589,12 +600,21 @@ impl Chaos {
                 }
             }
             let settled_at = self.now();
-            let (group_settles, _fx) =
-                epoch.gtms[shard].commit_group_finish(batch, flush, settled_at)?;
+            let fin = epoch.gtms[shard].commit_group_finish(batch, flush, settled_at)?;
             self.in_flight = None;
             self.in_flight_members = 1;
             self.in_flight_txns.clear();
-            for (txn, result) in group_settles {
+            for (txn, result) in fin.settled {
+                if let Some(i) = idx_of(txn) {
+                    settles.push((i, settle_of(result)));
+                }
+            }
+            // A constraint violation somewhere in the batch: each member
+            // re-flushes solo so only the violators abort.
+            for sst in fin.reflush {
+                let txn = sst.origin;
+                let solo = sst.execute(&self.db, &self.bindings);
+                let (result, _fx) = epoch.gtms[shard].commit_solo_finish(&sst, solo, self.now())?;
                 if let Some(i) = idx_of(txn) {
                     settles.push((i, settle_of(result)));
                 }

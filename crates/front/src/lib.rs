@@ -54,15 +54,14 @@ use parking_lot::{Mutex, MutexGuard};
 use pstm_core::gtm::{CommitResult, Gtm, GtmConfig, GtmStats, LocalCommit};
 use pstm_core::sst::Sst;
 use pstm_obs::prof::{self, CommitPhase};
-use pstm_obs::wallclock::WallEpoch;
+use pstm_obs::wallclock::WallAnchor;
 use pstm_obs::{expo, MetricsRegistry, Recorder, RecorderStats, SpanKind, TraceEvent, Tracer};
 use pstm_storage::{BindingRegistry, Database};
 use pstm_types::{
     AbortReason, Duration, ExecOutcome, FaultDecision, FaultSite, PstmError, PstmResult,
-    ResourceId, ScalarOp, SharedFaultHook, StepEffects, Timestamp, TxnId, Value,
+    ResourceId, ScalarOp, SharedFaultHook, StepEffects, Timestamp, TxnId, TxnIdAllocator, Value,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Configuration of the sharded front-end.
@@ -179,13 +178,12 @@ struct FrontInner {
     /// events and snapshots can read registries without locking a shard.
     tracers: Vec<Tracer>,
     config: FrontConfig,
-    next_txn: AtomicU64,
-    epoch: WallEpoch,
-    /// Wall-clock microseconds since the Unix epoch at construction —
-    /// the single wall sample every front-emitted span stamp derives
-    /// from (`wall_base_us + epoch.elapsed_us()`), so the workspace's
-    /// wall-clock seam is consulted exactly once, here.
-    wall_base_us: Option<u64>,
+    next_txn: TxnIdAllocator,
+    /// Monotonic epoch + Unix wall base, both sampled once at
+    /// construction inside the wall-clock seam ([`WallAnchor::now`]);
+    /// every virtual timestamp and span wall stamp the front emits is
+    /// arithmetic on this anchor.
+    anchor: WallAnchor,
     /// Per-shard group-commit queues (only used when
     /// [`FrontConfig::group_commit`] is on): FIFO of committers waiting
     /// for a leader to fuse and flush them.
@@ -278,9 +276,8 @@ impl ShardedFront {
                 shards,
                 tracers,
                 config,
-                next_txn: AtomicU64::new(1),
-                epoch: WallEpoch::now(),
-                wall_base_us: pstm_obs::wallclock::wall_now_us(),
+                next_txn: TxnIdAllocator::starting_at(1),
+                anchor: WallAnchor::now(),
                 groups,
                 flush_fences,
                 mail: Mutex::new(BTreeMap::new()),
@@ -316,7 +313,7 @@ impl ShardedFront {
     /// *not* rewire existing tracer sinks — to stream every trace event
     /// into the file, construct via [`ShardedFront::with_recorder`].
     pub fn attach_recorder(&self, recorder: Recorder) {
-        recorder.write_meta(self.inner.shards.len() as u32, self.inner.wall_base_us);
+        recorder.write_meta(self.inner.shards.len() as u32, self.inner.anchor.base_us());
         *self.inner.recorder.lock() = Some(recorder);
     }
 
@@ -360,6 +357,8 @@ impl ShardedFront {
 
     /// The shard owning `resource`. Deterministic: routing depends only
     /// on the object id and the shard count.
+    // pstm-lockgraph: event-loop — the async front-end (ROADMAP item 1)
+    // routes every request through here; it must never block.
     #[must_use]
     pub fn shard_of(&self, resource: ResourceId) -> usize {
         resource.object.0 as usize % self.inner.shards.len()
@@ -369,7 +368,7 @@ impl ShardedFront {
     /// virtual-clock timestamp the shards understand.
     #[must_use]
     pub fn now(&self) -> Timestamp {
-        Timestamp(self.inner.epoch.elapsed_us())
+        Timestamp(self.inner.anchor.elapsed_us())
     }
 
     /// Opens a new session (allocates its transaction id). The session
@@ -378,7 +377,7 @@ impl ShardedFront {
     pub fn session(&self) -> Session {
         Session {
             front: self.clone(),
-            id: TxnId(self.inner.next_txn.fetch_add(1, Ordering::Relaxed)),
+            id: self.inner.next_txn.allocate(),
             begun: BTreeSet::new(),
             finished: false,
             home: None,
@@ -568,11 +567,10 @@ impl Session {
 
     /// Wall-clock microseconds since the Unix epoch — the second clock
     /// every front-emitted span carries next to the virtual timestamp.
-    /// Derived from the construction-time wall sample plus the monotonic
-    /// epoch, so the wall-clock seam itself is consulted only in
-    /// `with_shard_tracers`.
+    /// Pure arithmetic on the construction-time [`WallAnchor`]; the
+    /// wall-clock seam itself is never consulted per-span.
     fn wall_now_us(&self) -> Option<u64> {
-        self.front.inner.wall_base_us.map(|base| base + self.front.inner.epoch.elapsed_us())
+        self.front.inner.anchor.wall_us()
     }
 
     /// Emits an event into the home shard's tracer (no-op before the
@@ -679,7 +677,12 @@ impl Session {
     /// timeouts and deadlock detection advance even on an idle shard.
     fn wait_for_signal(&mut self, shard: usize) -> Signal {
         loop {
-            if let Some(signal) = self.front.inner.mail.lock().remove(&self.id) {
+            // Take the mail guard for the removal alone — it must be
+            // gone before the shard mutex below (mail sits *above*
+            // shard in the lock order; holding it across the tick
+            // would be an order inversion).
+            let delivered = self.front.inner.mail.lock().remove(&self.id);
+            if let Some(signal) = delivered {
                 return signal;
             }
             {
@@ -870,6 +873,15 @@ impl Session {
                     }
                 }
             }
+            // Batch-rejected members (the write estimate lied): their
+            // solo flushes run out here too — shard unlocked, fence held.
+            let overflow: Vec<(Sst, PstmResult<()>)> = std::mem::take(&mut local.overflow)
+                .into_iter()
+                .map(|sst| {
+                    let flush = self.solo_flush(&sst);
+                    (sst, flush)
+                })
+                .collect();
             let (settled, fx) = match local.batch.take() {
                 Some(batch) => {
                     // The fused flush, outside the shard mutex: the fence
@@ -921,16 +933,69 @@ impl Session {
                         self.front.lock_shards_ascending(&[shard])
                     };
                     let now = self.front.now();
-                    match guards[0].commit_group_finish(batch, flush, now) {
-                        Ok(settled) => settled,
+                    let mut fin = match guards[0].commit_group_finish(batch, flush, now) {
+                        Ok(fin) => fin,
                         Err(err) => {
                             drop(guards);
                             self.settle_wave_err(&wave, &err);
                             return Err(err);
                         }
+                    };
+                    let mut settled = std::mem::take(&mut fin.settled);
+                    let reflush = std::mem::take(&mut fin.reflush);
+                    let mut fx = fin.effects;
+                    for (sst, solo) in overflow {
+                        match guards[0].commit_solo_finish(&sst, solo, now) {
+                            Ok((r, e)) => {
+                                fx.merge(e);
+                                settled.push((sst.origin, r));
+                            }
+                            Err(err) => {
+                                drop(guards);
+                                self.settle_wave_err(&wave, &err);
+                                return Err(err);
+                            }
+                        }
                     }
+                    if !reflush.is_empty() {
+                        // Per-member unwind of a constraint violation:
+                        // each solo flush pays its device round-trip with
+                        // the shard unlocked, then settles under a fresh
+                        // guard so only the violators abort.
+                        drop(guards);
+                        let solos: Vec<(Sst, PstmResult<()>)> = reflush
+                            .into_iter()
+                            .map(|sst| {
+                                let flush = self.solo_flush(&sst);
+                                (sst, flush)
+                            })
+                            .collect();
+                        let mut guards = {
+                            let _adm = prof::PhaseTimer::start(CommitPhase::Admission);
+                            self.front.lock_shards_ascending(&[shard])
+                        };
+                        let now = self.front.now();
+                        for (sst, solo) in solos {
+                            match guards[0].commit_solo_finish(&sst, solo, now) {
+                                Ok((r, e)) => {
+                                    fx.merge(e);
+                                    settled.push((sst.origin, r));
+                                }
+                                Err(err) => {
+                                    drop(guards);
+                                    self.settle_wave_err(&wave, &err);
+                                    return Err(err);
+                                }
+                            }
+                        }
+                    }
+                    (settled, fx)
                 }
-                None => (Vec::new(), StepEffects::none()),
+                None => {
+                    // Overflow implies a batch existed to reject from.
+                    debug_assert!(overflow.is_empty());
+                    (Vec::new(), StepEffects::none())
+                }
             };
             self.front.deposit(&fx);
             let mut own = None;
@@ -949,6 +1014,25 @@ impl Session {
             // Our entry was beyond the wave bound or deferred: lead (or
             // follow) another round.
         }
+    }
+
+    /// One solo SST flush with the configured retries, for members owed
+    /// an individual device round-trip (batch overflow, per-member
+    /// reflush after a constraint violation). Must run with the shard
+    /// mutex released — the fence alone guards permanent state.
+    fn solo_flush(&self, sst: &Sst) -> PstmResult<()> {
+        let config = self.front.inner.config.gtm;
+        let mut flush = sst.execute(&self.front.inner.db, &self.front.inner.bindings);
+        let mut attempts = 0;
+        while attempts < config.sst_retries && matches!(flush, Err(PstmError::Io(_))) {
+            attempts += 1;
+            if config.sst_retry_delay > Duration::ZERO {
+                std::thread::sleep(std::time::Duration::from_micros(config.sst_retry_delay.0));
+            }
+            self.emit_home(TraceEvent::SstRetry { txn: sst.origin, attempt: attempts });
+            flush = sst.execute(&self.front.inner.db, &self.front.inner.bindings);
+        }
+        flush
     }
 
     /// Posts `err` into every wave member's slot except this session's
@@ -1017,6 +1101,12 @@ impl Session {
             return Ok(CommitResult::Aborted(reason));
         }
 
+        // Every shard reconciled and parked in `Committing`: release the
+        // shard mutexes for the device round-trip below. The fences —
+        // held until return — are what guard permanent state; waiting
+        // sessions can keep executing against the shards meanwhile.
+        drop(guards);
+
         // Phase two: one SST carries every shard's writes — atomic across
         // shards because the engine applies a write set all-or-nothing.
         // Transient (I/O) failures are retried per the shards' shared
@@ -1069,7 +1159,13 @@ impl Session {
             self.close_span(SpanKind::SstAttempt { attempt: attempts + 1 });
         }
 
-        // Phase three: settle every shard's bookkeeping.
+        // Phase three: settle every shard's bookkeeping, back under the
+        // shard mutexes (the parked transaction is ours alone, but
+        // finish/abort mutate shared GTM state).
+        let mut guards: Vec<MutexGuard<'_, Gtm>> = {
+            let _adm = prof::PhaseTimer::start(CommitPhase::Admission);
+            self.front.lock_shards_ascending(shards)
+        };
         let settled_at = self.front.now();
         let reason = match sst_result {
             Ok(()) => {

@@ -130,6 +130,9 @@ impl Slot {
     }
 
     fn record(&self, phase: usize, ns: u64) {
+        // relaxed: each counter is an independent monotonic tally read
+        // only by `snapshot`; no ordering between them is promised (a
+        // concurrent fold may see an op without its ns — documented).
         self.ns[phase].fetch_add(ns, Ordering::Relaxed);
         self.ops[phase].fetch_add(1, Ordering::Relaxed);
         self.max[phase].fetch_max(ns, Ordering::Relaxed);
@@ -138,6 +141,8 @@ impl Slot {
     }
 
     fn reset(&self) {
+        // relaxed: zeroing between runs; callers quiesce their workers
+        // first, so there is no concurrent reader to order against.
         for i in 0..CommitPhase::COUNT {
             self.ns[i].store(0, Ordering::Relaxed);
             self.ops[i].store(0, Ordering::Relaxed);
@@ -165,6 +170,9 @@ pub fn set_enabled(on: bool) {
 /// Whether phase accounting is currently on.
 #[must_use]
 pub fn enabled() -> bool {
+    // relaxed: a pure on/off gate — a stale read costs one extra (or one
+    // missed) sample, never correctness; the SeqCst store in
+    // `set_enabled` is for prompt visibility, not pairing.
     ENABLED.load(Ordering::Relaxed)
 }
 
@@ -357,6 +365,9 @@ impl PhaseProfile {
 /// snapshots (the bench pattern: join workers, then snapshot) are exact.
 #[must_use]
 pub fn snapshot() -> PhaseProfile {
+    // relaxed: folds independent tallies; each observation lands wholly
+    // in or out of a later snapshot, and quiesced snapshots are exact
+    // (see above) — no acquire edge would tighten that contract.
     let mut out = PhaseProfile::empty();
     for slot in SLOTS.lock().iter() {
         for i in 0..CommitPhase::COUNT {

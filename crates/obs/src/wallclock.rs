@@ -50,6 +50,54 @@ impl Default for WallEpoch {
     }
 }
 
+/// A monotonic epoch paired with the Unix wall base sampled at the same
+/// instant: the sanctioned anchor for components (the front-end) that
+/// stamp both virtual timestamps and derived wall-clock fields. Both
+/// clocks are consulted exactly once, at construction, *inside* this
+/// seam — holders only ever do arithmetic on the samples, so the
+/// `wall-clock` lint needs no per-caller allowance.
+#[derive(Clone, Copy, Debug)]
+pub struct WallAnchor {
+    epoch: WallEpoch,
+    base_us: Option<u64>,
+}
+
+impl WallAnchor {
+    /// Anchors at the current instant.
+    #[must_use]
+    pub fn now() -> Self {
+        WallAnchor { epoch: WallEpoch::now(), base_us: wall_now_us() }
+    }
+
+    /// Microseconds of monotonic time since the anchor.
+    #[must_use]
+    pub fn elapsed_us(&self) -> u64 {
+        self.epoch.elapsed_us()
+    }
+
+    /// Wall-clock microseconds since the Unix epoch right now, derived
+    /// from the anchored base (`None` if the clock sat before 1970 at
+    /// anchor time).
+    // pstm-lockgraph: event-loop — span stamping on the hot path is
+    // arithmetic on the anchor, never a syscall-bearing clock read.
+    #[must_use]
+    pub fn wall_us(&self) -> Option<u64> {
+        self.base_us.map(|base| base + self.elapsed_us())
+    }
+
+    /// The anchored Unix base itself, for stream metadata.
+    #[must_use]
+    pub fn base_us(&self) -> Option<u64> {
+        self.base_us
+    }
+}
+
+impl Default for WallAnchor {
+    fn default() -> Self {
+        Self::now()
+    }
+}
+
 /// Wall-clock microseconds since the Unix epoch, or `None` if the system
 /// clock sits before 1970. This is the `wall_us` field spans carry next
 /// to their virtual timestamp.

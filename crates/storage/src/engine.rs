@@ -574,6 +574,7 @@ impl Database {
     /// side of a Secure System Transaction. All-or-nothing: any failure
     /// (constraint violation included) rolls back every op already
     /// applied. Returns the addresses assigned to inserts, in op order.
+    // pstm-lockgraph: flush-point
     pub fn apply_write_set(&self, txn: TxnId, ws: &WriteSet) -> PstmResult<Vec<RowId>> {
         // WAL appends nested under the per-op engine calls carve their
         // own WalAppend time out of this phase (exclusive accounting).

@@ -224,6 +224,7 @@ impl Wal {
     /// survive intact, the tear is confined to the tail, and recovery's
     /// stop-at-first-invalid policy discards exactly the torn suffix. An
     /// `Io`/`Crash` decision lands nothing, as in [`Wal::append`].
+    // pstm-lockgraph: flush-point
     pub fn append_batch(&mut self, recs: &[LogRecord]) -> PstmResult<Vec<Lsn>> {
         let _phase = pstm_obs::prof::PhaseTimer::start(pstm_obs::prof::CommitPhase::WalAppend);
         if recs.is_empty() {

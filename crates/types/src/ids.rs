@@ -65,6 +65,36 @@ impl TxnId {
     }
 }
 
+/// Monotonic [`TxnId`] source safe to share across session threads.
+///
+/// This is the declared atomics seam for transaction-id allocation: the
+/// one place a front-end may mint ids concurrently. Keeping the atomic
+/// here (rather than open-coded at each front) lets the concurrency
+/// analyzer pin every `Ordering::Relaxed` to an audited site.
+#[derive(Debug)]
+pub struct TxnIdAllocator {
+    next: std::sync::atomic::AtomicU64,
+}
+
+impl TxnIdAllocator {
+    /// An allocator whose first id is `first`.
+    #[must_use]
+    pub fn starting_at(first: u64) -> Self {
+        TxnIdAllocator { next: std::sync::atomic::AtomicU64::new(first) }
+    }
+
+    /// Mints the next id.
+    // pstm-lockgraph: event-loop — session admission happens on the
+    // future async front-end's hot path; one lock-free RMW, nothing else.
+    #[must_use]
+    pub fn allocate(&self) -> TxnId {
+        // relaxed: ids need uniqueness and monotonicity only, which the
+        // atomic RMW itself provides; no other memory is published
+        // through this counter.
+        TxnId(self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed))
+    }
+}
+
 impl fmt::Debug for TxnId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "T{}", self.0)
