@@ -260,6 +260,87 @@ fn lock_taken_in_event_loop_context_is_caught() {
 }
 
 #[test]
+fn reactor_loop_fn_reaching_a_lock_through_a_helper_is_caught_exactly() {
+    // The reactor regression seed: a tagged wake-routing fn one call hop
+    // away from the owner-table mutex. The real `Router::route_wake`
+    // deliberately stays untagged *because* it locks; this fixture pins
+    // that tagging it would be caught — anchored at the tagged fn, with
+    // the helper on the witness path — while the arithmetic-only
+    // `owner_of` twin (the fn the reactor actually tags) stays clean.
+    let report = run(&[(
+        "crates/front/src/reactor.rs",
+        r#"
+        impl Router {
+            // pstm-lockgraph: event-loop
+            fn route_wake(&self) {
+                self.lookup_owner();
+            }
+            fn lookup_owner(&self) -> usize {
+                let g = self.owners.lock();
+                *g
+            }
+            // pstm-lockgraph: event-loop
+            fn owner_of(&self, home: usize) -> usize {
+                home % self.workers
+            }
+        }
+        "#,
+    )]);
+    let hits = of_rule(&report, LgRule::Blocking);
+    assert_eq!(hits.len(), 1, "only the lock-reaching loop fn fires: {:?}", report.violations);
+    let v = report.violations.iter().find(|v| v.rule == LgRule::Blocking).unwrap();
+    assert_eq!(v.func.as_deref(), Some("route_wake"), "anchored at the tagged fn");
+    assert!(
+        v.path.iter().any(|s| s.contains("lookup_owner")),
+        "witness walks through the helper: {:?}",
+        v.path
+    );
+    assert_eq!(report.event_loop_fns.len(), 2, "both reactor tags registered");
+}
+
+#[test]
+fn reactor_loop_fn_reaching_sleep_or_file_io_is_caught() {
+    // The two other ways a reactor loop can stall: a parked wait
+    // (thread::sleep — the busy-wait idiom this PR removed) and flight
+    // recorder file I/O. Each seeded fn is caught; the wheel-shaped
+    // pure fn is not.
+    let report = run(&[(
+        "crates/front/src/reactor.rs",
+        r#"
+        impl Worker {
+            // pstm-lockgraph: event-loop
+            fn idle(&self) {
+                std::thread::sleep(core::time::Duration::from_millis(1));
+            }
+            // pstm-lockgraph: event-loop
+            fn persist_census(&self) {
+                std::fs::read_to_string("census");
+            }
+            // pstm-lockgraph: event-loop
+            fn pop_due(&mut self, now_us: u64) -> Option<u64> {
+                let key = *self.slots.keys().next()?;
+                if key > now_us {
+                    return None;
+                }
+                self.slots.remove(&key).map(|_| key)
+            }
+        }
+        "#,
+    )]);
+    let hits = of_rule(&report, LgRule::Blocking);
+    assert_eq!(hits.len(), 2, "sleep and file I/O each fire once: {:?}", report.violations);
+    let funcs: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == LgRule::Blocking)
+        .map(|v| v.func.as_deref().unwrap_or(""))
+        .collect();
+    assert!(funcs.contains(&"idle"), "{funcs:?}");
+    assert!(funcs.contains(&"persist_census"), "{funcs:?}");
+    assert_eq!(report.event_loop_fns.len(), 3, "all three tags registered");
+}
+
+#[test]
 fn cycle_report_is_minimal_and_names_both_edges() {
     // a -> b in one function, b -> a in another: a two-class cycle with
     // no level declared for either (unleveled classes are still

@@ -76,6 +76,10 @@ fn event_loop_surface_is_registered() {
     let report = report();
     let expected = [
         "crates/front/src/lib.rs::ShardedFront::shard_of",
+        "crates/front/src/reactor.rs::Reactor::owner_of",
+        "crates/front/src/timer.rs::TimerWheel::next_deadline",
+        "crates/front/src/timer.rs::TimerWheel::pop_due",
+        "crates/front/src/timer.rs::TimerWheel::schedule_at",
         "crates/obs/src/wallclock.rs::WallAnchor::wall_us",
         "crates/types/src/ids.rs::TxnIdAllocator::allocate",
     ];

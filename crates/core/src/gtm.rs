@@ -1671,6 +1671,35 @@ impl Gtm {
         Ok(effects)
     }
 
+    /// The earliest instant at which [`Gtm::tick`] has scheduled work to
+    /// do for a *currently queued* waiter: the oldest wait entry's
+    /// `since + wait_timeout`. `None` when nothing is waiting or wait
+    /// timeouts are disabled — an event-driven caller (the reactor
+    /// front-end) then needs no timer for this shard at all, where the
+    /// blocking front-end would poll it on every `poll_interval`.
+    ///
+    /// Deadlock detection and promotion have no deadline of their own:
+    /// both are re-run on every tick, so an event-driven caller should
+    /// tick at `min(next_wake_deadline, its own coarse cadence)` while
+    /// waiters exist.
+    #[must_use]
+    pub fn next_wake_deadline(&self) -> Option<Timestamp> {
+        let timeout = self.config.wait_timeout?;
+        self.resources
+            .values()
+            .flat_map(|rs| rs.waiting.iter())
+            .map(|w| Timestamp(w.since.0.saturating_add(timeout.0)))
+            .min()
+    }
+
+    /// True while any transaction is queued on any resource — the
+    /// condition under which an event-driven caller keeps a tick timer
+    /// armed for this shard.
+    #[must_use]
+    pub fn has_waiters(&self) -> bool {
+        self.resources.values().any(|rs| !rs.waiting.is_empty())
+    }
+
     /// Test/diagnostic access to a resource's scheduling state.
     #[must_use]
     pub fn resource_state(&self, resource: ResourceId) -> Option<&ResourceState> {

@@ -725,3 +725,53 @@ fn reserved_id_space_rejected_at_begin() {
     assert!(gtm.begin(TxnId(u64::MAX), T0).is_err());
     gtm.begin(TxnId((1 << 48) - 1), T0).unwrap();
 }
+
+#[test]
+fn next_wake_deadline_tracks_oldest_waiter() {
+    // The reactor front-end schedules its shard-tick timer off this
+    // deadline instead of polling; it must track the *oldest* queued
+    // waiter and clear once the queue drains.
+    let config = GtmConfig {
+        wait_timeout: Some(pstm_types::Duration::from_secs_f64(5.0)),
+        ..GtmConfig::default()
+    };
+    let (mut gtm, res) = setup(1, config);
+    assert_eq!(gtm.next_wake_deadline(), None, "no waiters, no deadline");
+    assert!(!gtm.has_waiters());
+
+    gtm.begin(t(1), T0).unwrap();
+    gtm.begin(t(2), T0).unwrap();
+    gtm.begin(t(3), T0).unwrap();
+    gtm.execute(t(1), res[0], ScalarOp::Assign(Value::Int(1)), T0).unwrap();
+    gtm.execute(t(2), res[0], ScalarOp::Assign(Value::Int(2)), ts(1.0)).unwrap();
+    gtm.execute(t(3), res[0], ScalarOp::Assign(Value::Int(3)), ts(2.0)).unwrap();
+    assert!(gtm.has_waiters());
+    // Two waiters queued at t=1s and t=2s under a 5s timeout: the next
+    // scheduled wake belongs to the older one.
+    assert_eq!(gtm.next_wake_deadline(), Some(ts(6.0)));
+
+    // The older waiter expires; the deadline advances to the younger.
+    let fx = gtm.tick(ts(6.0)).unwrap();
+    assert_eq!(fx.aborted, vec![(t(2), AbortReason::LockTimeout)]);
+    assert_eq!(gtm.next_wake_deadline(), Some(ts(7.0)));
+
+    // The holder commits, the survivor is promoted: queue empty again.
+    gtm.commit(t(1), ts(6.5)).unwrap();
+    assert!(!gtm.has_waiters());
+    assert_eq!(gtm.next_wake_deadline(), None);
+}
+
+#[test]
+fn next_wake_deadline_none_without_timeout() {
+    // With timeouts disabled a queued waiter has no deadline — the
+    // event-driven caller still ticks on its coarse cadence for deadlock
+    // detection, but nothing here forces a wakeup.
+    let config = GtmConfig { wait_timeout: None, ..GtmConfig::default() };
+    let (mut gtm, res) = setup(1, config);
+    gtm.begin(t(1), T0).unwrap();
+    gtm.begin(t(2), T0).unwrap();
+    gtm.execute(t(1), res[0], ScalarOp::Assign(Value::Int(1)), T0).unwrap();
+    gtm.execute(t(2), res[0], ScalarOp::Assign(Value::Int(2)), T0).unwrap();
+    assert!(gtm.has_waiters());
+    assert_eq!(gtm.next_wake_deadline(), None);
+}

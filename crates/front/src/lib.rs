@@ -50,6 +50,9 @@
 
 #![warn(missing_docs)]
 
+pub mod reactor;
+mod timer;
+
 use parking_lot::{Mutex, MutexGuard};
 use pstm_core::gtm::{CommitResult, Gtm, GtmConfig, GtmStats, LocalCommit};
 use pstm_core::sst::Sst;
@@ -62,6 +65,7 @@ use pstm_types::{
     ResourceId, ScalarOp, SharedFaultHook, StepEffects, Timestamp, TxnId, TxnIdAllocator, Value,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Configuration of the sharded front-end.
@@ -86,6 +90,13 @@ pub struct FrontConfig {
     /// Upper bound on commits fused per group flush (≥ 1); only read
     /// when [`FrontConfig::group_commit`] is on.
     pub max_group: usize,
+    /// Park blocked sessions on the front-end's wake pacer (a condvar
+    /// notified by every signal deposit) instead of sleeping a fixed
+    /// [`FrontConfig::poll_interval`] between mailbox polls, and make
+    /// zero-length SST retry back-offs yield the core instead of
+    /// spinning it. Reactor mode ([`reactor::Reactor`]) requires this;
+    /// `false` keeps the original sleep-poll behavior byte-for-byte.
+    pub parked_waits: bool,
 }
 
 impl Default for FrontConfig {
@@ -99,6 +110,83 @@ impl Default for FrontConfig {
             poll_interval: std::time::Duration::from_micros(100),
             group_commit: false,
             max_group: 8,
+            parked_waits: false,
+        }
+    }
+}
+
+/// Cumulative counters of the parked-wait seam, for tests asserting that
+/// retry storms make progress without spinning a core
+/// ([`ShardedFront::pacer_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PacerStats {
+    /// Bounded condvar parks (mailbox polls and non-zero retry waits).
+    pub parks: u64,
+    /// Zero-length retry back-offs converted into scheduler yields.
+    pub yields: u64,
+    /// Deposit-side notifications that woke (or would wake) parkers.
+    pub notifies: u64,
+}
+
+/// The parked-wait seam: blocked sessions wait *here* when
+/// [`FrontConfig::parked_waits`] is on, and every signal deposit rings
+/// the condvar, so a waiter resumes as soon as its signal lands instead
+/// of on the next poll boundary. `std::sync` primitives on purpose: the
+/// `parking_lot` shim carries no condvar, and a poisoned gate must not
+/// panic the commit path (waiters recover the guard and re-poll).
+struct Pacer {
+    gate: std::sync::Mutex<u64>,
+    cond: std::sync::Condvar,
+    parks: AtomicU64,
+    yields: AtomicU64,
+    notifies: AtomicU64,
+}
+
+impl Pacer {
+    fn new() -> Pacer {
+        Pacer {
+            gate: std::sync::Mutex::new(0),
+            cond: std::sync::Condvar::new(),
+            parks: AtomicU64::new(0),
+            yields: AtomicU64::new(0),
+            notifies: AtomicU64::new(0),
+        }
+    }
+
+    /// Rings every parked waiter (deposit side).
+    fn pacer_notify(&self) {
+        self.notifies.fetch_add(1, Ordering::AcqRel);
+        let mut gen = self.gate.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *gen = gen.wrapping_add(1);
+        self.cond.notify_all();
+    }
+
+    /// Parks the calling thread until a notify or `dur`, whichever comes
+    /// first. Spurious and stale wakeups are fine — every caller
+    /// re-checks its condition in a loop, and the timeout bounds
+    /// staleness exactly like the poll interval it replaces.
+    fn pacer_park(&self, dur: std::time::Duration) {
+        self.parks.fetch_add(1, Ordering::AcqRel);
+        let gen = self.gate.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _ = self.cond.wait_timeout(gen, dur).unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+
+    /// A retry back-off: zero-length delays yield the core (progress
+    /// without a spin), others park as above.
+    fn pacer_backoff(&self, dur: std::time::Duration) {
+        if dur.is_zero() {
+            self.yields.fetch_add(1, Ordering::AcqRel);
+            std::thread::yield_now();
+        } else {
+            self.pacer_park(dur);
+        }
+    }
+
+    fn stats(&self) -> PacerStats {
+        PacerStats {
+            parks: self.parks.load(Ordering::Acquire),
+            yields: self.yields.load(Ordering::Acquire),
+            notifies: self.notifies.load(Ordering::Acquire),
         }
     }
 }
@@ -123,6 +211,22 @@ pub enum SessionOutcome {
     /// The transaction was aborted while the operation was queued; the
     /// session is finished and every shard has been cleaned up.
     Aborted(AbortReason),
+}
+
+/// Result of the non-blocking [`Session::try_execute`] half: either the
+/// operation settled immediately, or it parked behind incompatible work
+/// and the caller owns the wait (block on the mailbox, or — in reactor
+/// mode — return to the event loop until the signal is routed).
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum TryExec {
+    /// Settled without waiting.
+    Done(SessionOutcome),
+    /// Queued on `shard`; a future signal for this transaction resolves
+    /// it via [`Session::deliver`].
+    Parked {
+        /// The shard whose wait queue holds the parked invocation.
+        shard: usize,
+    },
 }
 
 /// Result of [`Session::awake`].
@@ -202,6 +306,15 @@ struct FrontInner {
     /// executing and fuse into the next wave.
     flush_fences: Vec<Mutex<()>>,
     mail: Mutex<BTreeMap<TxnId, Signal>>,
+    /// Reactor-mode wake routing: when a sink is installed
+    /// ([`ShardedFront::install_wake_sink`]), `deposit` hands every
+    /// resume/abort signal to it instead of the mailbox, and the sink's
+    /// owner (a [`reactor::Reactor`]) delivers it to the session's worker
+    /// queue — an O(1) enqueue instead of a poll. `None` in blocking mode.
+    wake: Mutex<Option<Arc<dyn reactor::WakeSink>>>,
+    /// The parked-wait seam (see [`Pacer`]); only consulted when
+    /// [`FrontConfig::parked_waits`] is on.
+    pacer: Pacer,
     /// Fault seam consulted at the front-end's own phased-commit sites
     /// (`pre-sst`, `pre-finish`); `None` outside chaos runs. Lives here
     /// rather than in [`FrontConfig`] (which is `Copy`).
@@ -281,6 +394,8 @@ impl ShardedFront {
                 groups,
                 flush_fences,
                 mail: Mutex::new(BTreeMap::new()),
+                wake: Mutex::new(None),
+                pacer: Pacer::new(),
                 fault_hook: Mutex::new(None),
                 recorder: Mutex::new(None),
             }),
@@ -503,18 +618,104 @@ impl ShardedFront {
         indices.iter().map(|&s| self.inner.flush_fences[s].lock()).collect()
     }
 
-    /// Deposits resume/abort notifications for *other* sessions.
+    /// Deposits resume/abort notifications for *other* sessions: to the
+    /// installed wake sink (reactor mode — an O(1) enqueue onto the
+    /// addressee's worker queue), else to the mailbox, ringing the pacer
+    /// so parked blocking waiters re-poll immediately.
     fn deposit(&self, fx: &StepEffects) {
         if fx.resumed.is_empty() && fx.aborted.is_empty() {
             return;
         }
-        let mut mail = self.inner.mail.lock();
-        for (txn, value) in &fx.resumed {
-            mail.insert(*txn, Signal::Resumed(value.clone()));
+        let sink = self.inner.wake.lock().clone();
+        if let Some(sink) = sink {
+            for (txn, value) in &fx.resumed {
+                sink.route_wake(*txn, Signal::Resumed(value.clone()));
+            }
+            for (txn, reason) in &fx.aborted {
+                sink.route_wake(*txn, Signal::Aborted(*reason));
+            }
+            return;
         }
-        for (txn, reason) in &fx.aborted {
-            mail.insert(*txn, Signal::Aborted(*reason));
+        {
+            let mut mail = self.inner.mail.lock();
+            for (txn, value) in &fx.resumed {
+                mail.insert(*txn, Signal::Resumed(value.clone()));
+            }
+            for (txn, reason) in &fx.aborted {
+                mail.insert(*txn, Signal::Aborted(*reason));
+            }
         }
+        self.inner.pacer.pacer_notify();
+    }
+
+    /// Installs the reactor's wake sink: from here on, `deposit` routes
+    /// signals through it instead of the mailbox.
+    pub(crate) fn install_wake_sink(&self, sink: Arc<dyn reactor::WakeSink>) {
+        *self.inner.wake.lock() = Some(sink);
+    }
+
+    /// Uninstalls the wake sink (reactor shutdown); signals fall back to
+    /// the mailbox.
+    pub(crate) fn clear_wake_sink(&self) {
+        *self.inner.wake.lock() = None;
+    }
+
+    /// Deposits one signal straight into the mailbox, ringing the pacer
+    /// — the wake sink's fallback for transactions it does not own.
+    pub(crate) fn mail_deposit(&self, txn: TxnId, signal: Signal) {
+        self.inner.mail.lock().insert(txn, signal);
+        self.inner.pacer.pacer_notify();
+    }
+
+    /// Counters of the parked-wait seam (all zero unless
+    /// [`FrontConfig::parked_waits`] is on).
+    #[must_use]
+    pub fn pacer_stats(&self) -> PacerStats {
+        self.inner.pacer.stats()
+    }
+
+    /// One mailbox-poll pause: a bounded pacer park when
+    /// [`FrontConfig::parked_waits`] is on (a deposit ends it early),
+    /// else the original fixed sleep.
+    fn pause_poll(&self) {
+        let dur = self.inner.config.poll_interval;
+        if self.inner.config.parked_waits {
+            self.inner.pacer.pacer_park(dur);
+        } else {
+            std::thread::sleep(dur);
+        }
+    }
+
+    /// One SST retry back-off. Parked mode turns a zero-length delay
+    /// into a scheduler yield — a retry storm then makes progress
+    /// without pinning a core — and parks for non-zero delays; blocking
+    /// mode keeps the original behavior (sleep if non-zero, spin if
+    /// zero) byte-for-byte.
+    fn pause_retry(&self, delay: Duration) {
+        if self.inner.config.parked_waits {
+            self.inner.pacer.pacer_backoff(std::time::Duration::from_micros(delay.0));
+        } else if delay > Duration::ZERO {
+            std::thread::sleep(std::time::Duration::from_micros(delay.0));
+        }
+    }
+
+    /// Advances one shard's virtual clock — firing wait timeouts,
+    /// deadlock detection and queue promotion even on an otherwise idle
+    /// shard — then routes the resulting signals and reports the shard's
+    /// next wake deadline ([`Gtm::next_wake_deadline`]) so the reactor
+    /// can schedule the next tick exactly instead of polling. The shard
+    /// guard is released before any signal is routed.
+    pub(crate) fn tick_shard(&self, shard: usize) -> Option<Timestamp> {
+        let (fx, deadline) = {
+            let mut gtm = self.inner.shards[shard].lock();
+            let now = self.now();
+            let fx = gtm.tick(now).ok();
+            (fx, gtm.next_wake_deadline())
+        };
+        if let Some(fx) = fx {
+            self.deposit(&fx);
+        }
+        deadline
     }
 }
 
@@ -630,6 +831,26 @@ impl Session {
     /// transaction died while waiting (deadlock victim, wait timeout) —
     /// in that case the session is finished and cleaned up on all shards.
     pub fn execute(&mut self, resource: ResourceId, op: ScalarOp) -> PstmResult<SessionOutcome> {
+        match self.try_execute(resource, op)? {
+            TryExec::Done(outcome) => Ok(outcome),
+            TryExec::Parked { shard } => {
+                let signal = self.wait_for_signal(shard);
+                self.deliver(shard, signal)
+            }
+        }
+    }
+
+    /// The non-blocking first half of [`Session::execute`]: submits the
+    /// operation and returns [`TryExec::Parked`] instead of waiting when
+    /// the invocation queues behind incompatible work. The reactor front
+    /// drives sessions through this half — a parked session then costs
+    /// nothing until another session's effects produce its signal, which
+    /// [`Session::deliver`] turns into the blocking API's outcome.
+    pub(crate) fn try_execute(
+        &mut self,
+        resource: ResourceId,
+        op: ScalarOp,
+    ) -> PstmResult<TryExec> {
         self.ensure_open()?;
         let shard = self.front.shard_of(resource);
         self.ensure_home(shard);
@@ -643,10 +864,10 @@ impl Session {
             (outcome, denied)
         };
         match outcome {
-            ExecOutcome::Completed(v) => Ok(SessionOutcome::Value(v)),
+            ExecOutcome::Completed(v) => Ok(TryExec::Done(SessionOutcome::Value(v))),
             ExecOutcome::Aborted(reason) => {
                 self.finish_aborted(Some(shard))?;
-                Ok(SessionOutcome::Aborted(reason))
+                Ok(TryExec::Done(SessionOutcome::Aborted(reason)))
             }
             ExecOutcome::Waiting => {
                 // The leaf flips from `work` to the wait's cause: object
@@ -657,17 +878,24 @@ impl Session {
                 } else {
                     SpanKind::Blocked { resource }
                 });
-                match self.wait_for_signal(shard) {
-                    Signal::Resumed(v) => {
-                        self.close_leaf();
-                        self.open_leaf(SpanKind::Work);
-                        Ok(SessionOutcome::Value(v))
-                    }
-                    Signal::Aborted(reason) => {
-                        self.finish_aborted(Some(shard))?;
-                        Ok(SessionOutcome::Aborted(reason))
-                    }
-                }
+                Ok(TryExec::Parked { shard })
+            }
+        }
+    }
+
+    /// The second half of [`Session::execute`]: consumes the signal a
+    /// parked operation waited for and settles the session exactly as
+    /// the blocking path would have — same spans, same cleanup.
+    pub(crate) fn deliver(&mut self, shard: usize, signal: Signal) -> PstmResult<SessionOutcome> {
+        match signal {
+            Signal::Resumed(v) => {
+                self.close_leaf();
+                self.open_leaf(SpanKind::Work);
+                Ok(SessionOutcome::Value(v))
+            }
+            Signal::Aborted(reason) => {
+                self.finish_aborted(Some(shard))?;
+                Ok(SessionOutcome::Aborted(reason))
             }
         }
     }
@@ -692,7 +920,7 @@ impl Session {
                     self.front.deposit(&fx);
                 }
             }
-            std::thread::sleep(self.front.inner.config.poll_interval);
+            self.front.pause_poll();
         }
     }
 
@@ -893,11 +1121,7 @@ impl Session {
                     let mut attempts = 0;
                     while attempts < config.sst_retries && matches!(flush, Err(PstmError::Io(_))) {
                         attempts += 1;
-                        if config.sst_retry_delay > Duration::ZERO {
-                            std::thread::sleep(std::time::Duration::from_micros(
-                                config.sst_retry_delay.0,
-                            ));
-                        }
+                        self.front.pause_retry(config.sst_retry_delay);
                         self.emit_home(TraceEvent::SstRetry {
                             txn: batch.leader,
                             attempt: attempts,
@@ -1026,9 +1250,7 @@ impl Session {
         let mut attempts = 0;
         while attempts < config.sst_retries && matches!(flush, Err(PstmError::Io(_))) {
             attempts += 1;
-            if config.sst_retry_delay > Duration::ZERO {
-                std::thread::sleep(std::time::Duration::from_micros(config.sst_retry_delay.0));
-            }
+            self.front.pause_retry(config.sst_retry_delay);
             self.emit_home(TraceEvent::SstRetry { txn: sst.origin, attempt: attempts });
             flush = sst.execute(&self.front.inner.db, &self.front.inner.bindings);
         }
@@ -1150,9 +1372,7 @@ impl Session {
         let mut attempts = 0;
         while attempts < config.sst_retries && matches!(sst_result, Err(PstmError::Io(_))) {
             attempts += 1;
-            if config.sst_retry_delay > Duration::ZERO {
-                std::thread::sleep(std::time::Duration::from_micros(config.sst_retry_delay.0));
-            }
+            self.front.pause_retry(config.sst_retry_delay);
             self.emit_home(TraceEvent::SstRetry { txn: self.id, attempt: attempts });
             self.open_span(SpanKind::SstAttempt { attempt: attempts + 1 });
             sst_result = sst.execute(&self.front.inner.db, &self.front.inner.bindings);

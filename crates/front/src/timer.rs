@@ -1,0 +1,115 @@
+//! A deadline-ordered timer wheel for the reactor front-end.
+//!
+//! Sleeping sessions and shard-tick cadences park *here* instead of on
+//! an OS thread: one wheel entry is a `(deadline, seq)` key and a small
+//! event payload, so 100k sleeping sessions cost 100k map entries — not
+//! 100k stacks. The wheel is plain owned data driven by its worker loop;
+//! every operation is tagged `event-loop` and machine-checked by the
+//! `pstm-check` lockgraph analyzer to be free of locks, sleeps and file
+//! I/O (the blocking-context rule this module exists to satisfy).
+//!
+//! Ties on a deadline break by insertion sequence, so firing order is a
+//! pure function of the schedule history — the deterministic reactor
+//! driver replays it bit-for-bit from a seed.
+
+use std::collections::BTreeMap;
+
+/// A monotone timer queue: `schedule_at` registers an event at an
+/// absolute microsecond deadline, `pop_due` releases events whose
+/// deadline has passed, oldest first.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    /// `(deadline_us, seq) → event`; `BTreeMap` order *is* firing order.
+    slots: BTreeMap<(u64, u64), T>,
+    /// Monotone insertion counter — the deterministic tiebreak.
+    seq: u64,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        TimerWheel { slots: BTreeMap::new(), seq: 0 }
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty wheel.
+    #[must_use]
+    pub fn new() -> Self {
+        TimerWheel::default()
+    }
+
+    /// Registers `event` to fire once `now >= at_us`. O(log n), no
+    /// allocation beyond the map node, and — the property the analyzer
+    /// pins — nothing here can block the loop that calls it.
+    // pstm-lockgraph: event-loop — wake scheduling on the reactor loop
+    pub fn schedule_at(&mut self, at_us: u64, event: T) {
+        let key = (at_us, self.seq);
+        self.seq = self.seq.wrapping_add(1);
+        self.slots.insert(key, event);
+    }
+
+    /// The earliest registered deadline, if any — what the worker loop
+    /// bounds its queue wait by.
+    // pstm-lockgraph: event-loop — queue-wait bound on the reactor loop
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.slots.keys().next().map(|(at, _)| *at)
+    }
+
+    /// Releases the oldest event whose deadline is `<= now_us`, with the
+    /// deadline it was scheduled for (the gap to `now_us` is the timer
+    /// lag the reactor reports). `None` when nothing is due.
+    // pstm-lockgraph: event-loop — timer dispatch on the reactor loop
+    pub fn pop_due(&mut self, now_us: u64) -> Option<(u64, T)> {
+        let key = *self.slots.keys().next()?;
+        if key.0 > now_us {
+            return None;
+        }
+        self.slots.remove(&key).map(|ev| (key.0, ev))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order_with_insertion_tiebreak() {
+        let mut wheel = TimerWheel::new();
+        wheel.schedule_at(300, "c");
+        wheel.schedule_at(100, "a1");
+        wheel.schedule_at(100, "a2");
+        wheel.schedule_at(200, "b");
+        assert_eq!(wheel.next_deadline(), Some(100));
+        assert_eq!(wheel.pop_due(50), None, "nothing due before the first deadline");
+        assert_eq!(wheel.pop_due(100), Some((100, "a1")), "same deadline fires in schedule order");
+        assert_eq!(wheel.pop_due(100), Some((100, "a2")));
+        assert_eq!(wheel.pop_due(100), None);
+        assert_eq!(wheel.next_deadline(), Some(200));
+        assert_eq!(wheel.pop_due(u64::MAX), Some((200, "b")));
+        assert_eq!(wheel.pop_due(u64::MAX), Some((300, "c")));
+        assert_eq!(wheel.next_deadline(), None);
+    }
+
+    #[test]
+    fn late_pop_reports_original_deadline() {
+        // The reported deadline is what lag accounting subtracts from
+        // "now": a timer fired 900µs late must say so.
+        let mut wheel = TimerWheel::new();
+        wheel.schedule_at(1_000, 7u32);
+        let (deadline, ev) = wheel.pop_due(1_900).expect("due");
+        assert_eq!((deadline, ev), (1_000, 7));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut wheel = TimerWheel::new();
+        wheel.schedule_at(10, 1);
+        wheel.schedule_at(30, 3);
+        assert_eq!(wheel.pop_due(20), Some((10, 1)));
+        wheel.schedule_at(20, 2); // earlier than the remaining timer
+        assert_eq!(wheel.pop_due(u64::MAX), Some((20, 2)));
+        assert_eq!(wheel.pop_due(u64::MAX), Some((30, 3)));
+        assert_eq!(wheel.next_deadline(), None);
+    }
+}

@@ -30,6 +30,7 @@ pub mod frame;
 pub mod hist;
 pub mod postmortem;
 pub mod prof;
+pub mod reactor;
 pub mod recorder;
 pub mod registry;
 pub mod replay;
@@ -43,6 +44,7 @@ pub use event::{AbortOrigin, TraceEvent, TraceRecord};
 pub use hist::Histogram;
 pub use postmortem::{analyze, Postmortem};
 pub use prof::{CommitPhase, PhaseProfile, PhaseTimer};
+pub use reactor::{ReactorCensus, ReactorSnapshot};
 pub use recorder::{
     read_recorder, Recorder, RecorderEntry, RecorderReplay, RecorderSink, RecorderStats,
     ENGINE_SHARD,

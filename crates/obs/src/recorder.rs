@@ -263,6 +263,7 @@ fn put_span_kind(out: &mut Vec<u8>, k: &SpanKind) {
         }
         SpanKind::Commit => out.push(7),
         SpanKind::Abort => out.push(8),
+        SpanKind::Queued => out.push(9),
     }
 }
 
@@ -279,6 +280,7 @@ fn get_span_kind(buf: &[u8], pos: &mut usize) -> Option<SpanKind> {
         6 => SpanKind::SstAttempt { attempt: u32::try_from(get_uvarint(buf, pos)?).ok()? },
         7 => SpanKind::Commit,
         8 => SpanKind::Abort,
+        9 => SpanKind::Queued,
         _ => return None,
     })
 }

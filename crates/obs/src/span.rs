@@ -47,6 +47,12 @@ pub enum SpanKind {
     Commit,
     /// Marker span (zero width): the session ended in an abort.
     Abort,
+    /// Reactor front-end only: a wake notification sat in a worker's op
+    /// queue between enqueue and delivery. Open is stamped with the
+    /// enqueue time, close with the delivery time, so the span's width
+    /// *is* the wake latency the event loop added on top of the
+    /// scheduler's own decision.
+    Queued,
 }
 
 impl SpanKind {
@@ -64,6 +70,7 @@ impl SpanKind {
             SpanKind::SstAttempt { .. } => "sst_attempt",
             SpanKind::Commit => "commit",
             SpanKind::Abort => "abort",
+            SpanKind::Queued => "queued",
         }
     }
 }

@@ -58,6 +58,7 @@ fn arb_span_kind() -> impl Strategy<Value = SpanKind> {
         any::<u32>().prop_map(|attempt| SpanKind::SstAttempt { attempt }),
         Just(SpanKind::Commit),
         Just(SpanKind::Abort),
+        Just(SpanKind::Queued),
     ]
 }
 
